@@ -1,0 +1,340 @@
+// Benchmarks regenerating (at bench-friendly scale) every table and
+// figure in the paper's evaluation. The experiment IDs follow
+// DESIGN.md's index; full-scale regeneration is cmd/experiments.
+//
+// Run with: go test -bench=. -benchmem
+package repro
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/adds"
+	"repro/internal/analysis"
+	"repro/internal/core"
+	"repro/internal/interp"
+	"repro/internal/lang"
+	"repro/internal/nbody"
+	"repro/internal/sequent"
+	"repro/internal/structures/bignum"
+	"repro/internal/structures/list"
+	"repro/internal/structures/orthlist"
+	"repro/internal/structures/poly"
+	"repro/internal/structures/rangetree"
+	"repro/internal/transform"
+)
+
+// ---------------------------------------------------------------------------
+// T1/T2 — the §4.4 tables (simulated Sequent), reduced N for bench time.
+
+func benchTable(b *testing.B, pes int) {
+	cfg := sequent.DefaultTableConfig()
+	cfg.Ns = []int{64}
+	cfg.PEs = []int{pes}
+	cfg.MeasureSteps = 1
+	cfg.CalibrateSeconds = 0
+	b.ResetTimer()
+	var lastSpeedup float64
+	for i := 0; i < b.N; i++ {
+		t, err := sequent.BarnesHutTable(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		lastSpeedup = t.Rows[0].Speedup[pes]
+	}
+	b.ReportMetric(lastSpeedup, "speedup")
+}
+
+// BenchmarkTable1TimesPar4 regenerates a T1 cell (seq + par(4)).
+func BenchmarkTable1TimesPar4(b *testing.B) { benchTable(b, 4) }
+
+// BenchmarkTable2SpeedupsPar7 regenerates a T2 cell (seq + par(7)).
+func BenchmarkTable2SpeedupsPar7(b *testing.B) { benchTable(b, 7) }
+
+// Native Barnes-Hut: the real-hardware counterpart of T1.
+
+func benchNative(b *testing.B, driver string, pes int) {
+	s := nbody.NewUniform(512, 7, 0.5, 0.01)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := s.Run(driver, 1, pes); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkNativeBHSequential(b *testing.B) { benchNative(b, "seq", 0) }
+func BenchmarkNativeBHParallel4(b *testing.B)  { benchNative(b, "par", 4) }
+func BenchmarkNativeBHParallel7(b *testing.B)  { benchNative(b, "par", 7) }
+func BenchmarkNativeBHPool4(b *testing.B)      { benchNative(b, "pool", 4) }
+func BenchmarkNativeBHDirectN2(b *testing.B)   { benchNative(b, "direct", 0) }
+func BenchmarkNativeBHPlummerSeq(b *testing.B) {
+	s := nbody.NewPlummer(512, 7, 0.5, 0.01)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := s.Run("seq", 1, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// ---------------------------------------------------------------------------
+// F1 — validation distinguishing the Figure 1 shapes.
+
+func BenchmarkFig1ValidationVerdict(b *testing.B) {
+	src := adds.OneWayListSrc + `
+procedure close(OneWayList *a, OneWayList *x) {
+  a->next = x;
+  x->next = a;
+}`
+	prog := lang.MustParse(src)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		fr, err := analysis.Analyze(prog, "close")
+		if err != nil {
+			b.Fatal(err)
+		}
+		if fr.Exit.Valid("OneWayList", "X") {
+			b.Fatal("violation lost")
+		}
+	}
+}
+
+// F2 — one-way list traversal (scale loop), sequential vs strip-mined.
+
+func BenchmarkFig2ListScaleSequential(b *testing.B) {
+	p := poly.New()
+	for i := 0; i < 4096; i++ {
+		p = p.Add(poly.New(poly.Term{Coef: int64(i + 1), Exp: i}))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.Scale(3)
+	}
+}
+
+func BenchmarkFig2ListScaleParallel4(b *testing.B) {
+	p := poly.New()
+	for i := 0; i < 4096; i++ {
+		p = p.Add(poly.New(poly.Term{Coef: int64(i + 1), Exp: i}))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.ScaleParallel(4, 3)
+	}
+}
+
+func BenchmarkFig2Bignum100Factorial(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if bignum.Factorial(100).Limbs() == 0 {
+			b.Fatal("empty")
+		}
+	}
+}
+
+// F3 — orthogonal-list sparse matrix operations.
+
+func makeSparse(n int) *orthlist.Matrix {
+	m := orthlist.New(n, n)
+	r := rand.New(rand.NewSource(4))
+	for k := 0; k < n*8; k++ {
+		m.Set(r.Intn(n), r.Intn(n), r.Float64()+0.1)
+	}
+	return m
+}
+
+func BenchmarkFig3SparseMulVec(b *testing.B) {
+	m := makeSparse(256)
+	x := make([]float64, 256)
+	for i := range x {
+		x[i] = float64(i)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.MulVec(x)
+	}
+}
+
+func BenchmarkFig3SparseTranspose(b *testing.B) {
+	m := makeSparse(256)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Transpose()
+	}
+}
+
+func BenchmarkFig3SparseRowScaleParallel(b *testing.B) {
+	m := makeSparse(256)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.ScaleRowsParallel(4, func(int) float64 { return 1.0 })
+	}
+}
+
+// F4 — range-tree construction and queries.
+
+func BenchmarkFig4RangeTreeBuild(b *testing.B) {
+	r := rand.New(rand.NewSource(5))
+	pts := make([]rangetree.Point, 2048)
+	for i := range pts {
+		pts[i] = rangetree.Point{X: r.Float64() * 1000, Y: r.Float64() * 1000, ID: i}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rangetree.Build(pts)
+	}
+}
+
+func BenchmarkFig4RangeTreeRectQuery(b *testing.B) {
+	r := rand.New(rand.NewSource(5))
+	pts := make([]rangetree.Point, 2048)
+	for i := range pts {
+		pts[i] = rangetree.Point{X: r.Float64() * 1000, Y: r.Float64() * 1000, ID: i}
+	}
+	t := rangetree.Build(pts)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		t.QueryRect(100, 100, 300, 300)
+	}
+}
+
+// F5 — octree construction (the Barnes-Hut build).
+
+func BenchmarkFig5OctreeBuild(b *testing.B) {
+	s := nbody.NewUniform(1024, 7, 0.5, 0.01)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.BuildTree()
+	}
+}
+
+// ---------------------------------------------------------------------------
+// PM1/PM2 — analysis speed on the paper's two programs.
+
+func BenchmarkPM1PolyLoopAnalysis(b *testing.B) {
+	prog := lang.MustParse(adds.OneWayListSrc + `
+procedure scale(OneWayList *head, int c) {
+  var OneWayList *p = head;
+  while p != NULL {
+    p->data = p->data * c;
+    p = p->next;
+  }
+}`)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := analysis.Analyze(prog, "scale"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkPM2BarnesHutAnalysis(b *testing.B) {
+	prog := lang.MustParse(nbody.BarnesHutPSL)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := analysis.New(prog).AnalyzeAll(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkPM2StripMineBothLoops(b *testing.B) {
+	prog := lang.MustParse(nbody.BarnesHutPSL)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r1, err := transform.StripMine(prog, nbody.TimestepFunc, nbody.BHL1, 4)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := transform.StripMine(r1.Program, nbody.TimestepFunc, nbody.BHL2, 4); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// ---------------------------------------------------------------------------
+// X1 — precision comparison run.
+
+func BenchmarkXPrecisionComparison(b *testing.B) {
+	c, err := core.Compile(nbody.BarnesHutPSL)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		v, err := c.CompareBaselines(nbody.TimestepFunc, nbody.BHL1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !v.ADDS || v.KLimited {
+			b.Fatal("unexpected verdicts")
+		}
+	}
+}
+
+// X2 — scheduling/sync ablation cell.
+
+func BenchmarkXAblationFastSync(b *testing.B) {
+	cfg := sequent.DefaultTableConfig()
+	cfg.Ns = []int{64}
+	cfg.PEs = []int{4}
+	cfg.MeasureSteps = 1
+	cfg.CalibrateSeconds = 0
+	costs := interp.DefaultCosts()
+	costs.Barrier = 100
+	cfg.Costs = costs
+	b.ResetTimer()
+	var speedup float64
+	for i := 0; i < b.N; i++ {
+		t, err := sequent.BarnesHutTable(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		speedup = t.Rows[0].Speedup[4]
+	}
+	b.ReportMetric(speedup, "speedup")
+}
+
+// ---------------------------------------------------------------------------
+// Interpreter and front-end throughput.
+
+func BenchmarkInterpBHL1Step(b *testing.B) {
+	prog := lang.MustParse(nbody.BarnesHutPSL)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ip := interp.New(prog, interp.Config{Seed: 7})
+		if _, err := ip.Call("simulate", interp.IntVal(32), interp.IntVal(1),
+			interp.RealVal(0.5), interp.RealVal(0.01)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkParseBarnesHut(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := lang.Parse(nbody.BarnesHutPSL); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkListParallelEach(b *testing.B) {
+	l := list.New[int]()
+	for i := 0; i < 2048; i++ {
+		l.Append(i)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		l.ParallelEach(4, func(n *list.Node[int]) { n.Data++ })
+	}
+}
+
+// X3 — the theta accuracy/work sweep (one cell).
+func BenchmarkXThetaSweepCell(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows := nbody.ThetaSweep(256, 7, []float64{0.5})
+		if rows[0].Interactions == 0 {
+			b.Fatal("no work counted")
+		}
+	}
+}

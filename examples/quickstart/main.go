@@ -1,0 +1,109 @@
+// Quickstart: the paper's §3.3.2 example end-to-end.
+//
+// We compile the polynomial-scaling loop, print the path matrices the
+// analysis computes (with and without the ADDS declaration), ask the
+// dependence test for a verdict, strip-mine the loop across 4 PEs, and
+// run both versions to show they agree.
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+	"repro/internal/interp"
+)
+
+const src = `
+type OneWayList [X]
+{ int coef, exp;
+  OneWayList *next is uniquely forward along X;
+};
+
+function OneWayList * poly(int n) {
+  // Build coefficients n, n-1, ..., 1 with exponents 0..n-1.
+  var OneWayList *head = NULL;
+  var int i = 0;
+  while i < n {
+    var OneWayList *t = new OneWayList;
+    t->coef = i + 1;
+    t->exp = i;
+    t->next = head;
+    head = t;
+    i = i + 1;
+  }
+  return head;
+}
+
+procedure scale(OneWayList *head, int c) {
+  var OneWayList *p = head;
+  while p != NULL {
+    p->coef = p->coef * c;
+    p = p->next;
+  }
+}
+
+function int checksum(OneWayList *head) {
+  var int s = 0;
+  var OneWayList *p = head;
+  while p != NULL {
+    s = s + p->coef * (p->exp + 1);
+    p = p->next;
+  }
+  return s;
+}
+
+function int main(int n, int c) {
+  var OneWayList *h = poly(n);
+  scale(h, c);
+  return checksum(h);
+}
+`
+
+func main() {
+	c, err := core.Compile(src)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("== The path matrix after `p = p->next` in scale ==")
+	m, err := c.MatrixAfter("scale", "p = p->next;")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(m)
+	fmt.Println("head, p and p' are never aliases — the §3.3.2 conclusion.")
+
+	fmt.Println("\n== Dependence verdicts ==")
+	reps, err := c.LoopReports("scale")
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, r := range reps {
+		fmt.Println(r)
+	}
+
+	fmt.Println("\n== Strip-mining scale across 4 PEs ==")
+	par, err := c.StripMine("scale", 0, 4)
+	if err != nil {
+		log.Fatal(err)
+	}
+	seqV, _, err := c.Run(core.RunConfig{}, "main", interp.IntVal(1000), interp.IntVal(3))
+	if err != nil {
+		log.Fatal(err)
+	}
+	parV, stats, err := par.Run(core.RunConfig{Simulate: true, PEs: 4}, "main",
+		interp.IntVal(1000), interp.IntVal(3))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("sequential checksum: %d\n", seqV.I)
+	fmt.Printf("parallel checksum:   %d (simulated cycles %d, %d barriers)\n",
+		parV.I, stats.Cycles, stats.Barriers)
+	if seqV.I != parV.I {
+		log.Fatal("results diverge!")
+	}
+	fmt.Println("identical — the transformation is semantics-preserving.")
+}

@@ -1,0 +1,94 @@
+// Sparse-matrix example: the paper's §3.1.3 orthogonal list (Figure 3)
+// doing real work — assembling a 1-D Poisson operator, running a few
+// Jacobi iterations, and scaling disjoint rows in parallel.
+//
+// Run with: go run ./examples/sparsematrix
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	"repro/internal/structures/orthlist"
+)
+
+func main() {
+	const n = 64
+
+	// Assemble the tridiagonal Poisson matrix A (2 on the diagonal, -1
+	// off-diagonal) as an orthogonal list.
+	a := orthlist.New(n, n)
+	for i := 0; i < n; i++ {
+		a.Set(i, i, 2)
+		if i > 0 {
+			a.Set(i, i-1, -1)
+		}
+		if i < n-1 {
+			a.Set(i, i+1, -1)
+		}
+	}
+	if err := a.Verify(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("Poisson operator: %dx%d with %d nonzeros (%.1f%% dense)\n",
+		n, n, a.NNZ(), 100*float64(a.NNZ())/float64(n*n))
+
+	// Solve A x = b with Jacobi iteration, b = all ones.
+	b := make([]float64, n)
+	for i := range b {
+		b[i] = 1
+	}
+	x := make([]float64, n)
+	for iter := 0; iter < 30000; iter++ {
+		ax := a.MulVec(x)
+		var maxDelta float64
+		for i := 0; i < n; i++ {
+			r := b[i] - (ax[i] - 2*x[i]) // remove diagonal contribution
+			nx := r / 2
+			if d := math.Abs(nx - x[i]); d > maxDelta {
+				maxDelta = d
+			}
+			x[i] = nx
+		}
+		if maxDelta < 1e-12 {
+			fmt.Printf("Jacobi converged after %d sweeps\n", iter+1)
+			break
+		}
+	}
+	res := a.MulVec(x)
+	var norm float64
+	for i := range res {
+		norm += (res[i] - b[i]) * (res[i] - b[i])
+	}
+	fmt.Printf("residual ‖Ax-b‖ = %.2e\n", math.Sqrt(norm))
+
+	// Row scaling in parallel: rows are disjoint along X, the property
+	// the ADDS declaration states and the analysis exploits.
+	d := orthlist.New(4, 6)
+	for r := 0; r < 4; r++ {
+		for c := r; c < 6; c += 2 {
+			d.Set(r, c, 1)
+		}
+	}
+	d.ScaleRowsParallel(4, func(row int) float64 { return float64(row + 1) })
+	fmt.Println("\nrow-scaled matrix (rows scaled by 1,2,3,4 in parallel):")
+	for _, row := range d.Dense() {
+		fmt.Printf("  %v\n", row)
+	}
+
+	// Transpose and multiply exercise both dimensions.
+	at := a.Transpose()
+	sym := true
+	for r := 0; r < n && sym; r++ {
+		for cIdx := 0; cIdx < n; cIdx++ {
+			if a.Get(r, cIdx) != at.Get(r, cIdx) {
+				sym = false
+				break
+			}
+		}
+	}
+	fmt.Printf("\nA symmetric (A == Aᵀ): %v\n", sym)
+	sq := a.Mul(a)
+	fmt.Printf("A² has %d nonzeros (pentadiagonal)\n", sq.NNZ())
+}

@@ -1,0 +1,96 @@
+// Validation example: the paper's §3.3.1 abstraction-validation story,
+// statically and at runtime.
+//
+// Static: the analysis flags the temporary sharing in a subtree move
+// and confirms the repair; an unrepaired move and a deliberate ring
+// stay flagged. Runtime: the same programs run under the §2.2 shape
+// checks, reproducing the verdicts dynamically.
+//
+// Run with: go run ./examples/validation
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+)
+
+const src = `
+type BinTree [down]
+{ int data;
+  BinTree *left, *right is uniquely forward along down;
+};
+
+type OneWayList [X]
+{ int data;
+  OneWayList *next is uniquely forward along X;
+};
+
+// The paper's example: temporarily broken, immediately repaired.
+procedure move_subtree(BinTree *p1, BinTree *p2) {
+  p1->left = p2->left;
+  p2->left = NULL;
+}
+
+// Without the repair, the violation persists.
+procedure move_subtree_broken(BinTree *p1, BinTree *p2) {
+  p1->left = p2->left;
+}
+
+// A ring closed over locally built nodes: a visible, persistent cycle.
+function OneWayList * make_ring() {
+  var OneWayList *head = new OneWayList;
+  var OneWayList *last = new OneWayList;
+  head->next = last;
+  last->next = head;
+  return head;
+}
+
+// Drive the runtime demonstration.
+procedure main() {
+  var BinTree *a = new BinTree;
+  var BinTree *b = new BinTree;
+  var BinTree *c = new BinTree;
+  b->left = c;
+  move_subtree(a, b);        // transient sharing, repaired
+  var OneWayList *ring = make_ring();
+  print("built", ring->data);
+}
+`
+
+func main() {
+	c, err := core.Compile(src)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("== Static validation (general path matrix analysis) ==")
+	for _, fn := range []string{"move_subtree", "move_subtree_broken", "make_ring"} {
+		keys, err := c.ExitViolations(fn)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if len(keys) == 0 {
+			fmt.Printf("  %-22s abstraction valid at exit\n", fn)
+		} else {
+			fmt.Printf("  %-22s VIOLATION at exit: %v\n", fn, keys)
+		}
+	}
+
+	fmt.Println("\n== Runtime shape checks (§2.2's debugging switch) ==")
+	_, _, violations, err := c.RunChecked(core.RunConfig{}, "main")
+	if err != nil {
+		log.Fatal(err)
+	}
+	if len(violations) == 0 {
+		fmt.Println("  no runtime events")
+	}
+	for _, v := range violations {
+		fmt.Printf("  observed: %s\n", v)
+	}
+	fmt.Println("\nThe transient sharing inside move_subtree and the deliberate ring")
+	fmt.Println("both surface at runtime; the static analysis additionally knows the")
+	fmt.Println("sharing was repaired (move_subtree exits valid) while the ring and")
+	fmt.Println("the unrepaired move do not.")
+}

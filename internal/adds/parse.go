@@ -1,0 +1,405 @@
+package adds
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"unicode"
+)
+
+// Parse parses one or more ADDS type declarations written in the paper's
+// surface syntax, for example:
+//
+//	type TwoDRangeTree [down][sub][leaves] where sub||down, sub||leaves
+//	{ int data;
+//	  TwoDRangeTree *left, *right is uniquely forward along down;
+//	  TwoDRangeTree *subtree      is uniquely forward along sub;
+//	  TwoDRangeTree *next         is uniquely forward along leaves;
+//	  TwoDRangeTree *prev         is backward along leaves;
+//	};
+//
+// Comments run from "//" to end of line. The returned universe has been
+// checked for dangling pointer targets.
+func Parse(src string) (*Universe, error) {
+	p := &declParser{lex: newDeclLexer(src)}
+	u := NewUniverse()
+	for {
+		p.lex.skipSpace()
+		if p.lex.eof() {
+			break
+		}
+		d, err := p.parseDecl()
+		if err != nil {
+			return nil, err
+		}
+		if err := u.Add(d); err != nil {
+			return nil, err
+		}
+	}
+	if err := u.Check(); err != nil {
+		return nil, err
+	}
+	return u, nil
+}
+
+// ParseDecl parses exactly one declaration.
+func ParseDecl(src string) (*Decl, error) {
+	p := &declParser{lex: newDeclLexer(src)}
+	d, err := p.parseDecl()
+	if err != nil {
+		return nil, err
+	}
+	p.lex.skipSpace()
+	if !p.lex.eof() {
+		return nil, fmt.Errorf("adds: trailing input after declaration at line %d", p.lex.line)
+	}
+	return d, nil
+}
+
+// MustParse is Parse that panics on error; intended for static
+// declarations in examples and tests.
+func MustParse(src string) *Universe {
+	u, err := Parse(src)
+	if err != nil {
+		panic(err)
+	}
+	return u
+}
+
+type declLexer struct {
+	src  string
+	pos  int
+	line int
+}
+
+func newDeclLexer(src string) *declLexer {
+	return &declLexer{src: src, line: 1}
+}
+
+func (l *declLexer) eof() bool { return l.pos >= len(l.src) }
+
+func (l *declLexer) skipSpace() {
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		switch {
+		case c == '\n':
+			l.line++
+			l.pos++
+		case c == ' ' || c == '\t' || c == '\r':
+			l.pos++
+		case c == '/' && l.pos+1 < len(l.src) && l.src[l.pos+1] == '/':
+			for l.pos < len(l.src) && l.src[l.pos] != '\n' {
+				l.pos++
+			}
+		default:
+			return
+		}
+	}
+}
+
+func (l *declLexer) peek() byte {
+	if l.eof() {
+		return 0
+	}
+	return l.src[l.pos]
+}
+
+// next returns the next token: an identifier, a number, "||", or a single
+// punctuation byte.
+func (l *declLexer) next() (string, error) {
+	l.skipSpace()
+	if l.eof() {
+		return "", fmt.Errorf("adds: unexpected end of input at line %d", l.line)
+	}
+	c := l.src[l.pos]
+	switch {
+	case isIdentStart(rune(c)):
+		start := l.pos
+		for l.pos < len(l.src) && isIdentPart(rune(l.src[l.pos])) {
+			l.pos++
+		}
+		return l.src[start:l.pos], nil
+	case c >= '0' && c <= '9':
+		start := l.pos
+		for l.pos < len(l.src) && l.src[l.pos] >= '0' && l.src[l.pos] <= '9' {
+			l.pos++
+		}
+		return l.src[start:l.pos], nil
+	case c == '|' && l.pos+1 < len(l.src) && l.src[l.pos+1] == '|':
+		l.pos += 2
+		return "||", nil
+	case strings.IndexByte("[]{};,*", c) >= 0:
+		l.pos++
+		return string(c), nil
+	}
+	return "", fmt.Errorf("adds: unexpected character %q at line %d", c, l.line)
+}
+
+func (l *declLexer) peekToken() (string, error) {
+	save, saveLine := l.pos, l.line
+	tok, err := l.next()
+	l.pos, l.line = save, saveLine
+	return tok, err
+}
+
+func (l *declLexer) expect(want string) error {
+	tok, err := l.next()
+	if err != nil {
+		return err
+	}
+	if tok != want {
+		return fmt.Errorf("adds: expected %q, found %q at line %d", want, tok, l.line)
+	}
+	return nil
+}
+
+func isIdentStart(r rune) bool {
+	return r == '_' || unicode.IsLetter(r)
+}
+
+func isIdentPart(r rune) bool {
+	return r == '_' || unicode.IsLetter(r) || unicode.IsDigit(r)
+}
+
+type declParser struct {
+	lex *declLexer
+}
+
+func (p *declParser) parseDecl() (*Decl, error) {
+	if err := p.lex.expect("type"); err != nil {
+		return nil, err
+	}
+	name, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	d := &Decl{Name: name}
+
+	// Optional dimension list: [X][Y]...
+	for {
+		tok, err := p.lex.peekToken()
+		if err != nil {
+			return nil, err
+		}
+		if tok != "[" {
+			break
+		}
+		p.lex.next()
+		dim, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.lex.expect("]"); err != nil {
+			return nil, err
+		}
+		d.Dims = append(d.Dims, dim)
+	}
+	if len(d.Dims) == 0 {
+		d.Dims = []string{DefaultDimension}
+	}
+
+	// Optional independence clause: where a||b, c||d
+	tok, err := p.lex.peekToken()
+	if err != nil {
+		return nil, err
+	}
+	if tok == "where" {
+		p.lex.next()
+		for {
+			a, err := p.ident()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.lex.expect("||"); err != nil {
+				return nil, err
+			}
+			b, err := p.ident()
+			if err != nil {
+				return nil, err
+			}
+			d.Indep = append(d.Indep, [2]string{a, b})
+			tok, err := p.lex.peekToken()
+			if err != nil {
+				return nil, err
+			}
+			if tok != "," {
+				break
+			}
+			p.lex.next()
+		}
+	}
+
+	if err := p.lex.expect("{"); err != nil {
+		return nil, err
+	}
+	for {
+		tok, err := p.lex.peekToken()
+		if err != nil {
+			return nil, err
+		}
+		if tok == "}" {
+			p.lex.next()
+			break
+		}
+		if err := p.parseField(d); err != nil {
+			return nil, err
+		}
+	}
+	// Optional trailing semicolon (the paper writes "};").
+	if tok, err := p.lex.peekToken(); err == nil && tok == ";" {
+		p.lex.next()
+	}
+	return d, nil
+}
+
+// parseField parses one field declaration line, which may declare several
+// names: "int coef, exp;" or "T *left, *right is uniquely forward along d;".
+func (p *declParser) parseField(d *Decl) error {
+	typeName, err := p.ident()
+	if err != nil {
+		return err
+	}
+	tok, err := p.lex.peekToken()
+	if err != nil {
+		return err
+	}
+	isPointer := tok == "*"
+	if isPointer {
+		p.lex.next()
+	}
+
+	type pending struct {
+		name  string
+		count int
+	}
+	var names []pending
+	for {
+		name, err := p.ident()
+		if err != nil {
+			return err
+		}
+		count := 1
+		tok, err := p.lex.peekToken()
+		if err != nil {
+			return err
+		}
+		if tok == "[" {
+			p.lex.next()
+			numTok, err := p.lex.next()
+			if err != nil {
+				return err
+			}
+			n, convErr := strconv.Atoi(numTok)
+			if convErr != nil || n < 1 {
+				return fmt.Errorf("adds: %s.%s: bad array count %q at line %d", d.Name, name, numTok, p.lex.line)
+			}
+			count = n
+			if err := p.lex.expect("]"); err != nil {
+				return err
+			}
+		}
+		names = append(names, pending{name, count})
+		tok, err = p.lex.peekToken()
+		if err != nil {
+			return err
+		}
+		if tok != "," {
+			break
+		}
+		p.lex.next()
+		// In a pointer group every declarator carries its own '*'
+		// ("T *left, *right is ..."); a missing or extra '*' mixes
+		// pointer and data declarators, which C-style declarations
+		// would silently mistype, so reject it.
+		tok, err = p.lex.peekToken()
+		if err != nil {
+			return err
+		}
+		if (tok == "*") != isPointer {
+			return fmt.Errorf("adds: %s: mixed data and pointer declarators at line %d", d.Name, p.lex.line)
+		}
+		if isPointer {
+			p.lex.next()
+		}
+	}
+
+	if !isPointer {
+		for _, n := range names {
+			if n.count != 1 {
+				return fmt.Errorf("adds: %s.%s: array data fields are not supported", d.Name, n.name)
+			}
+			d.Data = append(d.Data, DataField{Name: n.name, Type: typeName})
+		}
+		return p.lex.expect(";")
+	}
+
+	// Optional annotation.
+	dim, dir, unique := "", Unknown, false
+	tok, err = p.lex.peekToken()
+	if err != nil {
+		return err
+	}
+	if tok == "is" {
+		p.lex.next()
+		tok, err = p.lex.next()
+		if err != nil {
+			return err
+		}
+		if tok == "uniquely" {
+			unique = true
+			tok, err = p.lex.next()
+			if err != nil {
+				return err
+			}
+		}
+		switch tok {
+		case "forward":
+			dir = Forward
+		case "backward":
+			dir = Backward
+		default:
+			return fmt.Errorf("adds: %s: expected forward/backward, found %q at line %d", d.Name, tok, p.lex.line)
+		}
+		if err := p.lex.expect("along"); err != nil {
+			return err
+		}
+		dim, err = p.ident()
+		if err != nil {
+			return err
+		}
+	}
+	if dim == "" {
+		// Unannotated recursive pointer: default dimension, unknown
+		// (possibly cyclic) direction. The default dimension must exist.
+		dim = DefaultDimension
+		if !d.HasDim(dim) {
+			d.Dims = append(d.Dims, dim)
+		}
+	}
+	for _, n := range names {
+		d.Pointers = append(d.Pointers, PointerField{
+			Name:   n.name,
+			Type:   typeName,
+			Count:  n.count,
+			Dim:    dim,
+			Dir:    dir,
+			Unique: unique,
+		})
+	}
+	return p.lex.expect(";")
+}
+
+func (p *declParser) ident() (string, error) {
+	tok, err := p.lex.next()
+	if err != nil {
+		return "", err
+	}
+	if !isIdentStart(rune(tok[0])) {
+		return "", fmt.Errorf("adds: expected identifier, found %q at line %d", tok, p.lex.line)
+	}
+	switch tok {
+	case "type", "where", "is", "uniquely", "forward", "backward", "along":
+		return "", fmt.Errorf("adds: keyword %q used as identifier at line %d", tok, p.lex.line)
+	}
+	return tok, nil
+}

@@ -1,0 +1,532 @@
+package analysis
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/adds"
+	"repro/internal/lang"
+	"repro/internal/pathmatrix"
+)
+
+// polyProgram is the paper's §3.3.2 example: scaling the coefficients of
+// a polynomial stored in a one-way list.
+const polyProgram = `
+type OneWayList [X]
+{ int coef, exp;
+  OneWayList *next is uniquely forward along X;
+};
+
+procedure scale(OneWayList *head, int c) {
+  var OneWayList *p = head;
+  while p != NULL {
+    p->coef = p->coef * c;
+    p = p->next;
+  }
+}
+`
+
+func analyzeOne(t *testing.T, src, fn string) (*lang.Program, *FuncResult) {
+	t.Helper()
+	prog, err := lang.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fr, err := Analyze(prog, fn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return prog, fr
+}
+
+// TestPolyLoopMatrices reproduces PM1: the paper's path matrices for the
+// polynomial-scaling loop (§3.3.2).
+func TestPolyLoopMatrices(t *testing.T) {
+	prog, fr := analyzeOne(t, polyProgram, "scale")
+	scale := prog.Func("scale")
+	loop, err := FindLoop(scale, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// "Just before the loop": head and p are definite aliases.
+	before := fr.Before[loop]
+	if before == nil {
+		t.Fatal("no state before loop")
+	}
+	if got := before.PM.Get("head", "p").Alias; got != pathmatrix.DefiniteAlias {
+		t.Errorf("before loop: head/p = %v, want definite alias", got)
+	}
+
+	// At the fixed point, inside the loop after the advance:
+	// head -> p is a definite next-path with no alias, and p' -> p is a
+	// one-step next edge — "the ADDS declaration and the analysis have
+	// captured ... that head, p, and p' are never aliases".
+	adv, err := FindAssign(scale, "p = p->next;")
+	if err != nil {
+		t.Fatal(err)
+	}
+	after := fr.After[adv]
+	if after == nil {
+		t.Fatal("no state after p = p->next")
+	}
+	hp := after.PM.Get("head", "p")
+	if hp.Alias != pathmatrix.NoAlias {
+		t.Errorf("after advance: head/p alias = %v, want NoAlias\n%s", hp.Alias, after.PM)
+	}
+	if !hp.HasPath() {
+		t.Errorf("after advance: head -> p should record a next path\n%s", after.PM)
+	}
+	pp := after.PM.Get("p"+PrimeSuffix, "p")
+	if pp.Alias != pathmatrix.NoAlias || !pp.HasPath() {
+		t.Errorf("after advance: p' -> p = %q, want next edge with no alias\n%s", pp, after.PM)
+	}
+	if !fr.InductionStrictlyAdvances(loop, "p") {
+		t.Error("induction pointer must provably advance")
+	}
+
+	// After the loop, p == NULL: killed, aliases nothing.
+	if len(fr.Exit.Violations) != 0 {
+		t.Errorf("scale must end with a valid abstraction, got %v", fr.Exit.ViolationKeys())
+	}
+}
+
+// TestConservativeWithoutADDS shows the paper's contrast: with the
+// unannotated ListNode declaration the same loop cannot prove head, p
+// distinct.
+func TestConservativeWithoutADDS(t *testing.T) {
+	src := `
+type ListNode
+{ int coef, exp;
+  ListNode *next;
+};
+
+procedure scale(ListNode *head, int c) {
+  var ListNode *p = head;
+  while p != NULL {
+    p->coef = p->coef * c;
+    p = p->next;
+  }
+}
+`
+	prog, fr := analyzeOne(t, src, "scale")
+	scale := prog.Func("scale")
+	adv, err := FindAssign(scale, "p = p->next;")
+	if err != nil {
+		t.Fatal(err)
+	}
+	after := fr.After[adv]
+	if after.PM.Get("head", "p").Alias == pathmatrix.NoAlias {
+		t.Errorf("without ADDS the analysis must not prove head/p distinct\n%s", after.PM)
+	}
+	loop, _ := FindLoop(scale, 0)
+	if fr.InductionStrictlyAdvances(loop, "p") {
+		t.Error("without ADDS the induction must not provably advance")
+	}
+}
+
+// TestSubtreeMoveValidation reproduces V1 (§3.3.1): moving a subtree
+// breaks the binary tree's disjointness, and the immediately following
+// NULL store repairs it.
+func TestSubtreeMoveValidation(t *testing.T) {
+	src := adds.BinTreeSrc + `
+procedure move(BinTree *p1, BinTree *p2) {
+  p1->left = p2->left;
+  p2->left = NULL;
+}
+`
+	prog, fr := analyzeOne(t, src, "move")
+	move := prog.Func("move")
+	// After the first store the abstraction is broken... (normalization
+	// hoists the load, so locate the store itself).
+	var firstStore lang.Stmt
+	lang.Walk(move.Body, func(s lang.Stmt) bool {
+		if as, ok := s.(*lang.AssignStmt); ok {
+			if fe, ok := as.LHS.(*lang.FieldExpr); ok && fe.Base() != nil && fe.Base().Name == "p1" {
+				firstStore = s
+				return false
+			}
+		}
+		return true
+	})
+	if firstStore == nil {
+		t.Fatal("store not found")
+	}
+	st1 := fr.After[firstStore]
+	if st1 == nil {
+		t.Fatal("no state after first store")
+	}
+	if st1.Valid("BinTree", "down") {
+		t.Errorf("sharing violation expected after p1->left = p2->left; violations = %v", st1.ViolationKeys())
+	}
+	// ...and the second statement fixes it.
+	if !fr.Exit.Valid("BinTree", "down") {
+		t.Errorf("violation must clear after p2->left = NULL; still active: %v", fr.Exit.ViolationKeys())
+	}
+}
+
+// TestSubtreeMoveNotFixed: without the repair store the violation
+// persists to the exit.
+func TestSubtreeMoveNotFixed(t *testing.T) {
+	src := adds.BinTreeSrc + `
+procedure move(BinTree *p1, BinTree *p2) {
+  p1->left = p2->left;
+}
+`
+	_, fr := analyzeOne(t, src, "move")
+	if fr.Exit.Valid("BinTree", "down") {
+		t.Error("unrepaired sharing must persist at exit")
+	}
+}
+
+// TestCycleViolation: closing a cycle along a forward direction is
+// flagged; overwriting the offending edge clears it.
+func TestCycleViolation(t *testing.T) {
+	src := adds.OneWayListSrc + `
+procedure close(OneWayList *a) {
+  var OneWayList *b = a->next;
+  b->next = a;
+  b->next = NULL;
+}
+`
+	prog, fr := analyzeOne(t, src, "close")
+	cl := prog.Func("close")
+	store := cl.Body.Stmts[1]
+	st := fr.After[store]
+	if st.Valid("OneWayList", "X") {
+		t.Errorf("cycle violation expected after b->next = a (b is a's next): %v", st.ViolationKeys())
+	}
+	if !fr.Exit.Valid("OneWayList", "X") {
+		t.Errorf("overwrite must clear the cycle violation: %v", fr.Exit.ViolationKeys())
+	}
+}
+
+// TestSelfLoopViolation: p->next = p is a definite cycle.
+func TestSelfLoopViolation(t *testing.T) {
+	src := adds.OneWayListSrc + `
+procedure self(OneWayList *p) {
+  p->next = p;
+}
+`
+	_, fr := analyzeOne(t, src, "self")
+	if fr.Exit.Valid("OneWayList", "X") {
+		t.Error("self loop must violate the forward declaration")
+	}
+}
+
+// TestFreshListBuildIsValid: building a list with fresh nodes keeps the
+// abstraction valid (no false sharing/cycle reports).
+func TestFreshListBuildIsValid(t *testing.T) {
+	src := adds.OneWayListSrc + `
+function OneWayList * build(int n) {
+  var OneWayList *head = NULL;
+  var int i = 0;
+  while i < n {
+    var OneWayList *node = new OneWayList;
+    node->next = head;
+    head = node;
+    i = i + 1;
+  }
+  return head;
+}
+`
+	_, fr := analyzeOne(t, src, "build")
+	if len(fr.Exit.Violations) != 0 {
+		t.Errorf("prepending fresh nodes is shape-preserving; got %v", fr.Exit.ViolationKeys())
+	}
+}
+
+// TestAppendSharedNodeViolates: inserting the same node twice is a
+// sharing violation that persists.
+func TestAppendSharedNodeViolates(t *testing.T) {
+	src := adds.OneWayListSrc + `
+procedure bad(OneWayList *a, OneWayList *b) {
+  var OneWayList *n = new OneWayList;
+  a->next = n;
+  b->next = n;
+}
+`
+	_, fr := analyzeOne(t, src, "bad")
+	// a and b may be distinct, in which case n acquires two in-edges.
+	if fr.Exit.Valid("OneWayList", "X") {
+		t.Error("double insertion must flag sharing")
+	}
+}
+
+// TestLoadAfterStoreBindsDefinite: p->f = q; r = p->f must make r a
+// definite alias of q.
+func TestLoadAfterStoreBindsDefinite(t *testing.T) {
+	src := adds.BinTreeSrc + `
+procedure f(BinTree *p) {
+  var BinTree *q = new BinTree;
+  p->left = q;
+  var BinTree *r = p->left;
+  if r == q {
+    print("same");
+  }
+}
+`
+	prog, fr := analyzeOne(t, src, "f")
+	fn := prog.Func("f")
+	var rDecl *lang.VarStmt
+	lang.Walk(fn.Body, func(s lang.Stmt) bool {
+		if vs, ok := s.(*lang.VarStmt); ok && vs.Name == "r" {
+			rDecl = vs
+			return false
+		}
+		return true
+	})
+	if rDecl == nil {
+		t.Fatal("no var r")
+	}
+	st := fr.After[rDecl]
+	if got := st.PM.Get("r", "q").Alias; got != pathmatrix.DefiniteAlias {
+		t.Errorf("r/q = %v, want definite alias\n%s", got, st.PM)
+	}
+}
+
+// TestNewIsDisjoint: a fresh node aliases nothing.
+func TestNewIsDisjoint(t *testing.T) {
+	src := adds.OneWayListSrc + `
+procedure f(OneWayList *a, OneWayList *b) {
+  var OneWayList *n = new OneWayList;
+  print(1);
+}
+`
+	prog, fr := analyzeOne(t, src, "f")
+	fn := prog.Func("f")
+	last := fn.Body.Stmts[len(fn.Body.Stmts)-1]
+	st := fr.Before[last]
+	for _, h := range []string{"a", "b"} {
+		if st.PM.Get("n", h).Alias != pathmatrix.NoAlias {
+			t.Errorf("fresh n vs %s should be NoAlias", h)
+		}
+	}
+	// While parameters a and b may alias each other.
+	if st.PM.Get("a", "b").Alias != pathmatrix.PossibleAlias {
+		t.Error("parameters of the same type must be possible aliases at entry")
+	}
+}
+
+// TestSiblingDisjointness: two distinct children of the same tree node
+// are provably distinct (uniquely forward along one dimension).
+func TestSiblingDisjointness(t *testing.T) {
+	src := adds.BinTreeSrc + `
+procedure f(BinTree *t) {
+  var BinTree *l = t->left;
+  var BinTree *r = t->right;
+  print(1);
+}
+`
+	prog, fr := analyzeOne(t, src, "f")
+	fn := prog.Func("f")
+	last := fn.Body.Stmts[len(fn.Body.Stmts)-1]
+	st := fr.Before[last]
+	if got := st.PM.Get("l", "r").Alias; got != pathmatrix.NoAlias {
+		t.Errorf("left and right children must be provably distinct, got %v\n%s", got, st.PM)
+	}
+	// And both are below t.
+	if st.PM.Get("t", "l").Alias != pathmatrix.NoAlias {
+		t.Error("t and t->left are distinct along an acyclic dimension")
+	}
+}
+
+// TestUnknownDirectionStaysPossible: with an unannotated field, the
+// child may alias anything.
+func TestUnknownDirectionStaysPossible(t *testing.T) {
+	src := adds.ListNodeSrc + `
+procedure f(ListNode *a, ListNode *b) {
+  var ListNode *c = a->next;
+  print(1);
+}
+`
+	prog, fr := analyzeOne(t, src, "f")
+	fn := prog.Func("f")
+	last := fn.Body.Stmts[len(fn.Body.Stmts)-1]
+	st := fr.Before[last]
+	if st.PM.Get("c", "a").Alias == pathmatrix.NoAlias {
+		t.Error("possibly-cyclic next: c may alias a")
+	}
+	if st.PM.Get("c", "b").Alias == pathmatrix.NoAlias {
+		t.Error("c may alias unrelated b")
+	}
+}
+
+// TestIfJoin: facts proven in only one branch weaken at the join.
+func TestIfJoin(t *testing.T) {
+	src := adds.OneWayListSrc + `
+procedure f(OneWayList *a, OneWayList *b, bool cond) {
+  var OneWayList *p = NULL;
+  if cond {
+    p = a;
+  } else {
+    p = b;
+  }
+  print(1);
+}
+`
+	prog, fr := analyzeOne(t, src, "f")
+	fn := prog.Func("f")
+	last := fn.Body.Stmts[len(fn.Body.Stmts)-1]
+	st := fr.Before[last]
+	if st.PM.Get("p", "a").Alias != pathmatrix.PossibleAlias {
+		t.Errorf("p/a after join = %v, want possible", st.PM.Get("p", "a").Alias)
+	}
+	if st.PM.Get("p", "b").Alias != pathmatrix.PossibleAlias {
+		t.Errorf("p/b after join = %v, want possible", st.PM.Get("p", "b").Alias)
+	}
+}
+
+// TestNeqRefinement: if p != q then inside the branch they do not alias.
+func TestNeqRefinement(t *testing.T) {
+	src := adds.OneWayListSrc + `
+procedure f(OneWayList *p, OneWayList *q) {
+  if p != q {
+    print(1);
+  }
+}
+`
+	prog, fr := analyzeOne(t, src, "f")
+	fn := prog.Func("f")
+	ifs := fn.Body.Stmts[0].(*lang.IfStmt)
+	st := fr.Before[ifs.Then.Stmts[0]]
+	if st.PM.Get("p", "q").Alias != pathmatrix.NoAlias {
+		t.Errorf("p != q branch: alias = %v, want NoAlias", st.PM.Get("p", "q").Alias)
+	}
+}
+
+// TestEqNullRefinement: after "if p == NULL", p aliases nothing inside.
+func TestEqNullRefinement(t *testing.T) {
+	src := adds.OneWayListSrc + `
+procedure f(OneWayList *p, OneWayList *q) {
+  if p == NULL {
+    print(1);
+  }
+}
+`
+	prog, fr := analyzeOne(t, src, "f")
+	fn := prog.Func("f")
+	ifs := fn.Body.Stmts[0].(*lang.IfStmt)
+	st := fr.Before[ifs.Then.Stmts[0]]
+	if st.PM.Get("p", "q").Alias != pathmatrix.NoAlias {
+		t.Error("NULL pointer aliases nothing")
+	}
+}
+
+// TestCalleeStoreInvalidatesPaths: calling a function that stores next
+// must drop definite next paths in the caller, but caller handle
+// aliasing facts survive.
+func TestCalleeStoreInvalidatesPaths(t *testing.T) {
+	src := adds.OneWayListSrc + `
+procedure mutate(OneWayList *x) {
+  x->next = NULL;
+}
+
+procedure f(OneWayList *head) {
+  var OneWayList *p = head->next;
+  mutate(head);
+  print(1);
+}
+`
+	prog, fr := analyzeOne(t, src, "f")
+	fn := prog.Func("f")
+	last := fn.Body.Stmts[len(fn.Body.Stmts)-1]
+	st := fr.Before[last]
+	e := st.PM.Get("head", "p")
+	if e.HasPath() {
+		t.Errorf("definite next path must not survive mutate(): %q", e)
+	}
+	if e.Alias != pathmatrix.NoAlias {
+		t.Errorf("handle aliasing cannot be changed by a callee: %v", e.Alias)
+	}
+}
+
+// TestCalleeViolationPropagates: a callee that exits with a broken
+// abstraction poisons its caller.
+func TestCalleeViolationPropagates(t *testing.T) {
+	src := adds.OneWayListSrc + `
+procedure breakit(OneWayList *x) {
+  x->next = x;
+}
+
+procedure f(OneWayList *head) {
+  breakit(head);
+}
+`
+	_, fr := analyzeOne(t, src, "f")
+	if fr.Exit.Valid("OneWayList", "X") {
+		t.Error("callee violation must propagate to the caller")
+	}
+}
+
+// TestRecursiveFunctionConverges: recursion must not hang the analyzer.
+func TestRecursiveFunctionConverges(t *testing.T) {
+	src := adds.BinTreeSrc + `
+function int count(BinTree *t) {
+  if t == NULL {
+    return 0;
+  }
+  return 1 + count(t->left) + count(t->right);
+}
+`
+	_, fr := analyzeOne(t, src, "count")
+	if len(fr.Exit.Violations) != 0 {
+		t.Errorf("read-only recursion is violation-free, got %v", fr.Exit.ViolationKeys())
+	}
+}
+
+// TestTwoWayListBackwardLoad: loading prev gives no-alias against the
+// loaded-from handle (acyclic direction) but stays possible against
+// unrelated handles.
+func TestTwoWayListBackwardLoad(t *testing.T) {
+	src := adds.TwoWayListSrc + `
+procedure f(TwoWayList *a, TwoWayList *b) {
+  var TwoWayList *p = a->prev;
+  print(1);
+}
+`
+	prog, fr := analyzeOne(t, src, "f")
+	fn := prog.Func("f")
+	last := fn.Body.Stmts[len(fn.Body.Stmts)-1]
+	st := fr.Before[last]
+	if st.PM.Get("a", "p").Alias != pathmatrix.NoAlias {
+		t.Error("a and a->prev are distinct (prev is acyclic backward)")
+	}
+	if st.PM.Get("b", "p").Alias == pathmatrix.NoAlias {
+		t.Error("backward load gives no disjointness against unrelated handles")
+	}
+}
+
+// TestMatrixRendering: the printed matrix contains the paper's glyphs.
+func TestMatrixRendering(t *testing.T) {
+	prog, fr := analyzeOne(t, polyProgram, "scale")
+	scale := prog.Func("scale")
+	adv, _ := FindAssign(scale, "p = p->next;")
+	s := fr.After[adv].PM.String()
+	if !strings.Contains(s, "next+") {
+		t.Errorf("expected next+ in matrix:\n%s", s)
+	}
+	if !strings.Contains(s, "p'") {
+		t.Errorf("expected primed handle in matrix:\n%s", s)
+	}
+}
+
+// TestOctreeLeavesTraversal: the BHL1-style loop over the leaves list of
+// an octree proves strict advance.
+func TestOctreeLeavesTraversal(t *testing.T) {
+	src := adds.OctreeSrc + `
+procedure walk(Octree *particles) {
+  var Octree *p = particles;
+  while p != NULL {
+    p->forcex = 0.0;
+    p = p->next;
+  }
+}
+`
+	prog, fr := analyzeOne(t, src, "walk")
+	fn := prog.Func("walk")
+	loop, _ := FindLoop(fn, 0)
+	if !fr.InductionStrictlyAdvances(loop, "p") {
+		t.Error("octree leaves traversal must strictly advance")
+	}
+}

@@ -1,0 +1,105 @@
+// Package conservative is the baseline the paper ascribes to
+// "conventional parallelizing compilers" (§2.1 approach (1), §4.2):
+// arrays get real analysis, but every pair of pointers of compatible
+// type may alias, and a pointer-chasing advance p = p->next may always
+// return an already-visited node. Under this baseline no pointer loop
+// is ever parallelizable.
+package conservative
+
+import (
+	"fmt"
+
+	"repro/internal/lang"
+)
+
+// Analysis is the (trivially) conservative alias oracle.
+type Analysis struct {
+	prog *lang.Program
+}
+
+// New creates the baseline for a program.
+func New(prog *lang.Program) *Analysis {
+	return &Analysis{prog: prog}
+}
+
+// Name identifies the baseline in reports.
+func (a *Analysis) Name() string { return "conservative" }
+
+// MayAlias reports whether two pointer variables may alias: always true
+// for same-record-type pointers (PSL has no casts, so cross-type
+// aliasing is impossible even conservatively).
+func (a *Analysis) MayAlias(fn *lang.FuncDecl, x, y lang.Type) bool {
+	ex, okx := lang.IsPointer(x)
+	ey, oky := lang.IsPointer(y)
+	if !okx || !oky {
+		return false
+	}
+	return ex == ey
+}
+
+// InductionStrictlyAdvances always answers false: without structure
+// information, p = p->next may revisit any node.
+func (a *Analysis) InductionStrictlyAdvances(fn *lang.FuncDecl, loop *lang.WhileStmt, v string) bool {
+	return false
+}
+
+// Verdict is a baseline parallelizability report.
+type Verdict struct {
+	Func           string
+	LoopIndex      int
+	Parallelizable bool
+	Reason         string
+}
+
+// String renders the verdict.
+func (v *Verdict) String() string {
+	s := "NOT PARALLELIZABLE"
+	if v.Parallelizable {
+		s = "PARALLELIZABLE"
+	}
+	return fmt.Sprintf("[conservative] %s loop #%d: %s (%s)", v.Func, v.LoopIndex, s, v.Reason)
+}
+
+// LoopParallelizable reports the baseline verdict for the n-th while
+// loop of fn: never parallelizable when the loop touches pointers.
+func (a *Analysis) LoopParallelizable(fnName string, loopIndex int) (*Verdict, error) {
+	fn := a.prog.Func(fnName)
+	if fn == nil {
+		return nil, fmt.Errorf("conservative: no function %q", fnName)
+	}
+	count := 0
+	var loop *lang.WhileStmt
+	lang.Walk(fn.Body, func(s lang.Stmt) bool {
+		if w, ok := s.(*lang.WhileStmt); ok {
+			if count == loopIndex {
+				loop = w
+				return false
+			}
+			count++
+		}
+		return true
+	})
+	if loop == nil {
+		return nil, fmt.Errorf("conservative: %s has no loop #%d", fnName, loopIndex)
+	}
+	usesPointers := false
+	lang.Walk(loop.Body, func(s lang.Stmt) bool {
+		lang.WalkExprs(s, func(e lang.Expr) {
+			if _, ok := e.(*lang.FieldExpr); ok {
+				usesPointers = true
+			}
+			if id, ok := e.(*lang.Ident); ok {
+				if _, isPtr := lang.IsPointer(id.Type()); isPtr {
+					usesPointers = true
+				}
+			}
+		})
+		return !usesPointers
+	})
+	if !usesPointers {
+		return &Verdict{Func: fnName, LoopIndex: loopIndex, Parallelizable: false,
+			Reason: "scalar loop: out of scope for the pointer baseline"}, nil
+	}
+	return &Verdict{Func: fnName, LoopIndex: loopIndex, Parallelizable: false,
+		Reason: "all pointers of a type may alias; p = p->next may revisit any node"}, nil
+}

@@ -1,0 +1,104 @@
+package conservative
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/adds"
+	"repro/internal/lang"
+)
+
+const scaleSrc = adds.OneWayListSrc + `
+procedure scale(OneWayList *head, int c) {
+  var OneWayList *p = head;
+  while p != NULL {
+    p->data = p->data * c;
+    p = p->next;
+  }
+}
+
+procedure counter(int n) {
+  var int i = 0;
+  while i < n {
+    i = i + 1;
+  }
+}
+`
+
+func TestAlwaysRejectsPointerLoops(t *testing.T) {
+	prog := lang.MustParse(scaleSrc)
+	a := New(prog)
+	if a.Name() != "conservative" {
+		t.Errorf("name = %q", a.Name())
+	}
+	v, err := a.LoopParallelizable("scale", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Parallelizable {
+		t.Error("the conservative baseline must reject every pointer loop")
+	}
+	if !strings.Contains(v.String(), "may alias") {
+		t.Errorf("reason: %s", v)
+	}
+}
+
+func TestScalarLoopOutOfScope(t *testing.T) {
+	prog := lang.MustParse(scaleSrc)
+	a := New(prog)
+	v, err := a.LoopParallelizable("counter", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Parallelizable {
+		t.Error("baseline never parallelizes")
+	}
+	if !strings.Contains(v.Reason, "scalar loop") {
+		t.Errorf("reason: %s", v.Reason)
+	}
+}
+
+func TestMayAlias(t *testing.T) {
+	prog := lang.MustParse(scaleSrc)
+	a := New(prog)
+	fn := prog.Func("scale")
+	listT := lang.PointerTo("OneWayList")
+	otherT := lang.PointerTo("Other")
+	if !a.MayAlias(fn, listT, listT) {
+		t.Error("same-type pointers may alias")
+	}
+	if a.MayAlias(fn, listT, otherT) {
+		t.Error("cross-type aliasing is impossible even conservatively")
+	}
+	if a.MayAlias(fn, lang.Int, listT) {
+		t.Error("scalars never alias pointers")
+	}
+}
+
+func TestInductionNeverAdvances(t *testing.T) {
+	prog := lang.MustParse(scaleSrc)
+	a := New(prog)
+	fn := prog.Func("scale")
+	var loop *lang.WhileStmt
+	lang.Walk(fn.Body, func(s lang.Stmt) bool {
+		if w, ok := s.(*lang.WhileStmt); ok {
+			loop = w
+			return false
+		}
+		return true
+	})
+	if a.InductionStrictlyAdvances(fn, loop, "p") {
+		t.Error("baseline can never prove advancement")
+	}
+}
+
+func TestErrors(t *testing.T) {
+	prog := lang.MustParse(scaleSrc)
+	a := New(prog)
+	if _, err := a.LoopParallelizable("nosuch", 0); err == nil {
+		t.Error("unknown function must error")
+	}
+	if _, err := a.LoopParallelizable("scale", 7); err == nil {
+		t.Error("unknown loop must error")
+	}
+}

@@ -1,0 +1,677 @@
+// Package klimit implements a k-limited storage-graph shape analysis in
+// the tradition of Jones & Muchnick [JM81] and its descendants [LH88a,
+// CWZ90] — the paper's §2.1 point of comparison.
+//
+// Abstract heap nodes are allocation sites, k-limited: the first K
+// allocations from a site keep their identity, later ones fold into the
+// site's K-th node. Pointer parameters are summary nodes whose fields
+// reach per-type summary nodes with self-edges (the unknown caller
+// heap). The analysis is flow-sensitive with graph joins at merges and
+// loop fixed points.
+//
+// Its decisive weakness — the reason the paper develops ADDS instead —
+// falls out naturally: a list built in a loop folds onto one abstract
+// node, giving the storage graph a next self-edge, so the analysis
+// cannot distinguish an acyclic list from a truly cyclic structure, and
+// must answer "may revisit" for every interesting traversal.
+package klimit
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/lang"
+)
+
+// DefaultK is the default k-limit.
+const DefaultK = 2
+
+// NodeID identifies an abstract heap node.
+type NodeID int
+
+// Null is the abstract NULL target (no node).
+const Null NodeID = -1
+
+type nodeInfo struct {
+	key     string // "site@line:col#idx", "param:p", "type:T"
+	typ     string
+	summary bool
+}
+
+// Graph is an abstract storage graph plus variable bindings.
+type Graph struct {
+	nodes []nodeInfo
+	byKey map[string]NodeID
+	// edges[n][field] = set of targets.
+	edges map[NodeID]map[string]map[NodeID]bool
+	// env binds pointer variables to node sets.
+	env map[string]map[NodeID]bool
+	// allocCount tracks per-site allocation counts for k-limiting.
+	allocCount map[string]int
+}
+
+func newGraph() *Graph {
+	return &Graph{
+		byKey:      map[string]NodeID{},
+		edges:      map[NodeID]map[string]map[NodeID]bool{},
+		env:        map[string]map[NodeID]bool{},
+		allocCount: map[string]int{},
+	}
+}
+
+func (g *Graph) node(key, typ string, summary bool) NodeID {
+	if id, ok := g.byKey[key]; ok {
+		return id
+	}
+	id := NodeID(len(g.nodes))
+	g.nodes = append(g.nodes, nodeInfo{key: key, typ: typ, summary: summary})
+	g.byKey[key] = id
+	return id
+}
+
+func (g *Graph) addEdge(from NodeID, field string, to NodeID) {
+	if to == Null {
+		return
+	}
+	m := g.edges[from]
+	if m == nil {
+		m = map[string]map[NodeID]bool{}
+		g.edges[from] = m
+	}
+	set := m[field]
+	if set == nil {
+		set = map[NodeID]bool{}
+		m[field] = set
+	}
+	set[to] = true
+}
+
+func (g *Graph) setVar(v string, targets map[NodeID]bool) {
+	g.env[v] = targets
+}
+
+func (g *Graph) clone() *Graph {
+	n := newGraph()
+	n.nodes = append([]nodeInfo(nil), g.nodes...)
+	for k, v := range g.byKey {
+		n.byKey[k] = v
+	}
+	for from, m := range g.edges {
+		nm := map[string]map[NodeID]bool{}
+		for f, set := range m {
+			ns := map[NodeID]bool{}
+			for to := range set {
+				ns[to] = true
+			}
+			nm[f] = ns
+		}
+		n.edges[from] = nm
+	}
+	for v, set := range g.env {
+		ns := map[NodeID]bool{}
+		for id := range set {
+			ns[id] = true
+		}
+		n.env[v] = ns
+	}
+	for s, c := range g.allocCount {
+		n.allocCount[s] = c
+	}
+	return n
+}
+
+// join merges another graph into g (both index nodes by key, so node
+// identities align).
+func (g *Graph) join(o *Graph) bool {
+	changed := false
+	for _, ni := range o.nodes {
+		if _, ok := g.byKey[ni.key]; !ok {
+			g.node(ni.key, ni.typ, ni.summary)
+			changed = true
+		}
+	}
+	remap := func(id NodeID, from *Graph) NodeID {
+		return g.byKey[from.nodes[id].key]
+	}
+	for from, m := range o.edges {
+		gf := remap(from, o)
+		for f, set := range m {
+			for to := range set {
+				gt := remap(to, o)
+				if !g.hasEdge(gf, f, gt) {
+					g.addEdge(gf, f, gt)
+					changed = true
+				}
+			}
+		}
+	}
+	for v, set := range o.env {
+		cur := g.env[v]
+		if cur == nil {
+			cur = map[NodeID]bool{}
+			g.env[v] = cur
+		}
+		for id := range set {
+			gid := remap(id, o)
+			if !cur[gid] {
+				cur[gid] = true
+				changed = true
+			}
+		}
+	}
+	for s, c := range o.allocCount {
+		if c > g.allocCount[s] {
+			g.allocCount[s] = c
+			changed = true
+		}
+	}
+	return changed
+}
+
+func (g *Graph) hasEdge(from NodeID, field string, to NodeID) bool {
+	if m, ok := g.edges[from]; ok {
+		if set, ok := m[field]; ok {
+			return set[to]
+		}
+	}
+	return false
+}
+
+func (g *Graph) equal(o *Graph) bool {
+	return g.fingerprint() == o.fingerprint()
+}
+
+func (g *Graph) fingerprint() string {
+	var parts []string
+	for _, ni := range g.nodes {
+		parts = append(parts, "n:"+ni.key)
+	}
+	for from, m := range g.edges {
+		for f, set := range m {
+			for to := range set {
+				parts = append(parts, fmt.Sprintf("e:%s.%s>%s", g.nodes[from].key, f, g.nodes[to].key))
+			}
+		}
+	}
+	for v, set := range g.env {
+		for id := range set {
+			parts = append(parts, fmt.Sprintf("v:%s>%s", v, g.nodes[id].key))
+		}
+	}
+	sort.Strings(parts)
+	return strings.Join(parts, ";")
+}
+
+// typeSummary returns the per-type summary node, creating it with
+// self-edges on all its pointer fields (the unknown heap).
+func (a *Analysis) typeSummary(g *Graph, typ string) NodeID {
+	key := "type:" + typ
+	if id, ok := g.byKey[key]; ok {
+		return id
+	}
+	id := g.node(key, typ, true)
+	decl := a.prog.Universe.Decl(typ)
+	if decl != nil {
+		for _, pf := range decl.Pointers {
+			target := a.typeSummary(g, pf.Type)
+			g.addEdge(id, pf.Name, target)
+		}
+	}
+	return id
+}
+
+// Analysis runs k-limited storage analysis over one program.
+type Analysis struct {
+	prog *lang.Program
+	K    int
+	// graphs holds the fixed-point graph at each loop head.
+	graphs map[lang.Stmt]*Graph
+}
+
+// New prepares the analysis (graphs are computed per function on
+// demand).
+func New(prog *lang.Program, k int) *Analysis {
+	if k < 1 {
+		k = DefaultK
+	}
+	return &Analysis{prog: prog, K: k, graphs: map[lang.Stmt]*Graph{}}
+}
+
+// Name identifies the baseline in reports.
+func (a *Analysis) Name() string { return fmt.Sprintf("k-limited(k=%d)", a.K) }
+
+// AnalyzeFunc runs the analysis over a function body, recording loop
+// head graphs, and returns the exit graph.
+func (a *Analysis) AnalyzeFunc(fnName string) (*Graph, error) {
+	fn := a.prog.Func(fnName)
+	if fn == nil {
+		return nil, fmt.Errorf("klimit: no function %q", fnName)
+	}
+	g := newGraph()
+	for _, prm := range fn.Params {
+		if elem, ok := lang.IsPointer(prm.Type); ok {
+			id := g.node("param:"+prm.Name, elem, true)
+			// The parameter may point anywhere in the caller's heap.
+			decl := a.prog.Universe.Decl(elem)
+			if decl != nil {
+				for _, pf := range decl.Pointers {
+					g.addEdge(id, pf.Name, a.typeSummary(g, pf.Type))
+				}
+			}
+			g.setVar(prm.Name, map[NodeID]bool{id: true})
+		}
+	}
+	out := a.block(fn.Body, g)
+	return out, nil
+}
+
+func (a *Analysis) block(b *lang.Block, g *Graph) *Graph {
+	if b == nil {
+		return g
+	}
+	for _, s := range b.Stmts {
+		g = a.stmt(s, g)
+	}
+	return g
+}
+
+func (a *Analysis) stmt(s lang.Stmt, g *Graph) *Graph {
+	switch s := s.(type) {
+	case *lang.Block:
+		return a.block(s, g)
+
+	case *lang.VarStmt:
+		if _, isPtr := lang.IsPointer(s.DeclType); !isPtr {
+			return g
+		}
+		if s.Init == nil {
+			g.setVar(s.Name, map[NodeID]bool{})
+			return g
+		}
+		return a.assign(g, s.Name, s.Init, s.Pos())
+
+	case *lang.AssignStmt:
+		if id, ok := s.LHS.(*lang.Ident); ok {
+			if _, isPtr := lang.IsPointer(id.Type()); isPtr {
+				return a.assign(g, id.Name, s.RHS, s.Pos())
+			}
+			return g
+		}
+		if fe, ok := s.LHS.(*lang.FieldExpr); ok {
+			if _, isPtr := lang.IsPointer(fe.Type()); isPtr {
+				return a.store(g, fe, s.RHS)
+			}
+		}
+		return g
+
+	case *lang.CallStmt:
+		return a.havocCall(g, s.Call)
+
+	case *lang.ReturnStmt:
+		return g
+
+	case *lang.IfStmt:
+		g1 := a.block(s.Then, g.clone())
+		g2 := g.clone()
+		if s.Else != nil {
+			g2 = a.block(s.Else, g2)
+		}
+		g1.join(g2)
+		return g1
+
+	case *lang.WhileStmt:
+		head := g
+		for i := 0; i < 64; i++ {
+			body := a.block(s.Body, head.clone())
+			next := head.clone()
+			if !next.join(body) && next.equal(head) {
+				break
+			}
+			if next.equal(head) {
+				break
+			}
+			head = next
+		}
+		a.graphs[s] = head
+		return head
+
+	case *lang.ForStmt:
+		head := g
+		for i := 0; i < 64; i++ {
+			body := a.block(s.Body, head.clone())
+			next := head.clone()
+			if !next.join(body) && next.equal(head) {
+				break
+			}
+			if next.equal(head) {
+				break
+			}
+			head = next
+		}
+		a.graphs[s] = head
+		return head
+	}
+	return g
+}
+
+func (a *Analysis) targets(g *Graph, e lang.Expr) map[NodeID]bool {
+	switch e := e.(type) {
+	case *lang.NullLit:
+		return map[NodeID]bool{}
+	case *lang.Ident:
+		if set, ok := g.env[e.Name]; ok {
+			return set
+		}
+		return map[NodeID]bool{}
+	case *lang.NewExpr:
+		// Handled in assign (needs the site); treat as fresh summary
+		// when reached through other paths.
+		return map[NodeID]bool{a.typeSummary(g, e.TypeName): true}
+	case *lang.FieldExpr:
+		base := e.Base()
+		if base == nil {
+			return map[NodeID]bool{}
+		}
+		out := map[NodeID]bool{}
+		for n := range g.env[base.Name] {
+			if m, ok := g.edges[n]; ok {
+				for to := range m[e.Field] {
+					out[to] = true
+				}
+			}
+		}
+		return out
+	case *lang.CallExpr:
+		if elem, ok := lang.IsPointer(e.Type()); ok {
+			return map[NodeID]bool{a.typeSummary(g, elem): true}
+		}
+		return map[NodeID]bool{}
+	}
+	return map[NodeID]bool{}
+}
+
+func (a *Analysis) assign(g *Graph, name string, rhs lang.Expr, pos lang.Pos) *Graph {
+	if ne, ok := rhs.(*lang.NewExpr); ok {
+		site := fmt.Sprintf("site@%s", pos)
+		cnt := g.allocCount[site]
+		if cnt < a.K {
+			g.allocCount[site] = cnt + 1
+		}
+		idx := g.allocCount[site]
+		key := fmt.Sprintf("%s#%d", site, idx)
+		summary := cnt >= a.K // folded: the k-th node absorbs the rest
+		id := g.node(key, ne.TypeName, summary)
+		if cnt >= a.K {
+			g.nodes[id].summary = true
+		}
+		g.setVar(name, map[NodeID]bool{id: true})
+		return g
+	}
+	if call, ok := rhs.(*lang.CallExpr); ok {
+		g = a.havocCall(g, call)
+	}
+	g.setVar(name, a.targets(g, rhs))
+	return g
+}
+
+func (a *Analysis) store(g *Graph, lhs *lang.FieldExpr, rhs lang.Expr) *Graph {
+	base := lhs.Base()
+	if base == nil {
+		return g
+	}
+	srcs := g.env[base.Name]
+	tgts := a.targets(g, rhs)
+	_, rhsIsNull := rhs.(*lang.NullLit)
+
+	// Strong update only when the base is a single non-summary node and
+	// the field is not an array.
+	if len(srcs) == 1 && lhs.Index == nil {
+		var only NodeID
+		for n := range srcs {
+			only = n
+		}
+		if !g.nodes[only].summary {
+			m := g.edges[only]
+			if m == nil {
+				m = map[string]map[NodeID]bool{}
+				g.edges[only] = m
+			}
+			set := map[NodeID]bool{}
+			for t := range tgts {
+				set[t] = true
+			}
+			m[lhs.Field] = set
+			return g
+		}
+	}
+	if rhsIsNull {
+		return g // weak update with NULL adds nothing
+	}
+	for n := range srcs {
+		for t := range tgts {
+			g.addEdge(n, lhs.Field, t)
+		}
+	}
+	return g
+}
+
+// havocCall models an opaque call: everything reachable from pointer
+// arguments may be rewired arbitrarily, so reachable nodes gain edges
+// to their type summaries.
+func (a *Analysis) havocCall(g *Graph, call *lang.CallExpr) *Graph {
+	var roots []NodeID
+	for _, arg := range call.Args {
+		for n := range a.targets(g, arg) {
+			roots = append(roots, n)
+		}
+	}
+	seen := map[NodeID]bool{}
+	for len(roots) > 0 {
+		n := roots[len(roots)-1]
+		roots = roots[:len(roots)-1]
+		if seen[n] {
+			continue
+		}
+		seen[n] = true
+		decl := a.prog.Universe.Decl(g.nodes[n].typ)
+		if decl != nil {
+			for _, pf := range decl.Pointers {
+				g.addEdge(n, pf.Name, a.typeSummary(g, pf.Type))
+			}
+		}
+		if m, ok := g.edges[n]; ok {
+			for _, set := range m {
+				for to := range set {
+					roots = append(roots, to)
+				}
+			}
+		}
+	}
+	return g
+}
+
+// ---------------------------------------------------------------------------
+// Queries
+
+// MayRevisit reports whether, at the fixed point of the loopIndex-th
+// while loop of fn, following `field` repeatedly from variable v may
+// visit the same abstract node twice — i.e. the storage graph cannot
+// prove the traversal acyclic.
+func (a *Analysis) MayRevisit(fnName string, loopIndex int, v, field string) (bool, error) {
+	fn := a.prog.Func(fnName)
+	if fn == nil {
+		return true, fmt.Errorf("klimit: no function %q", fnName)
+	}
+	if _, err := a.AnalyzeFunc(fnName); err != nil {
+		return true, err
+	}
+	var loop *lang.WhileStmt
+	count := 0
+	lang.Walk(fn.Body, func(s lang.Stmt) bool {
+		if w, ok := s.(*lang.WhileStmt); ok {
+			if count == loopIndex {
+				loop = w
+				return false
+			}
+			count++
+		}
+		return true
+	})
+	if loop == nil {
+		return true, fmt.Errorf("klimit: %s has no loop #%d", fnName, loopIndex)
+	}
+	g := a.graphs[lang.Stmt(loop)]
+	if g == nil {
+		return true, nil
+	}
+	start, ok := g.env[v]
+	if !ok {
+		return true, nil
+	}
+	// A traversal may revisit iff some node reachable via field-edges
+	// lies on a field-cycle, or a summary node is reached (a summary
+	// stands for many nodes, any of which may repeat).
+	reach := map[NodeID]bool{}
+	var stack []NodeID
+	for n := range start {
+		stack = append(stack, n)
+	}
+	for len(stack) > 0 {
+		n := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if reach[n] {
+			continue
+		}
+		reach[n] = true
+		if g.nodes[n].summary {
+			return true, nil
+		}
+		if m, ok := g.edges[n]; ok {
+			for to := range m[field] {
+				stack = append(stack, to)
+			}
+		}
+	}
+	// Cycle detection restricted to field-edges within reach.
+	color := map[NodeID]int{} // 0 white, 1 grey, 2 black
+	var dfs func(n NodeID) bool
+	dfs = func(n NodeID) bool {
+		color[n] = 1
+		if m, ok := g.edges[n]; ok {
+			for to := range m[field] {
+				if !reach[to] {
+					continue
+				}
+				switch color[to] {
+				case 1:
+					return true
+				case 0:
+					if dfs(to) {
+						return true
+					}
+				}
+			}
+		}
+		color[n] = 2
+		return false
+	}
+	for n := range reach {
+		if color[n] == 0 && dfs(n) {
+			return true, nil
+		}
+	}
+	return false, nil
+}
+
+// Verdict mirrors the conservative baseline's report.
+type Verdict struct {
+	Func           string
+	LoopIndex      int
+	Parallelizable bool
+	Reason         string
+}
+
+// String renders the verdict.
+func (v *Verdict) String() string {
+	s := "NOT PARALLELIZABLE"
+	if v.Parallelizable {
+		s = "PARALLELIZABLE"
+	}
+	return fmt.Sprintf("[k-limited] %s loop #%d: %s (%s)", v.Func, v.LoopIndex, s, v.Reason)
+}
+
+// LoopParallelizable gives the k-limited verdict for a canonical
+// pointer-chasing loop: parallelizable only if the storage graph proves
+// the traversal revisit-free. (Field-level write/read conflicts are
+// granted to the baseline for free — shape is what it cannot do.)
+func (a *Analysis) LoopParallelizable(fnName string, loopIndex int) (*Verdict, error) {
+	fn := a.prog.Func(fnName)
+	if fn == nil {
+		return nil, fmt.Errorf("klimit: no function %q", fnName)
+	}
+	var loop *lang.WhileStmt
+	count := 0
+	lang.Walk(fn.Body, func(s lang.Stmt) bool {
+		if w, ok := s.(*lang.WhileStmt); ok {
+			if count == loopIndex {
+				loop = w
+				return false
+			}
+			count++
+		}
+		return true
+	})
+	if loop == nil {
+		return nil, fmt.Errorf("klimit: %s has no loop #%d", fnName, loopIndex)
+	}
+	ind, field, ok := canonicalLoop(loop)
+	if !ok {
+		return &Verdict{Func: fnName, LoopIndex: loopIndex,
+			Reason: "not a canonical pointer-chasing loop"}, nil
+	}
+	revisit, err := a.MayRevisit(fnName, loopIndex, ind, field)
+	if err != nil {
+		return nil, err
+	}
+	if revisit {
+		return &Verdict{Func: fnName, LoopIndex: loopIndex,
+			Reason: fmt.Sprintf("storage graph cannot prove %s-traversal acyclic (summary nodes / folded cycles)", field)}, nil
+	}
+	return &Verdict{Func: fnName, LoopIndex: loopIndex, Parallelizable: true,
+		Reason: "storage graph proves the traversal acyclic"}, nil
+}
+
+// canonicalLoop recognizes "while p != NULL { ...; p = p->f }".
+func canonicalLoop(loop *lang.WhileStmt) (ind, field string, ok bool) {
+	be, isBin := loop.Cond.(*lang.BinExpr)
+	if !isBin || be.Op != lang.NEQ {
+		return "", "", false
+	}
+	if id, isID := be.X.(*lang.Ident); isID {
+		if _, isNull := be.Y.(*lang.NullLit); isNull {
+			ind = id.Name
+		}
+	}
+	if id, isID := be.Y.(*lang.Ident); isID && ind == "" {
+		if _, isNull := be.X.(*lang.NullLit); isNull {
+			ind = id.Name
+		}
+	}
+	if ind == "" || len(loop.Body.Stmts) == 0 {
+		return "", "", false
+	}
+	as, isAssign := loop.Body.Stmts[len(loop.Body.Stmts)-1].(*lang.AssignStmt)
+	if !isAssign {
+		return "", "", false
+	}
+	lhs, isID := as.LHS.(*lang.Ident)
+	if !isID || lhs.Name != ind {
+		return "", "", false
+	}
+	fe, isField := as.RHS.(*lang.FieldExpr)
+	if !isField || fe.Base() == nil || fe.Base().Name != ind {
+		return "", "", false
+	}
+	return ind, fe.Field, true
+}

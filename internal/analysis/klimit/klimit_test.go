@@ -1,0 +1,196 @@
+package klimit
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/adds"
+	"repro/internal/lang"
+)
+
+const scaleSrc = adds.OneWayListSrc + `
+procedure scale(OneWayList *head, int c) {
+  var OneWayList *p = head;
+  while p != NULL {
+    p->data = p->data * c;
+    p = p->next;
+  }
+}`
+
+// TestParamListMayRevisit reproduces the paper's §2.1 criticism: for a
+// list arriving through a parameter, the storage graph is all summary
+// nodes, so the traversal cannot be proven acyclic — even though the
+// ADDS-driven analysis proves it trivially.
+func TestParamListMayRevisit(t *testing.T) {
+	prog := lang.MustParse(scaleSrc)
+	a := New(prog, DefaultK)
+	revisit, err := a.MayRevisit("scale", 0, "p", "next")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !revisit {
+		t.Error("k-limited analysis must fail on a parameter list (summary nodes)")
+	}
+	v, err := a.LoopParallelizable("scale", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Parallelizable {
+		t.Errorf("verdict should be negative: %s", v)
+	}
+	if !strings.Contains(v.String(), "cannot prove") {
+		t.Errorf("reason: %s", v)
+	}
+}
+
+// TestLoopBuiltListFoldsToCycle: a list built in a loop folds its
+// allocation site into one abstract node whose next-edge points at
+// itself — the spurious cycle of the k-limited abstraction.
+func TestLoopBuiltListFoldsToCycle(t *testing.T) {
+	src := adds.OneWayListSrc + `
+procedure f(int n) {
+  var OneWayList *head = NULL;
+  var int i = 0;
+  while i < n {
+    var OneWayList *node = new OneWayList;
+    node->next = head;
+    head = node;
+    i = i + 1;
+  }
+  var OneWayList *p = head;
+  while p != NULL {
+    p->data = 0;
+    p = p->next;
+  }
+}`
+	prog := lang.MustParse(src)
+	a := New(prog, DefaultK)
+	revisit, err := a.MayRevisit("f", 1, "p", "next")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !revisit {
+		t.Error("allocation-site folding must introduce a spurious next-cycle")
+	}
+}
+
+// TestStraightLineProvable: with at most K distinct allocations the
+// storage graph is exact and the traversal is provably acyclic — the
+// narrow regime where k-limiting works.
+func TestStraightLineProvable(t *testing.T) {
+	src := adds.OneWayListSrc + `
+procedure f() {
+  var OneWayList *a = new OneWayList;
+  var OneWayList *b = new OneWayList;
+  a->next = b;
+  var OneWayList *p = a;
+  while p != NULL {
+    p->data = 1;
+    p = p->next;
+  }
+}`
+	prog := lang.MustParse(src)
+	a := New(prog, 2)
+	revisit, err := a.MayRevisit("f", 0, "p", "next")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if revisit {
+		t.Error("two distinct allocations within k must be provably acyclic")
+	}
+	v, _ := a.LoopParallelizable("f", 0)
+	if !v.Parallelizable {
+		t.Errorf("verdict: %s", v)
+	}
+}
+
+// TestTrueCycleDetected: an explicitly closed cycle is (correctly)
+// flagged.
+func TestTrueCycleDetected(t *testing.T) {
+	src := adds.ListNodeSrc + `
+procedure f() {
+  var ListNode *a = new ListNode;
+  var ListNode *b = new ListNode;
+  a->next = b;
+  b->next = a;
+  var ListNode *p = a;
+  while p != NULL {
+    p->coef = 1;
+    p = p->next;
+  }
+}`
+	prog := lang.MustParse(src)
+	a := New(prog, 4)
+	revisit, err := a.MayRevisit("f", 0, "p", "next")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !revisit {
+		t.Error("a real cycle must be detected")
+	}
+}
+
+// TestHavocCall: calling an opaque function over a node reverts it to
+// summary-land.
+func TestHavocCall(t *testing.T) {
+	src := adds.OneWayListSrc + `
+procedure opaque(OneWayList *x) {
+  x->next = x;
+}
+procedure f() {
+  var OneWayList *a = new OneWayList;
+  var OneWayList *b = new OneWayList;
+  a->next = b;
+  opaque(a);
+  var OneWayList *p = a;
+  while p != NULL {
+    p->data = 1;
+    p = p->next;
+  }
+}`
+	prog := lang.MustParse(src)
+	a := New(prog, 2)
+	revisit, err := a.MayRevisit("f", 0, "p", "next")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !revisit {
+		t.Error("an opaque call must havoc the reachable subgraph")
+	}
+}
+
+func TestNonCanonicalLoop(t *testing.T) {
+	src := adds.OneWayListSrc + `
+procedure f(int n) {
+  var int i = 0;
+  while i < n {
+    i = i + 1;
+  }
+}`
+	prog := lang.MustParse(src)
+	a := New(prog, 2)
+	v, err := a.LoopParallelizable("f", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Parallelizable || !strings.Contains(v.Reason, "not a canonical") {
+		t.Errorf("verdict: %s", v)
+	}
+}
+
+func TestErrors(t *testing.T) {
+	prog := lang.MustParse(scaleSrc)
+	a := New(prog, 0) // k<1 falls back to default
+	if a.K != DefaultK {
+		t.Errorf("K = %d", a.K)
+	}
+	if _, err := a.LoopParallelizable("nosuch", 0); err == nil {
+		t.Error("unknown function must error")
+	}
+	if _, err := a.LoopParallelizable("scale", 9); err == nil {
+		t.Error("unknown loop must error")
+	}
+	if _, err := a.MayRevisit("nosuch", 0, "p", "next"); err == nil {
+		t.Error("unknown function must error")
+	}
+}

@@ -1,0 +1,159 @@
+package analysis
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/adds"
+	"repro/internal/lang"
+)
+
+func TestFindLoopAndAssignErrors(t *testing.T) {
+	prog := lang.MustParse(adds.OneWayListSrc + `
+procedure f(OneWayList *p) {
+  p->data = 1;
+}`)
+	fn := prog.Func("f")
+	if _, err := FindLoop(fn, 0); err == nil {
+		t.Error("no loops: FindLoop must error")
+	}
+	if _, err := FindAssign(fn, "q = q->next;"); err == nil {
+		t.Error("missing assignment: FindAssign must error")
+	}
+	if _, err := FindAssign(fn, "p->data = 1;"); err != nil {
+		t.Errorf("existing assignment not found: %v", err)
+	}
+}
+
+func TestMayAliasAtConservativeFallbacks(t *testing.T) {
+	prog := lang.MustParse(adds.OneWayListSrc + `
+procedure f(OneWayList *a, OneWayList *b) {
+  var OneWayList *n = new OneWayList;
+  print(1);
+}`)
+	fr, err := Analyze(prog, "f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fn := prog.Func("f")
+	last := fn.Body.Stmts[len(fn.Body.Stmts)-1]
+	if !fr.MayAliasAt(last, "a", "b") {
+		t.Error("possible aliases must answer true")
+	}
+	if fr.MayAliasAt(last, "n", "a") {
+		t.Error("fresh node cannot alias a parameter")
+	}
+	// Unknown handle and unreached statement: conservative true.
+	if !fr.MayAliasAt(last, "zz", "a") {
+		t.Error("unknown handle must answer true")
+	}
+	fake := &lang.ReturnStmt{}
+	if !fr.MayAliasAt(fake, "a", "b") {
+		t.Error("unreached statement must answer true")
+	}
+	if fr.MatrixBefore(fake) != nil || fr.MatrixAfter(fake) != nil {
+		t.Error("unreached statement has no matrices")
+	}
+}
+
+func TestAnalyzeUnknownFunction(t *testing.T) {
+	prog := lang.MustParse(adds.OneWayListSrc + `procedure f(OneWayList *p) { }`)
+	if _, err := Analyze(prog, "nosuch"); err == nil || !strings.Contains(err.Error(), "no function") {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestViolationKeyString(t *testing.T) {
+	k := ViolationKey{Type: "Octree", Dim: "down", Kind: Sharing}
+	if k.String() != "sharing of Octree along down" {
+		t.Errorf("key = %q", k.String())
+	}
+	k2 := ViolationKey{Type: "List", Dim: "X", Kind: Cycle}
+	if k2.String() != "cycle of List along X" {
+		t.Errorf("key = %q", k2.String())
+	}
+}
+
+func TestStoresPointerFieldsQuery(t *testing.T) {
+	prog := lang.MustParse(adds.OneWayListSrc + `
+procedure mut(OneWayList *p) {
+  p->next = NULL;
+}
+procedure ro(OneWayList *p) {
+  p->data = 1;
+}`)
+	res, err := New(prog).AnalyzeAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fields := res.StoresPointerFields("mut"); len(fields) != 1 || fields[0] != "next" {
+		t.Errorf("mut stores = %v", fields)
+	}
+	if fields := res.StoresPointerFields("ro"); len(fields) != 0 {
+		t.Errorf("ro stores = %v", fields)
+	}
+	if fields := res.StoresPointerFields("nosuch"); fields != nil {
+		t.Errorf("unknown fn stores = %v", fields)
+	}
+}
+
+// TestUninitializedPointerVar: a declared-but-uninitialized pointer is
+// treated as NULL (aliases nothing).
+func TestUninitializedPointerVar(t *testing.T) {
+	prog := lang.MustParse(adds.OneWayListSrc + `
+procedure f(OneWayList *a) {
+  var OneWayList *p;
+  print(1);
+}`)
+	fr, err := Analyze(prog, "f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fn := prog.Func("f")
+	last := fn.Body.Stmts[len(fn.Body.Stmts)-1]
+	if fr.MayAliasAt(last, "p", "a") {
+		t.Error("uninitialized pointer aliases nothing")
+	}
+}
+
+// TestScopedHandleRemoved: a block-local pointer disappears from the
+// matrix after its block.
+func TestScopedHandleRemoved(t *testing.T) {
+	prog := lang.MustParse(adds.OneWayListSrc + `
+procedure f(OneWayList *a, bool c) {
+  if c {
+    var OneWayList *tmp = a;
+    tmp->data = 1;
+  }
+  print(1);
+}`)
+	fr, err := Analyze(prog, "f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fn := prog.Func("f")
+	last := fn.Body.Stmts[len(fn.Body.Stmts)-1]
+	st := fr.Before[last]
+	if st.PM.HasHandle("tmp") {
+		t.Error("block-local handle must be removed at scope exit")
+	}
+}
+
+// TestLoopBodyAlwaysReturns: a while whose body returns is analyzed
+// without hanging and the loop runs at most once.
+func TestLoopBodyAlwaysReturns(t *testing.T) {
+	prog := lang.MustParse(adds.OneWayListSrc + `
+function OneWayList * f(OneWayList *p) {
+  while p != NULL {
+    return p;
+  }
+  return NULL;
+}`)
+	fr, err := Analyze(prog, "f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fr.Exit == nil {
+		t.Fatal("no exit state")
+	}
+}

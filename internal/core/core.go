@@ -1,0 +1,283 @@
+// Package core is the public face of the ADDS reproduction: a pipeline
+// that compiles PSL source (parse → type check → normalize), runs
+// general path matrix analysis and abstraction validation, answers
+// parallelizability queries, applies the paper's transformations, and
+// executes programs on the real-parallel interpreter or the simulated
+// Sequent machine.
+//
+// Typical use:
+//
+//	c, err := core.Compile(src)
+//	reports, _ := c.LoopReports("timestep")
+//	par, _ := c.StripMine("timestep", 0, 4)
+//	v, stats, _ := par.Run(core.RunConfig{}, "simulate", args...)
+package core
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/conservative"
+	"repro/internal/analysis/klimit"
+	"repro/internal/depend"
+	"repro/internal/effects"
+	"repro/internal/interp"
+	"repro/internal/lang"
+	"repro/internal/transform"
+)
+
+// Compilation is a compiled PSL program with its analyses.
+type Compilation struct {
+	// Program is the checked, normalized program.
+	Program *lang.Program
+	// Analysis is the general path matrix result for every function.
+	Analysis *analysis.Result
+	// Effects is the interprocedural effect analyzer.
+	Effects *effects.Analyzer
+}
+
+// Compile parses, checks, normalizes, and analyzes PSL source.
+func Compile(src string) (*Compilation, error) {
+	prog, err := lang.Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	return Analyze(prog)
+}
+
+// Analyze wraps an already-parsed program.
+func Analyze(prog *lang.Program) (*Compilation, error) {
+	res, err := analysis.New(prog).AnalyzeAll()
+	if err != nil {
+		return nil, err
+	}
+	return &Compilation{
+		Program:  prog,
+		Analysis: res,
+		Effects:  effects.NewAnalyzer(prog),
+	}, nil
+}
+
+// FuncResult returns the path-matrix analysis of one function.
+func (c *Compilation) FuncResult(fn string) (*analysis.FuncResult, error) {
+	fr, ok := c.Analysis.Funcs[fn]
+	if !ok {
+		return nil, fmt.Errorf("core: no function %q", fn)
+	}
+	return fr, nil
+}
+
+// ExitViolations returns the abstraction violations active at a
+// function's exit (empty means the declaration is valid on return —
+// §3.3.1's modular guarantee).
+func (c *Compilation) ExitViolations(fn string) ([]analysis.ViolationKey, error) {
+	fr, err := c.FuncResult(fn)
+	if err != nil {
+		return nil, err
+	}
+	return fr.Exit.ViolationKeys(), nil
+}
+
+// LoopReports runs the dependence test on every while loop of fn.
+func (c *Compilation) LoopReports(fn string) ([]*depend.Report, error) {
+	fr, err := c.FuncResult(fn)
+	if err != nil {
+		return nil, err
+	}
+	f := c.Program.Func(fn)
+	var loops []*lang.WhileStmt
+	lang.Walk(f.Body, func(s lang.Stmt) bool {
+		if w, ok := s.(*lang.WhileStmt); ok {
+			loops = append(loops, w)
+		}
+		return true
+	})
+	var out []*depend.Report
+	for i := range loops {
+		rep, err := depend.AnalyzeLoop(c.Program, fr, c.Effects, fn, i)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, rep)
+	}
+	return out, nil
+}
+
+// StripMine applies §4.3.3's transformation to the loopIndex-th while
+// loop of fn for pes processing elements and returns a new compilation
+// of the transformed program.
+func (c *Compilation) StripMine(fn string, loopIndex, pes int) (*Compilation, error) {
+	res, err := transform.StripMine(c.Program, fn, loopIndex, pes)
+	if err != nil {
+		return nil, err
+	}
+	return Analyze(res.Program)
+}
+
+// Unroll applies the [HG92] unrolling transformation.
+func (c *Compilation) Unroll(fn string, loopIndex, factor int) (*Compilation, error) {
+	prog, err := transform.Unroll(c.Program, fn, loopIndex, factor)
+	if err != nil {
+		return nil, err
+	}
+	return Analyze(prog)
+}
+
+// RunConfig selects the execution mode for Run.
+type RunConfig struct {
+	// Simulate runs on the deterministic machine model instead of
+	// real goroutines.
+	Simulate bool
+	// PEs is the simulated PE count (Simulate mode).
+	PEs int
+	// Seed for the deterministic rand() builtin.
+	Seed uint64
+	// Output receives print() output (nil discards).
+	Output io.Writer
+}
+
+// Run executes fn with the given arguments.
+func (c *Compilation) Run(cfg RunConfig, fn string, args ...interp.Value) (interp.Value, interp.Stats, error) {
+	mode := interp.Real
+	if cfg.Simulate {
+		mode = interp.Simulated
+	}
+	return interp.Run(c.Program, interp.Config{
+		Mode:   mode,
+		PEs:    cfg.PEs,
+		Seed:   cfg.Seed,
+		Output: cfg.Output,
+	}, fn, args...)
+}
+
+// RunChecked is Run with the paper's §2.2 runtime shape checks
+// enabled: every pointer store is validated against its field's ADDS
+// annotation, and the violations observed during execution are
+// returned alongside the result.
+func (c *Compilation) RunChecked(cfg RunConfig, fn string, args ...interp.Value) (interp.Value, interp.Stats, []interp.ShapeViolation, error) {
+	mode := interp.Real
+	if cfg.Simulate {
+		mode = interp.Simulated
+	}
+	ip := interp.New(c.Program, interp.Config{
+		Mode:        mode,
+		PEs:         cfg.PEs,
+		Seed:        cfg.Seed,
+		Output:      cfg.Output,
+		ShapeChecks: true,
+	})
+	v, err := ip.Call(fn, args...)
+	return v, ip.Stats(), ip.ShapeViolations(), err
+}
+
+// Source renders the (possibly transformed) program back to PSL.
+func (c *Compilation) Source() string { return lang.Format(c.Program) }
+
+// MatrixAfter renders the path matrix just after the first assignment
+// in fn whose canonical text equals stmtText (e.g. "p = p->next;") —
+// used to print the paper's example matrices.
+func (c *Compilation) MatrixAfter(fn, stmtText string) (string, error) {
+	fr, err := c.FuncResult(fn)
+	if err != nil {
+		return "", err
+	}
+	as, err := analysis.FindAssign(c.Program.Func(fn), stmtText)
+	if err != nil {
+		return "", err
+	}
+	st, ok := fr.After[lang.Stmt(as)]
+	if !ok {
+		return "", fmt.Errorf("core: no state recorded after %q", stmtText)
+	}
+	return st.PM.String(), nil
+}
+
+// MatrixBeforeLoop renders the path matrix just before the n-th while
+// loop of fn.
+func (c *Compilation) MatrixBeforeLoop(fn string, loopIndex int) (string, error) {
+	fr, err := c.FuncResult(fn)
+	if err != nil {
+		return "", err
+	}
+	loop, err := analysis.FindLoop(c.Program.Func(fn), loopIndex)
+	if err != nil {
+		return "", err
+	}
+	st, ok := fr.Before[lang.Stmt(loop)]
+	if !ok {
+		return "", fmt.Errorf("core: loop not reached")
+	}
+	return st.PM.String(), nil
+}
+
+// ---------------------------------------------------------------------------
+// Baseline comparison (experiment X1)
+
+// BaselineVerdicts compares the three analyses on one loop: the
+// conservative baseline, the k-limited storage-graph baseline, and the
+// paper's ADDS + general path matrix analysis.
+type BaselineVerdicts struct {
+	Func         string
+	LoopIndex    int
+	Conservative bool
+	KLimited     bool
+	ADDS         bool
+	ADDSReport   *depend.Report
+}
+
+// String renders one comparison row.
+func (v *BaselineVerdicts) String() string {
+	return fmt.Sprintf("%-24s loop#%d  conservative=%-3s  k-limited=%-3s  ADDS+GPM=%-3s",
+		v.Func, v.LoopIndex, yn(v.Conservative), yn(v.KLimited), yn(v.ADDS))
+}
+
+func yn(b bool) string {
+	if b {
+		return "yes"
+	}
+	return "no"
+}
+
+// CompareBaselines runs all three analyses on the loopIndex-th while
+// loop of fn and reports who can parallelize it.
+func (c *Compilation) CompareBaselines(fn string, loopIndex int) (*BaselineVerdicts, error) {
+	cons := conservative.New(c.Program)
+	cv, err := cons.LoopParallelizable(fn, loopIndex)
+	if err != nil {
+		return nil, err
+	}
+	kl := klimit.New(c.Program, klimit.DefaultK)
+	kv, err := kl.LoopParallelizable(fn, loopIndex)
+	if err != nil {
+		return nil, err
+	}
+	fr, err := c.FuncResult(fn)
+	if err != nil {
+		return nil, err
+	}
+	rep, err := depend.AnalyzeLoop(c.Program, fr, c.Effects, fn, loopIndex)
+	if err != nil {
+		return nil, err
+	}
+	return &BaselineVerdicts{
+		Func:         fn,
+		LoopIndex:    loopIndex,
+		Conservative: cv.Parallelizable,
+		KLimited:     kv.Parallelizable,
+		ADDS:         rep.Parallelizable,
+		ADDSReport:   rep,
+	}, nil
+}
+
+// FormatVerdictTable renders a set of comparisons as the X1 table.
+func FormatVerdictTable(rows []*BaselineVerdicts) string {
+	var b strings.Builder
+	b.WriteString("loop                             conservative  k-limited  ADDS+GPM\n")
+	for _, v := range rows {
+		fmt.Fprintf(&b, "%-24s loop#%d  %-12s  %-9s  %s\n",
+			v.Func, v.LoopIndex, yn(v.Conservative), yn(v.KLimited), yn(v.ADDS))
+	}
+	return b.String()
+}

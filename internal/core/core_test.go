@@ -1,0 +1,230 @@
+package core
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/adds"
+	"repro/internal/interp"
+	"repro/internal/nbody"
+)
+
+const scaleSrc = adds.OneWayListSrc + `
+function OneWayList * build(int n) {
+  var OneWayList *head = NULL;
+  var int i = n;
+  while i > 0 {
+    var OneWayList *node = new OneWayList;
+    node->data = i;
+    node->next = head;
+    head = node;
+    i = i - 1;
+  }
+  return head;
+}
+
+procedure scale(OneWayList *head, int c) {
+  var OneWayList *p = head;
+  while p != NULL {
+    p->data = p->data * c;
+    p = p->next;
+  }
+}
+
+function int total(OneWayList *head) {
+  var int s = 0;
+  var OneWayList *p = head;
+  while p != NULL {
+    s = s + p->data;
+    p = p->next;
+  }
+  return s;
+}
+
+function int main(int n, int c) {
+  var OneWayList *h = build(n);
+  scale(h, c);
+  print("scaled", n, "nodes");
+  return total(h);
+}
+`
+
+func TestCompileAndRun(t *testing.T) {
+	c, err := Compile(scaleSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	v, stats, err := c.Run(RunConfig{Output: &out}, "main", interp.IntVal(10), interp.IntVal(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.I != 110 {
+		t.Errorf("main = %d, want 110", v.I)
+	}
+	if !strings.Contains(out.String(), "scaled 10 nodes") {
+		t.Errorf("output = %q", out.String())
+	}
+	if stats.Allocations != 10 {
+		t.Errorf("allocations = %d", stats.Allocations)
+	}
+}
+
+func TestCompileError(t *testing.T) {
+	if _, err := Compile("procedure f() { x = 1; }"); err == nil {
+		t.Error("bad program accepted")
+	}
+}
+
+func TestLoopReports(t *testing.T) {
+	c, err := Compile(scaleSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reps, err := c.LoopReports("scale")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reps) != 1 || !reps[0].Parallelizable {
+		t.Errorf("scale report: %v", reps)
+	}
+	reps, err = c.LoopReports("total")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reps[0].Parallelizable {
+		t.Error("reduction must not parallelize")
+	}
+	if _, err := c.LoopReports("nosuch"); err == nil {
+		t.Error("unknown function must error")
+	}
+}
+
+func TestStripMineViaCore(t *testing.T) {
+	c, err := Compile(scaleSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _, err := c.Run(RunConfig{}, "main", interp.IntVal(23), interp.IntVal(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := c.StripMine("scale", 0, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _, err := par.Run(RunConfig{Simulate: true, PEs: 4}, "main", interp.IntVal(23), interp.IntVal(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.I != want.I {
+		t.Errorf("transformed result %d, want %d", got.I, want.I)
+	}
+	if !strings.Contains(par.Source(), "forall") {
+		t.Error("transformed source lacks forall")
+	}
+	// The original compilation is untouched.
+	if strings.Contains(c.Source(), "forall") {
+		t.Error("StripMine mutated the original")
+	}
+}
+
+func TestUnrollViaCore(t *testing.T) {
+	c, err := Compile(scaleSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	un, err := c.Unroll("scale", 0, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _, err := un.Run(RunConfig{}, "main", interp.IntVal(17), interp.IntVal(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.I != 17*18 { // sum(1..17)*2
+		t.Errorf("unrolled result %d", got.I)
+	}
+}
+
+func TestMatrixRendering(t *testing.T) {
+	c, err := Compile(scaleSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := c.MatrixAfter("scale", "p = p->next;")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(m, "next") || !strings.Contains(m, "p'") {
+		t.Errorf("matrix:\n%s", m)
+	}
+	before, err := c.MatrixBeforeLoop("scale", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(before, "=") {
+		t.Errorf("before-loop matrix:\n%s", before)
+	}
+	if _, err := c.MatrixAfter("scale", "q = q->next;"); err == nil {
+		t.Error("missing statement must error")
+	}
+}
+
+func TestExitViolations(t *testing.T) {
+	src := adds.BinTreeSrc + `
+procedure bad(BinTree *a, BinTree *b) {
+  a->left = b->left;
+}`
+	c, err := Compile(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	keys, err := c.ExitViolations("bad")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(keys) != 1 {
+		t.Errorf("violations = %v", keys)
+	}
+}
+
+func TestCompareBaselines(t *testing.T) {
+	c, err := Compile(scaleSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := c.CompareBaselines("scale", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Conservative || v.KLimited || !v.ADDS {
+		t.Errorf("verdicts: %s", v)
+	}
+	table := FormatVerdictTable([]*BaselineVerdicts{v})
+	if !strings.Contains(table, "ADDS+GPM") || !strings.Contains(table, "yes") {
+		t.Errorf("table:\n%s", table)
+	}
+}
+
+func TestBarnesHutThroughCore(t *testing.T) {
+	c, err := Compile(nbody.BarnesHutPSL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reps, err := c.LoopReports(nbody.TimestepFunc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reps) != 2 || !reps[0].Parallelizable || !reps[1].Parallelizable {
+		t.Fatalf("BHL1/BHL2 reports: %v", reps)
+	}
+	keys, err := c.ExitViolations("build_tree")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(keys) != 0 {
+		t.Errorf("build_tree violations: %v", keys)
+	}
+}

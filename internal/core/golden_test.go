@@ -1,0 +1,82 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/nbody"
+)
+
+// Golden tests pin the exact rendered matrices for the paper's two
+// example programs, so any change to the analysis or the formatter that
+// would alter the published artifacts is caught.
+
+const goldenPolySrc = `
+type OneWayList [X]
+{ int coef, exp;
+  OneWayList *next is uniquely forward along X;
+};
+
+procedure scale(OneWayList *head, int c) {
+  var OneWayList *p = head;
+  while p != NULL {
+    p->coef = p->coef * c;
+    p = p->next;
+  }
+}`
+
+func TestGoldenPM1Matrix(t *testing.T) {
+	c, err := Compile(goldenPolySrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := c.MatrixAfter("scale", "p = p->next;")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := "" +
+		"     | head | p     | p'      \n" +
+		"head | =    | next+ | =?,next*\n" +
+		"p    |      | =     |         \n" +
+		"p'   | =?   | next  | =       \n"
+	if got != want {
+		t.Errorf("PM1 matrix changed:\n--- got\n%s--- want\n%s", got, want)
+	}
+}
+
+func TestGoldenPM2Matrix(t *testing.T) {
+	c, err := Compile(nbody.BarnesHutPSL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := c.MatrixAfter("timestep", "p = p->next;")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := "" +
+		"          | particles | root | p     | p'      \n" +
+		"particles | =         | =?   | next+ | =?,next*\n" +
+		"root      | =?        | =    | =?    | =?      \n" +
+		"p         |           | =?   | =     |         \n" +
+		"p'        | =?        | =?   | next  | =       \n"
+	if got != want {
+		t.Errorf("PM2 matrix changed:\n--- got\n%s--- want\n%s", got, want)
+	}
+}
+
+func TestGoldenBeforeLoopMatrix(t *testing.T) {
+	c, err := Compile(goldenPolySrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := c.MatrixBeforeLoop("scale", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := "" +
+		"     | head | p\n" +
+		"head | =    | =\n" +
+		"p    | =    | =\n"
+	if got != want {
+		t.Errorf("before-loop matrix changed:\n--- got\n%s--- want\n%s", got, want)
+	}
+}

@@ -1,0 +1,440 @@
+// Package effects computes interprocedural read/write effect summaries
+// for PSL code at field granularity, anchored to pointer variables.
+//
+// An access such as "reads the mass field of every node reachable from
+// node along the down dimension" is represented as
+//
+//	Access{Anchor: "node", Dims: {"down"}, Moved: true, Field: "mass", Kind: Read}
+//
+// Summaries are closed over the call graph (recursion converges because
+// the dimension and field sets are finite). Package depend combines
+// these summaries with the path matrix analysis to decide whether the
+// iterations of a pointer-chasing loop are independent — the paper's
+// §4.3.2 argument that BHL1 parallelizes because compute_force writes
+// only the force field of its own particle while reading only
+// mass/position fields of the tree.
+package effects
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/lang"
+)
+
+// AccessKind distinguishes reads from writes.
+type AccessKind int
+
+// Access kinds.
+const (
+	Read AccessKind = iota
+	Write
+)
+
+// String names the kind.
+func (k AccessKind) String() string {
+	if k == Write {
+		return "W"
+	}
+	return "R"
+}
+
+// Special anchors.
+const (
+	// AnchorFresh marks accesses to nodes allocated inside the analyzed
+	// code; they cannot conflict with pre-existing structure.
+	AnchorFresh = "<fresh>"
+	// AnchorUnknown marks accesses whose base pointer could not be
+	// traced to an anchor; they conflict with everything.
+	AnchorUnknown = "<unknown>"
+)
+
+// Region abstracts where a pointer may point, relative to an anchor
+// variable: the anchor's node itself (Moved=false), or any node
+// reachable from it by traversing the listed dimensions (Moved=true).
+type Region struct {
+	Anchor string
+	Dims   string // sorted, comma-joined dimension names; "" if unmoved
+	Moved  bool
+}
+
+// String renders "node.down*" style.
+func (r Region) String() string {
+	if !r.Moved {
+		return r.Anchor
+	}
+	if r.Dims == "" {
+		return r.Anchor + ".?*"
+	}
+	return r.Anchor + "." + strings.ReplaceAll(r.Dims, ",", ".") + "*"
+}
+
+func joinDims(a, b string) string {
+	if a == "" {
+		return b
+	}
+	if b == "" {
+		return a
+	}
+	set := map[string]bool{}
+	for _, d := range strings.Split(a, ",") {
+		set[d] = true
+	}
+	for _, d := range strings.Split(b, ",") {
+		set[d] = true
+	}
+	out := make([]string, 0, len(set))
+	for d := range set {
+		out = append(out, d)
+	}
+	sort.Strings(out)
+	return strings.Join(out, ",")
+}
+
+// Access is one field access of a region.
+type Access struct {
+	Region Region
+	// Field is the accessed field name; "" for pointer-structure
+	// mutation records (see IsPointer).
+	Field string
+	Kind  AccessKind
+	// IsPointer marks accesses to pointer (shape) fields rather than
+	// data fields.
+	IsPointer bool
+}
+
+// String renders "W node.down*.mass".
+func (a Access) String() string {
+	p := ""
+	if a.IsPointer {
+		p = "!"
+	}
+	return fmt.Sprintf("%s %s.%s%s", a.Kind, a.Region, a.Field, p)
+}
+
+// Summary is the effect set of a function or block.
+type Summary struct {
+	Accesses []Access
+}
+
+// add inserts an access, deduplicating.
+func (s *Summary) add(a Access) bool {
+	for _, x := range s.Accesses {
+		if x == a {
+			return false
+		}
+	}
+	s.Accesses = append(s.Accesses, a)
+	return true
+}
+
+// Writes returns the write accesses.
+func (s *Summary) Writes() []Access {
+	var out []Access
+	for _, a := range s.Accesses {
+		if a.Kind == Write {
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+// Reads returns the read accesses.
+func (s *Summary) Reads() []Access {
+	var out []Access
+	for _, a := range s.Accesses {
+		if a.Kind == Read {
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+// PointerWrites returns writes to pointer fields (structure mutation).
+func (s *Summary) PointerWrites() []Access {
+	var out []Access
+	for _, a := range s.Accesses {
+		if a.Kind == Write && a.IsPointer {
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+// String lists the accesses, sorted, one per line.
+func (s *Summary) String() string {
+	lines := make([]string, len(s.Accesses))
+	for i, a := range s.Accesses {
+		lines[i] = a.String()
+	}
+	sort.Strings(lines)
+	return strings.Join(lines, "\n")
+}
+
+// Analyzer computes summaries over one program.
+type Analyzer struct {
+	prog      *lang.Program
+	summaries map[string]*Summary
+}
+
+// NewAnalyzer prepares function summaries for the program, closing them
+// over the call graph.
+func NewAnalyzer(prog *lang.Program) *Analyzer {
+	a := &Analyzer{prog: prog, summaries: make(map[string]*Summary)}
+	for _, f := range prog.Funcs {
+		a.summaries[f.Name] = &Summary{}
+	}
+	// Fixed point: recompute each function's summary, substituting
+	// callee summaries, until nothing changes.
+	for {
+		changed := false
+		for _, f := range prog.Funcs {
+			anchors := make([]string, 0, len(f.Params))
+			for _, prm := range f.Params {
+				if _, ok := lang.IsPointer(prm.Type); ok {
+					anchors = append(anchors, prm.Name)
+				}
+			}
+			ns := a.analyzeBlock(f.Body, anchors)
+			for _, acc := range ns.Accesses {
+				if a.summaries[f.Name].add(acc) {
+					changed = true
+				}
+			}
+		}
+		if !changed {
+			return a
+		}
+	}
+}
+
+// FuncSummary returns the closed summary for a function.
+func (a *Analyzer) FuncSummary(name string) *Summary {
+	return a.summaries[name]
+}
+
+// BlockSummary computes the effect summary of a block with the given
+// anchor variables (e.g. a loop body anchored on its induction pointer
+// and the enclosing function's parameters).
+func (a *Analyzer) BlockSummary(b *lang.Block, anchors []string) *Summary {
+	return a.analyzeBlock(b, anchors)
+}
+
+// env maps pointer variables to the regions they may point into.
+type env map[string][]Region
+
+func (e env) add(v string, r Region) bool {
+	for _, x := range e[v] {
+		if x == r {
+			return false
+		}
+	}
+	e[v] = append(e[v], r)
+	return true
+}
+
+func (a *Analyzer) dimOf(elem, field string) string {
+	_, pf := a.prog.Universe.FieldDecl(elem, field)
+	if pf == nil {
+		return ""
+	}
+	return pf.Dim
+}
+
+// analyzeBlock runs a flow-insensitive effect collection over the block:
+// variable regions grow monotonically to a fixed point (loops need no
+// special handling), then every field access is emitted against its
+// base's regions.
+func (a *Analyzer) analyzeBlock(b *lang.Block, anchors []string) *Summary {
+	ev := env{}
+	for _, v := range anchors {
+		ev.add(v, Region{Anchor: v})
+	}
+
+	// Grow regions to a fixed point.
+	for {
+		changed := false
+		lang.Walk(b, func(s lang.Stmt) bool {
+			var name string
+			var rhs lang.Expr
+			switch s := s.(type) {
+			case *lang.VarStmt:
+				if _, ok := lang.IsPointer(s.DeclType); !ok {
+					return true
+				}
+				name, rhs = s.Name, s.Init
+			case *lang.AssignStmt:
+				id, ok := s.LHS.(*lang.Ident)
+				if !ok {
+					return true
+				}
+				if _, ok := lang.IsPointer(id.Type()); !ok {
+					return true
+				}
+				name, rhs = id.Name, s.RHS
+			default:
+				return true
+			}
+			if rhs == nil {
+				return true
+			}
+			for _, r := range a.rhsRegions(rhs, ev) {
+				if ev.add(name, r) {
+					changed = true
+				}
+			}
+			return true
+		})
+		if !changed {
+			break
+		}
+	}
+
+	// Emit accesses.
+	sum := &Summary{}
+	lang.Walk(b, func(s lang.Stmt) bool {
+		// Writes via assignment LHS.
+		if as, ok := s.(*lang.AssignStmt); ok {
+			if fe, ok := as.LHS.(*lang.FieldExpr); ok {
+				_, isPtr := lang.IsPointer(fe.Type())
+				a.emitFieldAccess(sum, fe, Write, isPtr, ev)
+			}
+		}
+		// Reads via every other field expression, and callee effects.
+		lang.WalkExprs(s, func(e lang.Expr) {
+			switch e := e.(type) {
+			case *lang.FieldExpr:
+				if as, ok := s.(*lang.AssignStmt); ok && as.LHS == e {
+					return // already counted as a write
+				}
+				_, isPtr := lang.IsPointer(e.Type())
+				a.emitFieldAccess(sum, e, Read, isPtr, ev)
+			case *lang.CallExpr:
+				a.emitCall(sum, e, ev)
+			}
+		})
+		return true
+	})
+	return sum
+}
+
+// rhsRegions computes the regions a pointer RHS may point into.
+func (a *Analyzer) rhsRegions(rhs lang.Expr, ev env) []Region {
+	switch rhs := rhs.(type) {
+	case *lang.NullLit:
+		return nil
+	case *lang.NewExpr:
+		return []Region{{Anchor: AnchorFresh}}
+	case *lang.Ident:
+		if rs, ok := ev[rhs.Name]; ok {
+			return rs
+		}
+		return []Region{{Anchor: AnchorUnknown}}
+	case *lang.FieldExpr:
+		base := rhs.Base()
+		if base == nil {
+			return []Region{{Anchor: AnchorUnknown}}
+		}
+		elem, _ := lang.IsPointer(base.Type())
+		dim := a.dimOf(elem, rhs.Field)
+		var out []Region
+		rs, ok := ev[base.Name]
+		if !ok {
+			rs = []Region{{Anchor: AnchorUnknown}}
+		}
+		for _, r := range rs {
+			out = append(out, Region{
+				Anchor: r.Anchor,
+				Dims:   joinDims(r.Dims, dim),
+				Moved:  true,
+			})
+		}
+		return out
+	case *lang.CallExpr:
+		// The result may point anywhere the pointer arguments reach.
+		var out []Region
+		for _, arg := range rhs.Args {
+			if id, ok := arg.(*lang.Ident); ok {
+				if _, isPtr := lang.IsPointer(id.Type()); isPtr {
+					for _, r := range a.rhsRegions(id, ev) {
+						out = append(out, Region{Anchor: r.Anchor, Dims: r.Dims, Moved: true})
+					}
+					continue
+				}
+			}
+			if fe, ok := arg.(*lang.FieldExpr); ok {
+				if _, isPtr := lang.IsPointer(fe.Type()); isPtr {
+					for _, r := range a.rhsRegions(fe, ev) {
+						out = append(out, Region{Anchor: r.Anchor, Dims: r.Dims, Moved: true})
+					}
+				}
+			}
+		}
+		if out == nil {
+			out = []Region{{Anchor: AnchorFresh}}
+		}
+		return out
+	}
+	return []Region{{Anchor: AnchorUnknown}}
+}
+
+func (a *Analyzer) emitFieldAccess(sum *Summary, fe *lang.FieldExpr, kind AccessKind, isPtr bool, ev env) {
+	base := fe.Base()
+	regions := []Region{{Anchor: AnchorUnknown}}
+	if base != nil {
+		if rs, ok := ev[base.Name]; ok {
+			regions = rs
+		}
+	}
+	for _, r := range regions {
+		sum.add(Access{Region: r, Field: fe.Field, Kind: kind, IsPointer: isPtr})
+	}
+	// An indexed access also reads the index expression; scalar reads of
+	// locals are not tracked (they cannot conflict across iterations
+	// unless heap-carried).
+}
+
+// emitCall substitutes the callee's summary, rebasing parameter-anchored
+// accesses onto the caller's argument regions.
+func (a *Analyzer) emitCall(sum *Summary, call *lang.CallExpr, ev env) {
+	if lang.Builtins[call.Func] != nil {
+		return
+	}
+	callee := a.prog.Func(call.Func)
+	calleeSum := a.summaries[call.Func]
+	if callee == nil || calleeSum == nil {
+		sum.add(Access{Region: Region{Anchor: AnchorUnknown}, Kind: Write, IsPointer: true})
+		return
+	}
+	// Map parameter name -> argument regions.
+	argRegions := map[string][]Region{}
+	for i, prm := range callee.Params {
+		if _, ok := lang.IsPointer(prm.Type); !ok {
+			continue
+		}
+		if i < len(call.Args) {
+			argRegions[prm.Name] = a.rhsRegions(call.Args[i], ev)
+		}
+	}
+	for _, acc := range calleeSum.Accesses {
+		bases, ok := argRegions[acc.Region.Anchor]
+		if !ok {
+			// Fresh/unknown-anchored callee accesses pass through.
+			sum.add(acc)
+			continue
+		}
+		for _, b := range bases {
+			sum.add(Access{
+				Region: Region{
+					Anchor: b.Anchor,
+					Dims:   joinDims(b.Dims, acc.Region.Dims),
+					Moved:  b.Moved || acc.Region.Moved,
+				},
+				Field:     acc.Field,
+				Kind:      acc.Kind,
+				IsPointer: acc.IsPointer,
+			})
+		}
+	}
+}

@@ -1,0 +1,887 @@
+package interp
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/lang"
+)
+
+// Mode selects how forall loops execute.
+type Mode int
+
+// Execution modes.
+const (
+	// Real runs forall iterations in goroutines.
+	Real Mode = iota
+	// Simulated runs everything sequentially, charging cycles from the
+	// cost model; forall charges max-over-PEs plus a barrier.
+	Simulated
+)
+
+// Scheduling selects how a simulated forall assigns iterations to PEs.
+type Scheduling int
+
+// Scheduling policies for Simulated mode.
+const (
+	// Cyclic assigns iteration k to PE k mod PEs (the paper's "simple
+	// static scheduling").
+	Cyclic Scheduling = iota
+	// Block assigns contiguous chunks of iterations to PEs.
+	Block
+)
+
+// CostModel assigns cycle costs to operations (Simulated mode).
+type CostModel struct {
+	VarAccess  int64 // read/write a local
+	FieldLoad  int64 // p->f read
+	FieldStore int64 // p->f write
+	IntOp      int64 // integer ALU op
+	RealOp     int64 // floating op
+	Sqrt       int64
+	Branch     int64
+	CallOver   int64 // call/return overhead
+	Alloc      int64
+	Barrier    int64 // forall join cost (Sequent sync is slow)
+}
+
+// DefaultCosts approximates a bus-based 1980s multiprocessor: memory
+// operations dominate, synchronization is expensive.
+func DefaultCosts() CostModel {
+	return CostModel{
+		VarAccess:  1,
+		FieldLoad:  6,
+		FieldStore: 6,
+		IntOp:      1,
+		RealOp:     4,
+		Sqrt:       40,
+		Branch:     2,
+		CallOver:   20,
+		Alloc:      40,
+		Barrier:    6000,
+	}
+}
+
+// Config configures an interpreter.
+type Config struct {
+	Mode       Mode
+	Sched      Scheduling
+	PEs        int // simulated PE count (0: one PE per iteration)
+	Costs      CostModel
+	Output     io.Writer
+	Seed       uint64
+	MaxSteps   int64 // 0 = default guard
+	MaxDepth   int   // 0 = default (4096)
+	StrictNull bool  // disable speculative traversability (for tests)
+	// ShapeChecks enables runtime validation of ADDS shape promises on
+	// every pointer store (the paper's §2.2 debugging checks).
+	ShapeChecks bool
+	// ShapeChecksFatal turns a detected violation into an execution
+	// error instead of a log entry.
+	ShapeChecksFatal bool
+	// ShapeWalkLimit bounds the cycle-check walk (0 = 100000 nodes).
+	ShapeWalkLimit int
+}
+
+// Stats reports execution counters.
+type Stats struct {
+	Cycles      int64 // elapsed simulated cycles (Simulated mode)
+	WorkCycles  int64 // total work including all PEs
+	Steps       int64
+	Allocations int64
+	Barriers    int64
+}
+
+// Interp executes one program.
+type Interp struct {
+	prog  *lang.Program
+	cfg   Config
+	out   io.Writer
+	outMu sync.Mutex
+
+	rngState uint64
+
+	steps  atomic.Int64
+	allocs atomic.Int64
+	nextID atomic.Int64
+
+	// cycles is the current accounting bucket (Simulated mode only;
+	// single-threaded there).
+	cycles   int64
+	work     int64
+	barriers int64
+
+	shapeMu  sync.Mutex
+	shapeLog []ShapeViolation
+
+	maxSteps int64
+	maxDepth int
+}
+
+// New creates an interpreter for a checked, normalized program.
+func New(prog *lang.Program, cfg Config) *Interp {
+	if cfg.Output == nil {
+		cfg.Output = io.Discard
+	}
+	if cfg.MaxSteps == 0 {
+		cfg.MaxSteps = 4_000_000_000
+	}
+	if cfg.MaxDepth == 0 {
+		cfg.MaxDepth = 4096
+	}
+	if cfg.Costs == (CostModel{}) {
+		cfg.Costs = DefaultCosts()
+	}
+	return &Interp{
+		prog:     prog,
+		cfg:      cfg,
+		out:      cfg.Output,
+		rngState: cfg.Seed*2862933555777941757 + 3037000493,
+		maxSteps: cfg.MaxSteps,
+		maxDepth: cfg.MaxDepth,
+	}
+}
+
+// Stats returns execution counters so far.
+func (ip *Interp) Stats() Stats {
+	return Stats{
+		Cycles:      ip.cycles,
+		WorkCycles:  ip.work,
+		Steps:       ip.steps.Load(),
+		Allocations: ip.allocs.Load(),
+		Barriers:    ip.barriers,
+	}
+}
+
+// Call invokes the named function with the given arguments and returns
+// its result (zero Value for procedures).
+func (ip *Interp) Call(fn string, args ...Value) (Value, error) {
+	f := ip.prog.Func(fn)
+	if f == nil {
+		return Value{}, fmt.Errorf("interp: no function %q", fn)
+	}
+	if len(args) != len(f.Params) {
+		return Value{}, fmt.Errorf("interp: %s expects %d args, got %d", fn, len(f.Params), len(args))
+	}
+	return ip.callFunc(f, args, 0)
+}
+
+// Run is a convenience: interpret fn and return stats.
+func Run(prog *lang.Program, cfg Config, fn string, args ...Value) (Value, Stats, error) {
+	ip := New(prog, cfg)
+	v, err := ip.Call(fn, args...)
+	return v, ip.Stats(), err
+}
+
+// charge adds cycles in Simulated mode.
+func (ip *Interp) charge(c int64) {
+	if ip.cfg.Mode == Simulated {
+		ip.cycles += c
+		ip.work += c
+	}
+}
+
+func (ip *Interp) step(pos lang.Pos) error {
+	if ip.steps.Add(1) > ip.maxSteps {
+		return fmt.Errorf("%s: interp: step limit exceeded (%d)", pos, ip.maxSteps)
+	}
+	return nil
+}
+
+// rand is a SplitMix64-style deterministic generator. It is safe for
+// concurrent use (atomic state).
+func (ip *Interp) rand() float64 {
+	for {
+		old := atomic.LoadUint64(&ip.rngState)
+		z := old + 0x9e3779b97f4a7c15
+		if !atomic.CompareAndSwapUint64(&ip.rngState, old, z) {
+			continue
+		}
+		z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+		z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+		z ^= z >> 31
+		return float64(z>>11) / float64(1<<53)
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Frames
+
+type frame struct {
+	fn     *lang.FuncDecl
+	scopes []map[string]*Value
+}
+
+func (fr *frame) push() { fr.scopes = append(fr.scopes, map[string]*Value{}) }
+func (fr *frame) pop()  { fr.scopes = fr.scopes[:len(fr.scopes)-1] }
+
+func (fr *frame) declare(name string, v Value) {
+	val := v
+	fr.scopes[len(fr.scopes)-1][name] = &val
+}
+
+func (fr *frame) lookup(name string) (*Value, bool) {
+	for i := len(fr.scopes) - 1; i >= 0; i-- {
+		if v, ok := fr.scopes[i][name]; ok {
+			return v, true
+		}
+	}
+	return nil, false
+}
+
+// snapshot returns a frame whose scopes copy the current bindings;
+// parallel iterations get independent frames so concurrent variable
+// writes cannot race (heap writes are the program's responsibility —
+// the dependence test guarantees transformed code is race-free).
+func (fr *frame) snapshot() *frame {
+	nf := &frame{fn: fr.fn}
+	for _, sc := range fr.scopes {
+		nsc := make(map[string]*Value, len(sc))
+		for k, v := range sc {
+			val := *v
+			nsc[k] = &val
+		}
+		nf.scopes = append(nf.scopes, nsc)
+	}
+	return nf
+}
+
+// ---------------------------------------------------------------------------
+// Execution
+
+type ctrl int
+
+const (
+	ctrlNext ctrl = iota
+	ctrlReturn
+)
+
+func (ip *Interp) callFunc(f *lang.FuncDecl, args []Value, depth int) (Value, error) {
+	if depth > ip.maxDepth {
+		return Value{}, fmt.Errorf("interp: recursion depth exceeded in %s", f.Name)
+	}
+	ip.charge(ip.cfg.Costs.CallOver)
+	fr := &frame{fn: f}
+	fr.push()
+	for i, prm := range f.Params {
+		fr.declare(prm.Name, coerce(args[i], prm.Type))
+	}
+	c, rv, err := ip.execBlock(f.Body, fr, depth)
+	if err != nil {
+		return Value{}, err
+	}
+	if c == ctrlReturn {
+		if f.Result != nil {
+			return coerce(rv, f.Result), nil
+		}
+		return Value{}, nil
+	}
+	if f.Result != nil {
+		return Value{}, fmt.Errorf("interp: function %s fell off the end without returning", f.Name)
+	}
+	return Value{}, nil
+}
+
+func (ip *Interp) execBlock(b *lang.Block, fr *frame, depth int) (ctrl, Value, error) {
+	fr.push()
+	defer fr.pop()
+	for _, s := range b.Stmts {
+		c, rv, err := ip.execStmt(s, fr, depth)
+		if err != nil {
+			return ctrlNext, Value{}, err
+		}
+		if c == ctrlReturn {
+			return c, rv, nil
+		}
+	}
+	return ctrlNext, Value{}, nil
+}
+
+func (ip *Interp) execStmt(s lang.Stmt, fr *frame, depth int) (ctrl, Value, error) {
+	if err := ip.step(s.Pos()); err != nil {
+		return ctrlNext, Value{}, err
+	}
+	switch s := s.(type) {
+	case *lang.Block:
+		return ip.execBlock(s, fr, depth)
+
+	case *lang.VarStmt:
+		v := zeroValue(s.DeclType)
+		if s.Init != nil {
+			iv, err := ip.eval(s.Init, fr, depth)
+			if err != nil {
+				return ctrlNext, Value{}, err
+			}
+			v = coerce(iv, s.DeclType)
+		}
+		ip.charge(ip.cfg.Costs.VarAccess)
+		fr.declare(s.Name, v)
+		return ctrlNext, Value{}, nil
+
+	case *lang.AssignStmt:
+		return ctrlNext, Value{}, ip.execAssign(s, fr, depth)
+
+	case *lang.WhileStmt:
+		for {
+			cond, err := ip.eval(s.Cond, fr, depth)
+			if err != nil {
+				return ctrlNext, Value{}, err
+			}
+			ip.charge(ip.cfg.Costs.Branch)
+			if !cond.B {
+				return ctrlNext, Value{}, nil
+			}
+			c, rv, err := ip.execBlock(s.Body, fr, depth)
+			if err != nil {
+				return ctrlNext, Value{}, err
+			}
+			if c == ctrlReturn {
+				return c, rv, nil
+			}
+			if err := ip.step(s.Pos()); err != nil {
+				return ctrlNext, Value{}, err
+			}
+		}
+
+	case *lang.IfStmt:
+		cond, err := ip.eval(s.Cond, fr, depth)
+		if err != nil {
+			return ctrlNext, Value{}, err
+		}
+		ip.charge(ip.cfg.Costs.Branch)
+		if cond.B {
+			return ip.execBlock(s.Then, fr, depth)
+		}
+		if s.Else != nil {
+			return ip.execBlock(s.Else, fr, depth)
+		}
+		return ctrlNext, Value{}, nil
+
+	case *lang.ReturnStmt:
+		if s.Value == nil {
+			return ctrlReturn, Value{}, nil
+		}
+		v, err := ip.eval(s.Value, fr, depth)
+		if err != nil {
+			return ctrlNext, Value{}, err
+		}
+		return ctrlReturn, v, nil
+
+	case *lang.CallStmt:
+		_, err := ip.evalCall(s.Call, fr, depth)
+		return ctrlNext, Value{}, err
+
+	case *lang.ForStmt:
+		return ip.execFor(s, fr, depth)
+	}
+	return ctrlNext, Value{}, fmt.Errorf("%s: interp: unknown statement %T", s.Pos(), s)
+}
+
+func (ip *Interp) execAssign(s *lang.AssignStmt, fr *frame, depth int) error {
+	rv, err := ip.eval(s.RHS, fr, depth)
+	if err != nil {
+		return err
+	}
+	switch lhs := s.LHS.(type) {
+	case *lang.Ident:
+		slot, ok := fr.lookup(lhs.Name)
+		if !ok {
+			return fmt.Errorf("%s: interp: undefined variable %q", s.Pos(), lhs.Name)
+		}
+		ip.charge(ip.cfg.Costs.VarAccess)
+		*slot = coerce(rv, lhs.Type())
+		return nil
+	case *lang.FieldExpr:
+		base, err := ip.eval(lhs.X, fr, depth)
+		if err != nil {
+			return err
+		}
+		if base.N == nil {
+			return fmt.Errorf("%s: interp: store through NULL pointer", s.Pos())
+		}
+		ip.charge(ip.cfg.Costs.FieldStore)
+		node := base.N
+		if _, isPtr := lang.IsPointer(lhs.Type()); isPtr {
+			idx := 0
+			if lhs.Index != nil {
+				iv, err := ip.eval(lhs.Index, fr, depth)
+				if err != nil {
+					return err
+				}
+				idx = int(iv.I)
+			}
+			arr := node.Ptrs[lhs.Field]
+			if idx < 0 || idx >= len(arr) {
+				return fmt.Errorf("%s: interp: index %d out of range for %s.%s[%d]", s.Pos(), idx, node.Type, lhs.Field, len(arr))
+			}
+			old := arr[idx]
+			arr[idx] = rv.N
+			if ip.cfg.ShapeChecks {
+				return ip.checkStore(s.Pos(), node, lhs.Field, old, rv.N)
+			}
+			return nil
+		}
+		node.Data[lhs.Field] = coerce(rv, lhs.Type())
+		return nil
+	}
+	return fmt.Errorf("%s: interp: bad assignment target %T", s.Pos(), s.LHS)
+}
+
+func (ip *Interp) execFor(s *lang.ForStmt, fr *frame, depth int) (ctrl, Value, error) {
+	fromV, err := ip.eval(s.From, fr, depth)
+	if err != nil {
+		return ctrlNext, Value{}, err
+	}
+	toV, err := ip.eval(s.To, fr, depth)
+	if err != nil {
+		return ctrlNext, Value{}, err
+	}
+	from, to := fromV.I, toV.I
+
+	if !s.Parallel {
+		for k := from; k <= to; k++ {
+			fr.push()
+			fr.declare(s.Var, IntVal(k))
+			c, rv, err := ip.execBlock(s.Body, fr, depth)
+			fr.pop()
+			if err != nil {
+				return ctrlNext, Value{}, err
+			}
+			if c == ctrlReturn {
+				return c, rv, nil
+			}
+			ip.charge(ip.cfg.Costs.Branch + ip.cfg.Costs.IntOp)
+		}
+		return ctrlNext, Value{}, nil
+	}
+
+	// Parallel loop.
+	n := to - from + 1
+	if n <= 0 {
+		return ctrlNext, Value{}, nil
+	}
+	if ip.cfg.Mode == Simulated {
+		return ctrlNext, Value{}, ip.simulatedForall(s, fr, depth, from, to)
+	}
+
+	// Real mode: one goroutine per iteration with a snapshot frame.
+	var wg sync.WaitGroup
+	errs := make([]error, n)
+	for k := from; k <= to; k++ {
+		wg.Add(1)
+		go func(k int64) {
+			defer wg.Done()
+			nf := fr.snapshot()
+			nf.push()
+			nf.declare(s.Var, IntVal(k))
+			_, _, err := ip.execBlock(s.Body, nf, depth)
+			errs[k-from] = err
+		}(k)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return ctrlNext, Value{}, err
+		}
+	}
+	return ctrlNext, Value{}, nil
+}
+
+// simulatedForall executes iterations sequentially, assigning them to
+// PEs and charging elapsed = max(PE busy time) + barrier.
+func (ip *Interp) simulatedForall(s *lang.ForStmt, fr *frame, depth int, from, to int64) error {
+	n := int(to - from + 1)
+	pes := ip.cfg.PEs
+	if pes <= 0 {
+		pes = n
+	}
+	busy := make([]int64, pes)
+	outerCycles := ip.cycles
+	for k := from; k <= to; k++ {
+		var pe int
+		switch ip.cfg.Sched {
+		case Block:
+			chunk := (n + pes - 1) / pes
+			pe = int(k-from) / chunk
+		default: // Cyclic
+			pe = int(k-from) % pes
+		}
+		if pe >= pes {
+			pe = pes - 1
+		}
+		// Run the iteration, measuring its cycle delta.
+		start := ip.cycles
+		fr.push()
+		fr.declare(s.Var, IntVal(k))
+		c, _, err := ip.execBlock(s.Body, fr, depth)
+		fr.pop()
+		if err != nil {
+			return err
+		}
+		if c == ctrlReturn {
+			return fmt.Errorf("%s: interp: return inside forall is not allowed", s.Pos())
+		}
+		busy[pe] += ip.cycles - start
+		ip.cycles = start // rewind; we charge max at the end
+	}
+	maxBusy := int64(0)
+	for _, b := range busy {
+		if b > maxBusy {
+			maxBusy = b
+		}
+	}
+	ip.cycles = outerCycles + maxBusy + ip.cfg.Costs.Barrier
+	ip.work += ip.cfg.Costs.Barrier // busy time was already added to work
+	ip.barriers++
+	return nil
+}
+
+// ---------------------------------------------------------------------------
+// Expressions
+
+func (ip *Interp) eval(e lang.Expr, fr *frame, depth int) (Value, error) {
+	switch e := e.(type) {
+	case *lang.Ident:
+		slot, ok := fr.lookup(e.Name)
+		if !ok {
+			return Value{}, fmt.Errorf("%s: interp: undefined variable %q", e.Pos(), e.Name)
+		}
+		ip.charge(ip.cfg.Costs.VarAccess)
+		return *slot, nil
+
+	case *lang.IntLit:
+		return IntVal(e.Val), nil
+	case *lang.RealLit:
+		return RealVal(e.Val), nil
+	case *lang.StrLit:
+		return StrVal(e.Val), nil
+	case *lang.BoolLit:
+		return BoolVal(e.Val), nil
+	case *lang.NullLit:
+		return NullVal(), nil
+
+	case *lang.NewExpr:
+		return ip.alloc(e.TypeName)
+
+	case *lang.FieldExpr:
+		return ip.evalField(e, fr, depth)
+
+	case *lang.CallExpr:
+		return ip.evalCall(e, fr, depth)
+
+	case *lang.BinExpr:
+		return ip.evalBin(e, fr, depth)
+
+	case *lang.UnExpr:
+		v, err := ip.eval(e.X, fr, depth)
+		if err != nil {
+			return Value{}, err
+		}
+		switch e.Op {
+		case lang.MINUS:
+			if v.Kind == KindInt {
+				ip.charge(ip.cfg.Costs.IntOp)
+				return IntVal(-v.I), nil
+			}
+			ip.charge(ip.cfg.Costs.RealOp)
+			return RealVal(-v.F), nil
+		case lang.NOT:
+			ip.charge(ip.cfg.Costs.IntOp)
+			return BoolVal(!v.B), nil
+		}
+	}
+	return Value{}, fmt.Errorf("%s: interp: unknown expression %T", e.Pos(), e)
+}
+
+func (ip *Interp) alloc(typeName string) (Value, error) {
+	decl := ip.prog.Universe.Decl(typeName)
+	if decl == nil {
+		return Value{}, fmt.Errorf("interp: new of unknown type %q", typeName)
+	}
+	ip.charge(ip.cfg.Costs.Alloc)
+	ip.allocs.Add(1)
+	n := &Node{
+		Type: typeName,
+		Data: make(map[string]Value, len(decl.Data)),
+		Ptrs: make(map[string][]*Node, len(decl.Pointers)),
+		id:   ip.nextID.Add(1),
+	}
+	for _, df := range decl.Data {
+		switch df.Type {
+		case "real":
+			n.Data[df.Name] = RealVal(0)
+		case "bool":
+			n.Data[df.Name] = BoolVal(false)
+		default:
+			n.Data[df.Name] = IntVal(0)
+		}
+	}
+	for _, pf := range decl.Pointers {
+		n.Ptrs[pf.Name] = make([]*Node, pf.Count)
+	}
+	return PtrVal(n), nil
+}
+
+func (ip *Interp) evalField(e *lang.FieldExpr, fr *frame, depth int) (Value, error) {
+	base, err := ip.eval(e.X, fr, depth)
+	if err != nil {
+		return Value{}, err
+	}
+	_, isPtr := lang.IsPointer(e.Type())
+	if base.N == nil {
+		if isPtr && !ip.cfg.StrictNull {
+			// Speculative traversability (§3.2): walking a pointer
+			// field past the end of a structure yields NULL.
+			return NullVal(), nil
+		}
+		return Value{}, fmt.Errorf("%s: interp: field %s read through NULL pointer", e.Pos(), e.Field)
+	}
+	ip.charge(ip.cfg.Costs.FieldLoad)
+	node := base.N
+	if isPtr {
+		idx := 0
+		if e.Index != nil {
+			iv, err := ip.eval(e.Index, fr, depth)
+			if err != nil {
+				return Value{}, err
+			}
+			idx = int(iv.I)
+		}
+		arr := node.Ptrs[e.Field]
+		if idx < 0 || idx >= len(arr) {
+			return Value{}, fmt.Errorf("%s: interp: index %d out of range for %s.%s[%d]", e.Pos(), idx, node.Type, e.Field, len(arr))
+		}
+		return PtrVal(arr[idx]), nil
+	}
+	v, ok := node.Data[e.Field]
+	if !ok {
+		return Value{}, fmt.Errorf("%s: interp: %s has no data field %q", e.Pos(), node.Type, e.Field)
+	}
+	return v, nil
+}
+
+func (ip *Interp) evalCall(e *lang.CallExpr, fr *frame, depth int) (Value, error) {
+	args := make([]Value, len(e.Args))
+	for i, a := range e.Args {
+		v, err := ip.eval(a, fr, depth)
+		if err != nil {
+			return Value{}, err
+		}
+		args[i] = v
+	}
+	switch e.Func {
+	case "sqrt":
+		ip.charge(ip.cfg.Costs.Sqrt)
+		return RealVal(math.Sqrt(args[0].AsReal())), nil
+	case "abs":
+		ip.charge(ip.cfg.Costs.RealOp)
+		return RealVal(math.Abs(args[0].AsReal())), nil
+	case "rand":
+		ip.charge(ip.cfg.Costs.RealOp)
+		return RealVal(ip.rand()), nil
+	case "print":
+		ip.outMu.Lock()
+		for i, a := range args {
+			if i > 0 {
+				fmt.Fprint(ip.out, " ")
+			}
+			fmt.Fprint(ip.out, a.String())
+		}
+		fmt.Fprintln(ip.out)
+		ip.outMu.Unlock()
+		return Value{}, nil
+	}
+	f := ip.prog.Func(e.Func)
+	if f == nil {
+		return Value{}, fmt.Errorf("%s: interp: call to unknown function %q", e.Pos(), e.Func)
+	}
+	return ip.callFunc(f, args, depth+1)
+}
+
+func (ip *Interp) evalBin(e *lang.BinExpr, fr *frame, depth int) (Value, error) {
+	// Short-circuit logic first.
+	if e.Op == lang.AND || e.Op == lang.OR {
+		x, err := ip.eval(e.X, fr, depth)
+		if err != nil {
+			return Value{}, err
+		}
+		ip.charge(ip.cfg.Costs.IntOp)
+		if e.Op == lang.AND && !x.B {
+			return BoolVal(false), nil
+		}
+		if e.Op == lang.OR && x.B {
+			return BoolVal(true), nil
+		}
+		return ip.eval(e.Y, fr, depth)
+	}
+	x, err := ip.eval(e.X, fr, depth)
+	if err != nil {
+		return Value{}, err
+	}
+	y, err := ip.eval(e.Y, fr, depth)
+	if err != nil {
+		return Value{}, err
+	}
+
+	// Pointer comparison.
+	if x.Kind == KindPtr || y.Kind == KindPtr {
+		ip.charge(ip.cfg.Costs.IntOp)
+		eq := x.N == y.N
+		if e.Op == lang.EQ {
+			return BoolVal(eq), nil
+		}
+		return BoolVal(!eq), nil
+	}
+
+	// Numeric / bool scalar ops.
+	real2 := x.Kind == KindReal || y.Kind == KindReal
+	if real2 {
+		ip.charge(ip.cfg.Costs.RealOp)
+		a, b := x.AsReal(), y.AsReal()
+		switch e.Op {
+		case lang.PLUS:
+			return RealVal(a + b), nil
+		case lang.MINUS:
+			return RealVal(a - b), nil
+		case lang.STAR:
+			return RealVal(a * b), nil
+		case lang.SLASH:
+			return RealVal(a / b), nil
+		case lang.EQ:
+			return BoolVal(a == b), nil
+		case lang.NEQ:
+			return BoolVal(a != b), nil
+		case lang.LT:
+			return BoolVal(a < b), nil
+		case lang.LE:
+			return BoolVal(a <= b), nil
+		case lang.GT:
+			return BoolVal(a > b), nil
+		case lang.GE:
+			return BoolVal(a >= b), nil
+		}
+		return Value{}, fmt.Errorf("%s: interp: bad real op %s", e.Pos(), e.Op)
+	}
+	if x.Kind == KindBool && y.Kind == KindBool {
+		ip.charge(ip.cfg.Costs.IntOp)
+		switch e.Op {
+		case lang.EQ:
+			return BoolVal(x.B == y.B), nil
+		case lang.NEQ:
+			return BoolVal(x.B != y.B), nil
+		}
+		return Value{}, fmt.Errorf("%s: interp: bad bool op %s", e.Pos(), e.Op)
+	}
+	ip.charge(ip.cfg.Costs.IntOp)
+	a, b := x.I, y.I
+	switch e.Op {
+	case lang.PLUS:
+		return IntVal(a + b), nil
+	case lang.MINUS:
+		return IntVal(a - b), nil
+	case lang.STAR:
+		return IntVal(a * b), nil
+	case lang.SLASH:
+		if b == 0 {
+			return Value{}, fmt.Errorf("%s: interp: integer division by zero", e.Pos())
+		}
+		return IntVal(a / b), nil
+	case lang.PERCENT:
+		if b == 0 {
+			return Value{}, fmt.Errorf("%s: interp: integer modulo by zero", e.Pos())
+		}
+		return IntVal(a % b), nil
+	case lang.EQ:
+		return BoolVal(a == b), nil
+	case lang.NEQ:
+		return BoolVal(a != b), nil
+	case lang.LT:
+		return BoolVal(a < b), nil
+	case lang.LE:
+		return BoolVal(a <= b), nil
+	case lang.GT:
+		return BoolVal(a > b), nil
+	case lang.GE:
+		return BoolVal(a >= b), nil
+	}
+	return Value{}, fmt.Errorf("%s: interp: bad int op %s", e.Pos(), e.Op)
+}
+
+// ---------------------------------------------------------------------------
+// Heap inspection helpers (used by tests and examples)
+
+// FieldInt reads an int data field of a node.
+func FieldInt(v Value, field string) (int64, error) {
+	if v.N == nil {
+		return 0, fmt.Errorf("interp: FieldInt on NULL")
+	}
+	fv, ok := v.N.Data[field]
+	if !ok {
+		return 0, fmt.Errorf("interp: no field %q", field)
+	}
+	return fv.I, nil
+}
+
+// FieldReal reads a real data field of a node.
+func FieldReal(v Value, field string) (float64, error) {
+	if v.N == nil {
+		return 0, fmt.Errorf("interp: FieldReal on NULL")
+	}
+	fv, ok := v.N.Data[field]
+	if !ok {
+		return 0, fmt.Errorf("interp: no field %q", field)
+	}
+	return fv.AsReal(), nil
+}
+
+// FieldPtr reads a pointer field (index 0) of a node.
+func FieldPtr(v Value, field string) (Value, error) {
+	if v.N == nil {
+		return Value{}, fmt.Errorf("interp: FieldPtr on NULL")
+	}
+	arr, ok := v.N.Ptrs[field]
+	if !ok || len(arr) == 0 {
+		return Value{}, fmt.Errorf("interp: no pointer field %q", field)
+	}
+	return PtrVal(arr[0]), nil
+}
+
+// ListInts walks a list via `next`, reading an int field from each node
+// (bounded by limit to catch accidental cycles).
+func ListInts(head Value, field string, limit int) ([]int64, error) {
+	var out []int64
+	n := head.N
+	for n != nil {
+		if limit--; limit < 0 {
+			return nil, fmt.Errorf("interp: list longer than limit (cycle?)")
+		}
+		v, ok := n.Data[field]
+		if !ok {
+			return nil, fmt.Errorf("interp: node lacks field %q", field)
+		}
+		out = append(out, v.I)
+		next := n.Ptrs["next"]
+		if len(next) == 0 {
+			break
+		}
+		n = next[0]
+	}
+	return out, nil
+}
+
+// SortedFields lists a node's data fields (for debugging output).
+func SortedFields(v Value) []string {
+	if v.N == nil {
+		return nil
+	}
+	out := make([]string, 0, len(v.N.Data))
+	for k := range v.N.Data {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

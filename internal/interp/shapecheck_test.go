@@ -1,0 +1,143 @@
+package interp
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/lang"
+	"repro/internal/nbody"
+)
+
+const checkListSrc = `
+type List [X]
+{ int v;
+  List *next is uniquely forward along X;
+};
+`
+
+func TestShapeCheckCycle(t *testing.T) {
+	prog := lang.MustParse(checkListSrc + `
+procedure main() {
+  var List *a = new List;
+  var List *b = new List;
+  a->next = b;
+  b->next = a;   // closes a forward cycle
+}`)
+	ip := New(prog, Config{ShapeChecks: true})
+	if _, err := ip.Call("main"); err != nil {
+		t.Fatal(err)
+	}
+	vs := ip.ShapeViolations()
+	if len(vs) != 1 || vs[0].Kind != "cycle" {
+		t.Fatalf("violations = %v", vs)
+	}
+	if !strings.Contains(vs[0].String(), "cycle of List along X") {
+		t.Errorf("message = %s", vs[0])
+	}
+}
+
+func TestShapeCheckSharing(t *testing.T) {
+	prog := lang.MustParse(checkListSrc + `
+procedure main() {
+  var List *a = new List;
+  var List *b = new List;
+  var List *n = new List;
+  a->next = n;
+  b->next = n;   // n acquires a second in-edge along X
+}`)
+	ip := New(prog, Config{ShapeChecks: true})
+	if _, err := ip.Call("main"); err != nil {
+		t.Fatal(err)
+	}
+	vs := ip.ShapeViolations()
+	if len(vs) != 1 || vs[0].Kind != "sharing" {
+		t.Fatalf("violations = %v", vs)
+	}
+}
+
+func TestShapeCheckRepairedSharingIsClean(t *testing.T) {
+	// The §3.3.1 subtree-move pattern at runtime: sharing appears and
+	// the repairing store removes the extra in-edge; only the transient
+	// event is logged.
+	prog := lang.MustParse(`
+type Tree [down]
+{ int v;
+  Tree *left, *right is uniquely forward along down;
+};
+procedure main() {
+  var Tree *p1 = new Tree;
+  var Tree *p2 = new Tree;
+  var Tree *c = new Tree;
+  p2->left = c;
+  p1->left = p2->left;   // transient sharing
+  p2->left = NULL;       // repair
+  var Tree *d = new Tree;
+  p2->left = d;          // no new violation
+}`)
+	ip := New(prog, Config{ShapeChecks: true})
+	if _, err := ip.Call("main"); err != nil {
+		t.Fatal(err)
+	}
+	vs := ip.ShapeViolations()
+	if len(vs) != 1 || vs[0].Kind != "sharing" {
+		t.Fatalf("expected exactly the transient sharing event, got %v", vs)
+	}
+}
+
+func TestShapeCheckFatal(t *testing.T) {
+	prog := lang.MustParse(checkListSrc + `
+procedure main() {
+  var List *a = new List;
+  a->next = a;
+}`)
+	ip := New(prog, Config{ShapeChecks: true, ShapeChecksFatal: true})
+	if _, err := ip.Call("main"); err == nil || !strings.Contains(err.Error(), "cycle") {
+		t.Errorf("fatal mode should abort with a cycle error, got %v", err)
+	}
+}
+
+func TestShapeCheckCleanProgram(t *testing.T) {
+	prog := lang.MustParse(checkListSrc + `
+function List * build(int n) {
+  var List *head = NULL;
+  var int i = 0;
+  while i < n {
+    var List *node = new List;
+    node->next = head;
+    head = node;
+    i = i + 1;
+  }
+  return head;
+}
+procedure main() {
+  var List *h = build(100);
+  var List *p = h;
+  while p != NULL {
+    p->v = 1;
+    p = p->next;
+  }
+}`)
+	ip := New(prog, Config{ShapeChecks: true, ShapeChecksFatal: true})
+	if _, err := ip.Call("main"); err != nil {
+		t.Fatal(err)
+	}
+	if vs := ip.ShapeViolations(); len(vs) != 0 {
+		t.Errorf("clean program flagged: %v", vs)
+	}
+}
+
+func TestShapeCheckBarnesHutCleanExceptInsertTransient(t *testing.T) {
+	// The full Barnes-Hut run under runtime checks: insert_particle's
+	// documented transient sharing appears (once per subdivision) and
+	// nothing else; in particular, no cycles ever.
+	prog := lang.MustParse(nbody.BarnesHutPSL)
+	ip := New(prog, Config{ShapeChecks: true, Seed: 7})
+	if _, err := ip.Call("simulate", IntVal(24), IntVal(1), RealVal(0.5), RealVal(0.01)); err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range ip.ShapeViolations() {
+		if v.Kind != "sharing" || v.Dim != "down" {
+			t.Errorf("unexpected runtime violation: %s", v)
+		}
+	}
+}

@@ -1,0 +1,124 @@
+// Package interp executes PSL programs. It provides the two execution
+// modes the reproduction needs:
+//
+//   - Real mode: forall loops run their iterations in goroutines, so
+//     transformed programs exhibit genuine parallelism on the host.
+//
+//   - Simulated mode: execution is sequential but every operation is
+//     charged cycles from a cost model; a forall charges the maximum
+//     over its iterations (assigned to PEs by static cyclic scheduling)
+//     plus a barrier cost. This is the deterministic "Sequent" machine
+//     model used to regenerate the paper's §4.4 tables (see package
+//     sequent).
+//
+// Speculative traversability (§3.2) is honoured: loading a pointer
+// field through NULL yields NULL instead of faulting, which the
+// transformed code's unguarded advances (FOR1/FOR2 in §4.3.3) rely on.
+// Data-field access through NULL remains an error.
+package interp
+
+import (
+	"fmt"
+
+	"repro/internal/lang"
+)
+
+// Kind tags a runtime value.
+type Kind int
+
+// Value kinds.
+const (
+	KindInt Kind = iota
+	KindReal
+	KindBool
+	KindString
+	KindPtr
+)
+
+// Node is a heap record instance.
+type Node struct {
+	Type string
+	// Data holds scalar fields.
+	Data map[string]Value
+	// Ptrs holds pointer fields; each entry has the declared Count
+	// length (1 for plain pointers).
+	Ptrs map[string][]*Node
+	// id is a stable allocation number for deterministic printing.
+	id int64
+	// inEdges counts in-edges per uniquely-forward dimension when
+	// runtime shape checks are enabled.
+	inEdges map[string]int
+}
+
+// Value is a PSL runtime value.
+type Value struct {
+	Kind Kind
+	I    int64
+	F    float64
+	B    bool
+	S    string
+	N    *Node
+}
+
+// Convenience constructors.
+func IntVal(i int64) Value    { return Value{Kind: KindInt, I: i} }
+func RealVal(f float64) Value { return Value{Kind: KindReal, F: f} }
+func BoolVal(b bool) Value    { return Value{Kind: KindBool, B: b} }
+func StrVal(s string) Value   { return Value{Kind: KindString, S: s} }
+func PtrVal(n *Node) Value    { return Value{Kind: KindPtr, N: n} }
+func NullVal() Value          { return Value{Kind: KindPtr} }
+func (v Value) IsNull() bool  { return v.Kind == KindPtr && v.N == nil }
+func (v Value) AsReal() float64 {
+	if v.Kind == KindInt {
+		return float64(v.I)
+	}
+	return v.F
+}
+
+// String renders the value for print().
+func (v Value) String() string {
+	switch v.Kind {
+	case KindInt:
+		return fmt.Sprintf("%d", v.I)
+	case KindReal:
+		return fmt.Sprintf("%g", v.F)
+	case KindBool:
+		return fmt.Sprintf("%t", v.B)
+	case KindString:
+		return v.S
+	case KindPtr:
+		if v.N == nil {
+			return "NULL"
+		}
+		return fmt.Sprintf("<%s#%d>", v.N.Type, v.N.id)
+	}
+	return "?"
+}
+
+// zeroValue returns the zero of a static type.
+func zeroValue(t lang.Type) Value {
+	switch t := t.(type) {
+	case *lang.Scalar:
+		switch t.Kind {
+		case lang.KindInt:
+			return IntVal(0)
+		case lang.KindReal:
+			return RealVal(0)
+		case lang.KindBool:
+			return BoolVal(false)
+		default:
+			return StrVal("")
+		}
+	case *lang.Pointer:
+		return NullVal()
+	}
+	return Value{}
+}
+
+// coerce adapts a value to a destination type (int→real widening).
+func coerce(v Value, t lang.Type) Value {
+	if s, ok := t.(*lang.Scalar); ok && s.Kind == lang.KindReal && v.Kind == KindInt {
+		return RealVal(float64(v.I))
+	}
+	return v
+}

@@ -1,0 +1,489 @@
+package lang
+
+import (
+	"fmt"
+)
+
+// Builtin describes a built-in function. A nil Params slice means the
+// builtin is variadic and accepts any argument types (print). A nil
+// Result marks a procedure.
+type Builtin struct {
+	Name   string
+	Params []Type
+	Result Type
+}
+
+// Builtins is the table of PSL built-in functions.
+//
+//	sqrt(real) real   — square root
+//	abs(real)  real   — absolute value
+//	rand()     real   — deterministic pseudo-random in [0,1)
+//	print(...)        — write arguments to the interpreter's output
+var Builtins = map[string]*Builtin{
+	"sqrt":  {Name: "sqrt", Params: []Type{Real}, Result: Real},
+	"abs":   {Name: "abs", Params: []Type{Real}, Result: Real},
+	"rand":  {Name: "rand", Params: []Type{}, Result: Real},
+	"print": {Name: "print", Params: nil, Result: nil},
+}
+
+// Check type-checks the program in place, annotating every expression
+// with its type. It verifies ADDS field references, assignment and call
+// compatibility (with implicit int→real widening), condition types, and
+// return correctness.
+func Check(p *Program) error {
+	c := &checker{prog: p}
+	for _, f := range p.Funcs {
+		if Builtins[f.Name] != nil {
+			return fmt.Errorf("%s: function %q shadows a builtin", f.Pos(), f.Name)
+		}
+		if err := c.checkFunc(f); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+type checker struct {
+	prog   *Program
+	fn     *FuncDecl
+	scopes []map[string]Type
+}
+
+func (c *checker) pushScope() { c.scopes = append(c.scopes, map[string]Type{}) }
+func (c *checker) popScope()  { c.scopes = c.scopes[:len(c.scopes)-1] }
+
+func (c *checker) declare(name string, t Type, pos Pos) error {
+	top := c.scopes[len(c.scopes)-1]
+	if _, dup := top[name]; dup {
+		return fmt.Errorf("%s: %q redeclared in this scope", pos, name)
+	}
+	top[name] = t
+	return nil
+}
+
+func (c *checker) lookup(name string) (Type, bool) {
+	for i := len(c.scopes) - 1; i >= 0; i-- {
+		if t, ok := c.scopes[i][name]; ok {
+			return t, true
+		}
+	}
+	return nil, false
+}
+
+func (c *checker) checkFunc(f *FuncDecl) error {
+	c.fn = f
+	c.scopes = nil
+	c.pushScope()
+	for _, prm := range f.Params {
+		if err := c.validType(prm.Type, f.Pos()); err != nil {
+			return err
+		}
+		if err := c.declare(prm.Name, prm.Type, f.Pos()); err != nil {
+			return err
+		}
+	}
+	if f.Result != nil {
+		if err := c.validType(f.Result, f.Pos()); err != nil {
+			return err
+		}
+	}
+	return c.checkBlock(f.Body)
+}
+
+// validType rejects pointer types to undeclared records.
+func (c *checker) validType(t Type, pos Pos) error {
+	if elem, ok := IsPointer(t); ok {
+		if c.prog.Universe.Decl(elem) == nil {
+			return fmt.Errorf("%s: pointer to undeclared type %q", pos, elem)
+		}
+	}
+	return nil
+}
+
+func (c *checker) checkBlock(b *Block) error {
+	c.pushScope()
+	defer c.popScope()
+	for _, s := range b.Stmts {
+		if err := c.checkStmt(s); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (c *checker) checkStmt(s Stmt) error {
+	switch s := s.(type) {
+	case *Block:
+		return c.checkBlock(s)
+
+	case *VarStmt:
+		if err := c.validType(s.DeclType, s.Pos()); err != nil {
+			return err
+		}
+		if s.Init != nil {
+			if err := c.checkExpr(s.Init); err != nil {
+				return err
+			}
+			if err := c.assignable(s.DeclType, s.Init); err != nil {
+				return fmt.Errorf("%s: cannot initialize %q: %v", s.Pos(), s.Name, err)
+			}
+		}
+		return c.declare(s.Name, s.DeclType, s.Pos())
+
+	case *AssignStmt:
+		if err := c.checkExpr(s.LHS); err != nil {
+			return err
+		}
+		switch lhs := s.LHS.(type) {
+		case *Ident:
+		case *FieldExpr:
+			_ = lhs
+		default:
+			return fmt.Errorf("%s: invalid assignment target", s.Pos())
+		}
+		if err := c.checkExpr(s.RHS); err != nil {
+			return err
+		}
+		if err := c.assignable(s.LHS.Type(), s.RHS); err != nil {
+			return fmt.Errorf("%s: %v", s.Pos(), err)
+		}
+		return nil
+
+	case *WhileStmt:
+		if err := c.checkCond(s.Cond); err != nil {
+			return err
+		}
+		return c.checkBlock(s.Body)
+
+	case *IfStmt:
+		if err := c.checkCond(s.Cond); err != nil {
+			return err
+		}
+		if err := c.checkBlock(s.Then); err != nil {
+			return err
+		}
+		if s.Else != nil {
+			return c.checkBlock(s.Else)
+		}
+		return nil
+
+	case *ReturnStmt:
+		if c.fn.Result == nil {
+			if s.Value != nil {
+				return fmt.Errorf("%s: procedure %q cannot return a value", s.Pos(), c.fn.Name)
+			}
+			return nil
+		}
+		if s.Value == nil {
+			return fmt.Errorf("%s: function %q must return a value", s.Pos(), c.fn.Name)
+		}
+		if err := c.checkExpr(s.Value); err != nil {
+			return err
+		}
+		if err := c.assignable(c.fn.Result, s.Value); err != nil {
+			return fmt.Errorf("%s: bad return: %v", s.Pos(), err)
+		}
+		return nil
+
+	case *CallStmt:
+		return c.checkExpr(s.Call)
+
+	case *ForStmt:
+		if err := c.checkExpr(s.From); err != nil {
+			return err
+		}
+		if err := c.checkExpr(s.To); err != nil {
+			return err
+		}
+		if !TypeEq(s.From.Type(), Int) || !TypeEq(s.To.Type(), Int) {
+			return fmt.Errorf("%s: for-loop bounds must be int", s.Pos())
+		}
+		c.pushScope()
+		defer c.popScope()
+		if err := c.declare(s.Var, Int, s.Pos()); err != nil {
+			return err
+		}
+		return c.checkBlock(s.Body)
+	}
+	return fmt.Errorf("%s: unknown statement %T", s.Pos(), s)
+}
+
+func (c *checker) checkCond(e Expr) error {
+	if err := c.checkExpr(e); err != nil {
+		return err
+	}
+	if !TypeEq(e.Type(), Bool) {
+		return fmt.Errorf("%s: condition must be bool, got %s", e.Pos(), e.Type())
+	}
+	return nil
+}
+
+// assignable checks that value can be assigned to a target of type dst,
+// applying implicit int→real widening and giving NULL the destination
+// pointer type.
+func (c *checker) assignable(dst Type, value Expr) error {
+	if null, ok := value.(*NullLit); ok {
+		if _, isPtr := IsPointer(dst); !isPtr {
+			return fmt.Errorf("NULL requires a pointer target, have %s", dst)
+		}
+		null.SetType(dst)
+		return nil
+	}
+	src := value.Type()
+	if TypeEq(dst, src) {
+		return nil
+	}
+	if TypeEq(dst, Real) && TypeEq(src, Int) {
+		return nil // implicit widening
+	}
+	return fmt.Errorf("cannot assign %s to %s", src, dst)
+}
+
+func (c *checker) checkExpr(e Expr) error {
+	switch e := e.(type) {
+	case *Ident:
+		t, ok := c.lookup(e.Name)
+		if !ok {
+			return fmt.Errorf("%s: undeclared variable %q", e.Pos(), e.Name)
+		}
+		e.SetType(t)
+		return nil
+
+	case *FieldExpr:
+		if err := c.checkExpr(e.X); err != nil {
+			return err
+		}
+		elem, ok := IsPointer(e.X.Type())
+		if !ok {
+			return fmt.Errorf("%s: -> requires a pointer, have %s", e.Pos(), e.X.Type())
+		}
+		decl := c.prog.Universe.Decl(elem)
+		if decl == nil {
+			return fmt.Errorf("%s: unknown record type %q", e.Pos(), elem)
+		}
+		if pf := decl.Pointer(e.Field); pf != nil {
+			if pf.Count > 1 && e.Index == nil {
+				return fmt.Errorf("%s: field %s.%s is a pointer array; an index is required", e.Pos(), elem, e.Field)
+			}
+			if pf.Count == 1 && e.Index != nil {
+				return fmt.Errorf("%s: field %s.%s is not an array", e.Pos(), elem, e.Field)
+			}
+			if e.Index != nil {
+				if err := c.checkExpr(e.Index); err != nil {
+					return err
+				}
+				if !TypeEq(e.Index.Type(), Int) {
+					return fmt.Errorf("%s: array index must be int", e.Pos())
+				}
+			}
+			e.SetType(PointerTo(pf.Type))
+			return nil
+		}
+		if df := decl.DataField(e.Field); df != nil {
+			if e.Index != nil {
+				return fmt.Errorf("%s: data field %s.%s is not an array", e.Pos(), elem, e.Field)
+			}
+			t, err := scalarTypeOf(df.Type)
+			if err != nil {
+				return fmt.Errorf("%s: field %s.%s: %v", e.Pos(), elem, e.Field, err)
+			}
+			e.SetType(t)
+			return nil
+		}
+		return fmt.Errorf("%s: type %q has no field %q", e.Pos(), elem, e.Field)
+
+	case *CallExpr:
+		return c.checkCall(e)
+
+	case *NewExpr:
+		if c.prog.Universe.Decl(e.TypeName) == nil {
+			return fmt.Errorf("%s: new of undeclared type %q", e.Pos(), e.TypeName)
+		}
+		e.SetType(PointerTo(e.TypeName))
+		return nil
+
+	case *NullLit:
+		// Type assigned from context (assignable / comparison); leave nil
+		// here, verified where used.
+		return nil
+
+	case *IntLit:
+		e.SetType(Int)
+		return nil
+	case *RealLit:
+		e.SetType(Real)
+		return nil
+	case *StrLit:
+		e.SetType(String)
+		return nil
+	case *BoolLit:
+		e.SetType(Bool)
+		return nil
+
+	case *BinExpr:
+		return c.checkBin(e)
+
+	case *UnExpr:
+		if err := c.checkExpr(e.X); err != nil {
+			return err
+		}
+		switch e.Op {
+		case MINUS:
+			if !TypeEq(e.X.Type(), Int) && !TypeEq(e.X.Type(), Real) {
+				return fmt.Errorf("%s: unary - requires int or real", e.Pos())
+			}
+			e.SetType(e.X.Type())
+		case NOT:
+			if !TypeEq(e.X.Type(), Bool) {
+				return fmt.Errorf("%s: ! requires bool", e.Pos())
+			}
+			e.SetType(Bool)
+		default:
+			return fmt.Errorf("%s: unknown unary operator %s", e.Pos(), e.Op)
+		}
+		return nil
+	}
+	return fmt.Errorf("%s: unknown expression %T", e.Pos(), e)
+}
+
+func (c *checker) checkCall(e *CallExpr) error {
+	for _, a := range e.Args {
+		if err := c.checkExpr(a); err != nil {
+			return err
+		}
+	}
+	if b, ok := Builtins[e.Func]; ok {
+		if b.Params != nil {
+			if len(e.Args) != len(b.Params) {
+				return fmt.Errorf("%s: %s expects %d arguments, got %d", e.Pos(), b.Name, len(b.Params), len(e.Args))
+			}
+			for i, a := range e.Args {
+				if err := c.assignable(b.Params[i], a); err != nil {
+					return fmt.Errorf("%s: argument %d of %s: %v", e.Pos(), i+1, b.Name, err)
+				}
+			}
+		} else {
+			// Variadic builtin (print): NULL arguments are displayed as
+			// pointers of unknown type.
+			for _, a := range e.Args {
+				if n, ok := a.(*NullLit); ok {
+					n.SetType(PointerTo(""))
+				}
+			}
+		}
+		e.SetType(b.Result)
+		return nil
+	}
+	f := c.prog.Func(e.Func)
+	if f == nil {
+		return fmt.Errorf("%s: call to undefined function %q", e.Pos(), e.Func)
+	}
+	if len(e.Args) != len(f.Params) {
+		return fmt.Errorf("%s: %s expects %d arguments, got %d", e.Pos(), f.Name, len(f.Params), len(e.Args))
+	}
+	for i, a := range e.Args {
+		if err := c.assignable(f.Params[i].Type, a); err != nil {
+			return fmt.Errorf("%s: argument %d of %s: %v", e.Pos(), i+1, f.Name, err)
+		}
+	}
+	e.SetType(f.Result)
+	return nil
+}
+
+func (c *checker) checkBin(e *BinExpr) error {
+	if err := c.checkExpr(e.X); err != nil {
+		return err
+	}
+	if err := c.checkExpr(e.Y); err != nil {
+		return err
+	}
+	xt, yt := e.X.Type(), e.Y.Type()
+
+	switch e.Op {
+	case AND, OR:
+		if !TypeEq(xt, Bool) || !TypeEq(yt, Bool) {
+			return fmt.Errorf("%s: %s requires bool operands", e.Pos(), e.Op)
+		}
+		e.SetType(Bool)
+		return nil
+
+	case EQ, NEQ:
+		// Pointer comparison, including NULL on either side.
+		xNull, yNull := isNull(e.X), isNull(e.Y)
+		switch {
+		case xNull && yNull:
+			e.X.(*NullLit).SetType(PointerTo(""))
+			e.Y.(*NullLit).SetType(PointerTo(""))
+		case xNull:
+			if _, ok := IsPointer(yt); !ok {
+				return fmt.Errorf("%s: NULL compared against non-pointer %s", e.Pos(), yt)
+			}
+			e.X.(*NullLit).SetType(yt)
+		case yNull:
+			if _, ok := IsPointer(xt); !ok {
+				return fmt.Errorf("%s: NULL compared against non-pointer %s", e.Pos(), xt)
+			}
+			e.Y.(*NullLit).SetType(xt)
+		default:
+			if !comparable2(xt, yt) {
+				return fmt.Errorf("%s: cannot compare %s and %s", e.Pos(), xt, yt)
+			}
+		}
+		e.SetType(Bool)
+		return nil
+
+	case LT, LE, GT, GE:
+		if !numeric(xt) || !numeric(yt) {
+			return fmt.Errorf("%s: %s requires numeric operands", e.Pos(), e.Op)
+		}
+		e.SetType(Bool)
+		return nil
+
+	case PLUS, MINUS, STAR, SLASH:
+		if !numeric(xt) || !numeric(yt) {
+			return fmt.Errorf("%s: %s requires numeric operands", e.Pos(), e.Op)
+		}
+		if TypeEq(xt, Real) || TypeEq(yt, Real) {
+			e.SetType(Real)
+		} else {
+			e.SetType(Int)
+		}
+		return nil
+
+	case PERCENT:
+		if !TypeEq(xt, Int) || !TypeEq(yt, Int) {
+			return fmt.Errorf("%s: %% requires int operands", e.Pos())
+		}
+		e.SetType(Int)
+		return nil
+	}
+	return fmt.Errorf("%s: unknown binary operator %s", e.Pos(), e.Op)
+}
+
+func isNull(e Expr) bool {
+	_, ok := e.(*NullLit)
+	return ok
+}
+
+func numeric(t Type) bool { return TypeEq(t, Int) || TypeEq(t, Real) }
+
+// comparable2 reports whether == / != is defined between the two types:
+// identical scalars, numeric pairs, or identical pointer types.
+func comparable2(a, b Type) bool {
+	if numeric(a) && numeric(b) {
+		return true
+	}
+	return TypeEq(a, b)
+}
+
+func scalarTypeOf(name string) (Type, error) {
+	switch name {
+	case "int":
+		return Int, nil
+	case "real":
+		return Real, nil
+	case "bool":
+		return Bool, nil
+	}
+	return nil, fmt.Errorf("unknown scalar type %q", name)
+}

@@ -1,0 +1,304 @@
+package lang
+
+import (
+	"fmt"
+)
+
+// Normalize rewrites the (checked) program into canonical pointer form:
+//
+//  1. every field access is a single step from a named variable
+//     (FieldExpr.X is an *Ident) — chains like p->next->next introduce
+//     temporaries;
+//  2. every store into a pointer field has a named variable or NULL on
+//     the right-hand side (p->f = q, p->f = NULL) — allocations, calls,
+//     and loads on the right of a store are hoisted into temporaries.
+//
+// These are exactly the statement forms the paper's pointer rules cover
+// (§3.3). Temporaries are named _t1, _t2, ... avoiding collisions with
+// existing names. The program must be re-checked after normalization to
+// type the introduced statements.
+func Normalize(p *Program) error {
+	for _, f := range p.Funcs {
+		n := &normalizer{prog: p, used: collectNames(p, f)}
+		body, err := n.block(f.Body)
+		if err != nil {
+			return err
+		}
+		f.Body = body
+	}
+	return nil
+}
+
+func collectNames(p *Program, f *FuncDecl) map[string]bool {
+	used := make(map[string]bool)
+	for _, prm := range f.Params {
+		used[prm.Name] = true
+	}
+	Walk(f.Body, func(s Stmt) bool {
+		switch s := s.(type) {
+		case *VarStmt:
+			used[s.Name] = true
+		case *ForStmt:
+			used[s.Var] = true
+		}
+		WalkExprs(s, func(e Expr) {
+			if id, ok := e.(*Ident); ok {
+				used[id.Name] = true
+			}
+		})
+		return true
+	})
+	return used
+}
+
+type normalizer struct {
+	prog *Program
+	used map[string]bool
+	n    int
+}
+
+func (nm *normalizer) fresh() string {
+	for {
+		nm.n++
+		name := fmt.Sprintf("_t%d", nm.n)
+		if !nm.used[name] {
+			nm.used[name] = true
+			return name
+		}
+	}
+}
+
+// hoist creates "var <type> name = e;" and returns the replacement ident.
+func (nm *normalizer) hoist(e Expr, pre *[]Stmt) (*Ident, error) {
+	t := e.Type()
+	if t == nil {
+		return nil, fmt.Errorf("%s: cannot hoist untyped expression (program not checked?)", e.Pos())
+	}
+	name := nm.fresh()
+	vs := &VarStmt{Name: name, DeclType: t, Init: e}
+	vs.pos = e.Pos()
+	*pre = append(*pre, vs)
+	return NewIdent(name, t, e.Pos()), nil
+}
+
+// expr flattens nested field chains inside e, appending hoisted
+// temporaries to pre, and returns the rewritten expression.
+func (nm *normalizer) expr(e Expr, pre *[]Stmt) (Expr, error) {
+	switch e := e.(type) {
+	case nil:
+		return nil, nil
+	case *FieldExpr:
+		x, err := nm.expr(e.X, pre)
+		if err != nil {
+			return nil, err
+		}
+		if _, ok := x.(*Ident); !ok {
+			id, err := nm.hoist(x, pre)
+			if err != nil {
+				return nil, err
+			}
+			x = id
+		}
+		e.X = x
+		if e.Index != nil {
+			idx, err := nm.expr(e.Index, pre)
+			if err != nil {
+				return nil, err
+			}
+			e.Index = idx
+		}
+		return e, nil
+	case *CallExpr:
+		for i, a := range e.Args {
+			na, err := nm.expr(a, pre)
+			if err != nil {
+				return nil, err
+			}
+			e.Args[i] = na
+		}
+		return e, nil
+	case *BinExpr:
+		x, err := nm.expr(e.X, pre)
+		if err != nil {
+			return nil, err
+		}
+		y, err := nm.expr(e.Y, pre)
+		if err != nil {
+			return nil, err
+		}
+		e.X, e.Y = x, y
+		return e, nil
+	case *UnExpr:
+		x, err := nm.expr(e.X, pre)
+		if err != nil {
+			return nil, err
+		}
+		e.X = x
+		return e, nil
+	default:
+		return e, nil
+	}
+}
+
+// isSimpleRHS reports whether e may appear on the right of a pointer
+// store without hoisting.
+func isSimpleRHS(e Expr) bool {
+	switch e.(type) {
+	case *Ident, *NullLit:
+		return true
+	}
+	return false
+}
+
+func (nm *normalizer) block(b *Block) (*Block, error) {
+	if b == nil {
+		return nil, nil
+	}
+	out := &Block{}
+	out.pos = b.pos
+	for _, s := range b.Stmts {
+		stmts, err := nm.stmt(s)
+		if err != nil {
+			return nil, err
+		}
+		out.Stmts = append(out.Stmts, stmts...)
+	}
+	return out, nil
+}
+
+func (nm *normalizer) stmt(s Stmt) ([]Stmt, error) {
+	var pre []Stmt
+	switch s := s.(type) {
+	case *Block:
+		nb, err := nm.block(s)
+		if err != nil {
+			return nil, err
+		}
+		return []Stmt{nb}, nil
+
+	case *VarStmt:
+		if s.Init != nil {
+			init, err := nm.expr(s.Init, &pre)
+			if err != nil {
+				return nil, err
+			}
+			s.Init = init
+		}
+		return append(pre, s), nil
+
+	case *AssignStmt:
+		lhs, err := nm.expr(s.LHS, &pre)
+		if err != nil {
+			return nil, err
+		}
+		rhs, err := nm.expr(s.RHS, &pre)
+		if err != nil {
+			return nil, err
+		}
+		// A store into a pointer field must have a simple RHS.
+		if fe, ok := lhs.(*FieldExpr); ok {
+			if _, isPtr := IsPointer(fe.Type()); isPtr && !isSimpleRHS(rhs) {
+				id, err := nm.hoist(rhs, &pre)
+				if err != nil {
+					return nil, err
+				}
+				rhs = id
+			}
+		}
+		s.LHS, s.RHS = lhs, rhs
+		return append(pre, s), nil
+
+	case *WhileStmt:
+		// Hoisting from a while condition must re-evaluate the hoisted
+		// loads on every iteration: declare temps before the loop,
+		// assign before the loop and again at the end of the body.
+		var condPre []Stmt
+		cond, err := nm.expr(s.Cond, &condPre)
+		if err != nil {
+			return nil, err
+		}
+		s.Cond = cond
+		body, err := nm.block(s.Body)
+		if err != nil {
+			return nil, err
+		}
+		s.Body = body
+		if len(condPre) == 0 {
+			return []Stmt{s}, nil
+		}
+		var out []Stmt
+		for _, ps := range condPre {
+			vs, ok := ps.(*VarStmt)
+			if !ok {
+				return nil, fmt.Errorf("%s: internal: condition hoisting produced %T", s.Pos(), ps)
+			}
+			decl := &VarStmt{Name: vs.Name, DeclType: vs.DeclType, Init: vs.Init}
+			decl.pos = vs.pos
+			out = append(out, decl)
+			// Re-evaluate at the end of each iteration.
+			assign := &AssignStmt{
+				LHS: NewIdent(vs.Name, vs.DeclType, vs.pos),
+				RHS: CloneExpr(vs.Init),
+			}
+			assign.pos = vs.pos
+			s.Body.Stmts = append(s.Body.Stmts, assign)
+		}
+		return append(out, s), nil
+
+	case *IfStmt:
+		cond, err := nm.expr(s.Cond, &pre)
+		if err != nil {
+			return nil, err
+		}
+		s.Cond = cond
+		then, err := nm.block(s.Then)
+		if err != nil {
+			return nil, err
+		}
+		s.Then = then
+		if s.Else != nil {
+			els, err := nm.block(s.Else)
+			if err != nil {
+				return nil, err
+			}
+			s.Else = els
+		}
+		return append(pre, s), nil
+
+	case *ReturnStmt:
+		if s.Value != nil {
+			v, err := nm.expr(s.Value, &pre)
+			if err != nil {
+				return nil, err
+			}
+			s.Value = v
+		}
+		return append(pre, s), nil
+
+	case *CallStmt:
+		call, err := nm.expr(s.Call, &pre)
+		if err != nil {
+			return nil, err
+		}
+		s.Call = call.(*CallExpr)
+		return append(pre, s), nil
+
+	case *ForStmt:
+		from, err := nm.expr(s.From, &pre)
+		if err != nil {
+			return nil, err
+		}
+		to, err := nm.expr(s.To, &pre)
+		if err != nil {
+			return nil, err
+		}
+		s.From, s.To = from, to
+		body, err := nm.block(s.Body)
+		if err != nil {
+			return nil, err
+		}
+		s.Body = body
+		return append(pre, s), nil
+	}
+	return nil, fmt.Errorf("%s: unknown statement %T", s.Pos(), s)
+}

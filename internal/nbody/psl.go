@@ -1,0 +1,297 @@
+// Package nbody implements the paper's §4 evaluation workload: the
+// Barnes-Hut N-body simulation over an ADDS-declared octree.
+//
+// It provides the program in two forms:
+//
+//   - BarnesHutPSL: the original pointer program written in PSL,
+//     faithful to §4.1/§4.3 (build_tree via expand_box and
+//     insert_particle, the BHL1/BHL2 loops, an octree whose leaves are
+//     threaded into a one-way list). This is what the analysis
+//     validates, the dependence test approves, and StripMine
+//     parallelizes; the Sequent simulator times it.
+//
+//   - A native Go implementation (see nbody.go) with sequential,
+//     strip-mined-parallel, and O(N²) direct drivers, used for real
+//     wall-clock measurements and as a cross-check of the interpreted
+//     results.
+package nbody
+
+// BarnesHutPSL is the Barnes-Hut tree code in PSL. Loop BHL1 is while
+// loop #0 of procedure timestep; BHL2 is loop #1.
+const BarnesHutPSL = `
+// Barnes-Hut N-body simulation (paper section 4).
+// The octree declaration is exactly the paper's section 4.3.1, with the
+// box geometry and particle state as data fields.
+type Octree [down][leaves]
+{ real mass;
+  real posx, posy, posz;
+  real velx, vely, velz;
+  real forcex, forcey, forcez;
+  real cx, cy, cz, half;
+  int  node_type;              // 0 = particle (leaf), 1 = internal
+  Octree *subtrees[8] is uniquely forward along down;
+  Octree *next        is uniquely forward along leaves;
+};
+
+// quadrant_of_point returns which of the 8 children of an internal node
+// covers the point (x, y, z).
+function int quadrant_of_point(Octree *t, real x, real y, real z) {
+  var int q = 0;
+  if x >= t->cx { q = q + 1; }
+  if y >= t->cy { q = q + 2; }
+  if z >= t->cz { q = q + 4; }
+  return q;
+}
+
+function real quad_cx(Octree *t, int q) {
+  if q % 2 == 1 { return t->cx + t->half / 2.0; }
+  return t->cx - t->half / 2.0;
+}
+
+function real quad_cy(Octree *t, int q) {
+  if (q / 2) % 2 == 1 { return t->cy + t->half / 2.0; }
+  return t->cy - t->half / 2.0;
+}
+
+function real quad_cz(Octree *t, int q) {
+  if (q / 4) % 2 == 1 { return t->cz + t->half / 2.0; }
+  return t->cz - t->half / 2.0;
+}
+
+function Octree * new_internal(real x, real y, real z, real h) {
+  var Octree *n = new Octree;
+  n->node_type = 1;
+  n->cx = x;
+  n->cy = y;
+  n->cz = z;
+  n->half = h;
+  return n;
+}
+
+// outside reports whether particle p falls outside t's box.
+function bool outside(Octree *t, Octree *p) {
+  if p->posx <  t->cx - t->half { return true; }
+  if p->posx >= t->cx + t->half { return true; }
+  if p->posy <  t->cy - t->half { return true; }
+  if p->posy >= t->cy + t->half { return true; }
+  if p->posz <  t->cz - t->half { return true; }
+  if p->posz >= t->cz + t->half { return true; }
+  return false;
+}
+
+// expand_box extends the tree upward, adding nodes until the tree
+// represents a space large enough to include p (section 4.3.2).
+function Octree * expand_box(Octree *p, Octree *root) {
+  if root == NULL {
+    return new_internal(p->posx, p->posy, p->posz, 1.0);
+  }
+  var Octree *r = root;
+  while outside(r, p) {
+    var real h = r->half;
+    var real nx = r->cx - h;
+    var real ny = r->cy - h;
+    var real nz = r->cz - h;
+    if p->posx >= r->cx { nx = r->cx + h; }
+    if p->posy >= r->cy { ny = r->cy + h; }
+    if p->posz >= r->cz { nz = r->cz + h; }
+    var Octree *nr = new_internal(nx, ny, nz, h * 2.0);
+    var int q = quadrant_of_point(nr, r->cx, r->cy, r->cz);
+    nr->subtrees[q] = r;
+    r = nr;
+  }
+  return r;
+}
+
+// insert_particle goes down the tree looking for p's quadrant; if the
+// quadrant is occupied by another particle, the quadrant is subdivided
+// until the two particles fall in different quadrants (section 4.3.2).
+// Note the temporary sharing: the competitor child is stored under the
+// new subtree while the original tree still points at it; the final
+// store of sub into t repairs the abstraction.
+procedure insert_particle(Octree *p, Octree *root) {
+  var Octree *t = root;
+  var bool done = false;
+  while !done {
+    var int q = quadrant_of_point(t, p->posx, p->posy, p->posz);
+    var Octree *child = t->subtrees[q];
+    if child == NULL {
+      t->subtrees[q] = p;
+      done = true;
+    } else {
+      if child->node_type == 1 {
+        t = child;
+      } else {
+        // Two particles in one quadrant: subdivide. Nudge exact
+        // coincidences apart so subdivision terminates.
+        if child->posx == p->posx {
+          if child->posy == p->posy {
+            if child->posz == p->posz {
+              p->posx = p->posx + t->half * 0.001 + 0.0000001;
+            }
+          }
+        }
+        var Octree *sub = new_internal(quad_cx(t, q), quad_cy(t, q), quad_cz(t, q), t->half / 2.0);
+        var int cq = quadrant_of_point(sub, child->posx, child->posy, child->posz);
+        sub->subtrees[cq] = child;   // temporary sharing with t->subtrees[q]
+        t->subtrees[q] = sub;        // repair: sub replaces child
+        t = sub;
+      }
+    }
+  }
+}
+
+// build_tree builds the octree bottom-up from the particle list
+// (section 4.3.2).
+function Octree * build_tree(Octree *particles) {
+  var Octree *p = particles;
+  var Octree *root = NULL;
+  while p != NULL {
+    root = expand_box(p, root);
+    insert_particle(p, root);
+    p = p->next;
+  }
+  return root;
+}
+
+// compute_mass aggregates total mass and center of mass bottom-up so
+// that internal nodes can stand in for their particles.
+procedure compute_mass(Octree *t) {
+  if t == NULL { return; }
+  if t->node_type == 0 { return; }
+  var real m = 0.0;
+  var real mx = 0.0;
+  var real my = 0.0;
+  var real mz = 0.0;
+  for i = 0 to 7 {
+    var Octree *c = t->subtrees[i];
+    if c != NULL {
+      compute_mass(c);
+      m = m + c->mass;
+      mx = mx + c->mass * c->posx;
+      my = my + c->mass * c->posy;
+      mz = mz + c->mass * c->posz;
+    }
+  }
+  t->mass = m;
+  if m > 0.0 {
+    t->posx = mx / m;
+    t->posy = my / m;
+    t->posz = mz / m;
+  }
+}
+
+// add_pair_force accumulates the gravitational pull of a point mass at
+// (x, y, z) into p's force vector (softened to avoid singularities).
+procedure add_pair_force(Octree *p, real m, real x, real y, real z) {
+  var real dx = x - p->posx;
+  var real dy = y - p->posy;
+  var real dz = z - p->posz;
+  var real d2 = dx * dx + dy * dy + dz * dz + 0.0001;
+  var real d = sqrt(d2);
+  var real f = m * p->mass / (d2 * d);
+  p->forcex = p->forcex + f * dx;
+  p->forcey = p->forcey + f * dy;
+  p->forcez = p->forcez + f * dz;
+}
+
+// compute_force recursively descends the tree, finding nodes to include
+// in the force calculation; once a node is WELL-SEPARATED its subtrees
+// are ignored (section 4.1).
+procedure compute_force(Octree *p, Octree *node, real theta) {
+  if node == NULL { return; }
+  if node->node_type == 0 {
+    if node != p {
+      add_pair_force(p, node->mass, node->posx, node->posy, node->posz);
+    }
+    return;
+  }
+  var real dx = node->posx - p->posx;
+  var real dy = node->posy - p->posy;
+  var real dz = node->posz - p->posz;
+  var real dist = sqrt(dx * dx + dy * dy + dz * dz) + 0.000001;
+  if node->half * 2.0 / dist < theta {
+    add_pair_force(p, node->mass, node->posx, node->posy, node->posz);
+  } else {
+    for i = 0 to 7 {
+      compute_force(p, node->subtrees[i], theta);
+    }
+  }
+}
+
+// compute_new_vel_pos updates the velocity and position vectors given
+// the new force upon the particle (section 4.1).
+procedure compute_new_vel_pos(Octree *p, real dt) {
+  var real ax = p->forcex / p->mass;
+  var real ay = p->forcey / p->mass;
+  var real az = p->forcez / p->mass;
+  p->velx = p->velx + ax * dt;
+  p->vely = p->vely + ay * dt;
+  p->velz = p->velz + az * dt;
+  p->posx = p->posx + p->velx * dt;
+  p->posy = p->posy + p->vely * dt;
+  p->posz = p->posz + p->velz * dt;
+}
+
+// make_particles builds the particle list: fresh leaves threaded along
+// the leaves dimension.
+function Octree * make_particles(int n) {
+  var Octree *head = NULL;
+  var int i = 0;
+  while i < n {
+    var Octree *p = new Octree;
+    p->node_type = 0;
+    p->mass = 1.0 + rand();
+    p->posx = rand() * 100.0 - 50.0;
+    p->posy = rand() * 100.0 - 50.0;
+    p->posz = rand() * 100.0 - 50.0;
+    p->velx = rand() * 0.1 - 0.05;
+    p->vely = rand() * 0.1 - 0.05;
+    p->velz = rand() * 0.1 - 0.05;
+    p->next = head;
+    head = p;
+    i = i + 1;
+  }
+  return head;
+}
+
+// timestep applies one simulation step: rebuild the tree (L2 moved the
+// particles), then BHL1 computes forces and BHL2 integrates.
+procedure timestep(Octree *particles, real theta, real dt) {
+  var Octree *root = build_tree(particles);
+  compute_mass(root);
+  var Octree *p = particles;
+  while p != NULL {            // BHL1
+    p->forcex = 0.0;
+    p->forcey = 0.0;
+    p->forcez = 0.0;
+    compute_force(p, root, theta);
+    p = p->next;
+  }
+  p = particles;
+  while p != NULL {            // BHL2
+    compute_new_vel_pos(p, dt);
+    p = p->next;
+  }
+}
+
+// simulate runs the full N-body simulation for the given number of time
+// steps and returns the particle list for inspection.
+function Octree * simulate(int n, int steps, real theta, real dt) {
+  var Octree *particles = make_particles(n);
+  var int s = 0;
+  while s < steps {
+    timestep(particles, theta, dt);
+    s = s + 1;
+  }
+  return particles;
+}
+`
+
+// TimestepFunc is the function containing BHL1 and BHL2.
+const TimestepFunc = "timestep"
+
+// Loop indices within timestep.
+const (
+	BHL1 = 0
+	BHL2 = 1
+)

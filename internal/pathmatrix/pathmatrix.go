@@ -1,0 +1,727 @@
+// Package pathmatrix implements the path matrix abstraction of Hendren &
+// Nicolau, extended per Hummel/Nicolau/Hendren (ICPP 1992) to "general"
+// path matrices driven by ADDS declarations.
+//
+// A path matrix PM is indexed by the live pointer handles (variables,
+// plus primed handles such as p' that denote a variable's value in the
+// previous loop iteration). The entry PM(r, s) records the relationship
+// from the node pointed to by r to the node pointed to by s:
+//
+//   - an alias component: NoAlias (the exploitable guarantee: r and s
+//     definitely point to different nodes), PossibleAlias (printed "=?"),
+//     or DefiniteAlias (printed "=");
+//   - a set of definite path descriptors: Exact descriptors record a
+//     single currently-existing edge ("r->f == s right now"; printed
+//     "f"), and Plus descriptors record a path of one or more links
+//     through a set of fields (printed "f+").
+//
+// Exact descriptors carry an edge identity so that abstraction
+// violations (package analysis) can be cleared when the specific edge
+// that witnessed them is destroyed, mirroring the paper's "an entry is
+// added to the path matrix encoding the violation ... later the entry is
+// removed" (§3.3.1).
+//
+// The package is deliberately declaration-agnostic: it stores and joins
+// relationships. Interpreting fields against ADDS dimensions and
+// directions is the analysis's job.
+package pathmatrix
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Alias is the alias component of an entry.
+type Alias int
+
+// Alias values. The zero value is NoAlias: an absent entry guarantees
+// the two handles are not aliases (the paper's "empty entry ... does
+// guarantee that the two pointers are not aliases").
+const (
+	NoAlias Alias = iota
+	PossibleAlias
+	DefiniteAlias
+)
+
+// String renders the paper's notation.
+func (a Alias) String() string {
+	switch a {
+	case DefiniteAlias:
+		return "="
+	case PossibleAlias:
+		return "=?"
+	default:
+		return ""
+	}
+}
+
+// JoinAlias is the least upper bound of two alias values: facts that
+// differ across paths weaken to PossibleAlias.
+func JoinAlias(a, b Alias) Alias {
+	if a == b {
+		return a
+	}
+	return PossibleAlias
+}
+
+// Desc is one definite path descriptor. Its kind is one of:
+//
+//   - exact (Exact=true): a single, currently-existing edge via
+//     Fields[0] (printed "f");
+//   - plus (Exact=false, Star=false): a definite path of one or more
+//     links over the field set (printed "f+");
+//   - star (Star=true): a definite path of zero or more links (printed
+//     "f*"). Zero links means the endpoints coincide, so a star entry
+//     carries no non-alias guarantee by itself; it exists so that the
+//     loop-head join of "=" (zero steps) with "f+" (≥1 steps) keeps the
+//     path information that lets the next load re-derive "f+".
+type Desc struct {
+	// Fields is the sorted set of field names the path uses.
+	Fields []string
+	// Exact marks a single, currently-existing edge via Fields[0].
+	// len(Fields) == 1 when Exact.
+	Exact bool
+	// Star marks a ≥0-length path.
+	Star bool
+	// EdgeID identifies an exact edge for join bookkeeping; 0 otherwise.
+	EdgeID int
+	// Index is the source text of the index expression for exact edges
+	// through pointer-array fields ("q" in p->subtrees[q]); "" for
+	// plain pointer fields. The sentinel "?" marks an index the
+	// analysis cannot compare.
+	Index string
+}
+
+// ExactDesc returns an exact single-edge descriptor.
+func ExactDesc(field string, edgeID int) Desc {
+	return Desc{Fields: []string{field}, Exact: true, EdgeID: edgeID}
+}
+
+// ExactIndexedDesc returns an exact edge through one element of a
+// pointer-array field.
+func ExactIndexedDesc(field, index string, edgeID int) Desc {
+	return Desc{Fields: []string{field}, Exact: true, EdgeID: edgeID, Index: index}
+}
+
+// PlusDesc returns a ≥1-link path descriptor over the given fields.
+func PlusDesc(fields ...string) Desc {
+	fs := append([]string(nil), fields...)
+	sort.Strings(fs)
+	fs = dedupSorted(fs)
+	return Desc{Fields: fs}
+}
+
+// StarDesc returns a ≥0-link path descriptor over the given fields.
+func StarDesc(fields ...string) Desc {
+	d := PlusDesc(fields...)
+	d.Star = true
+	return d
+}
+
+func dedupSorted(fs []string) []string {
+	out := fs[:0]
+	for i, f := range fs {
+		if i == 0 || f != fs[i-1] {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+// String renders "f" (or "f[q]") for exact edges, "f+" / "(f.g)+" for
+// ≥1 paths, and "f*" / "(f.g)*" for ≥0 paths.
+func (d Desc) String() string {
+	if d.Exact {
+		if d.Index != "" {
+			return d.Fields[0] + "[" + d.Index + "]"
+		}
+		return d.Fields[0]
+	}
+	suffix := "+"
+	if d.Star {
+		suffix = "*"
+	}
+	if len(d.Fields) == 1 {
+		return d.Fields[0] + suffix
+	}
+	return "(" + strings.Join(d.Fields, ".") + ")" + suffix
+}
+
+// sameFields reports whether the two descriptors use the same field set.
+func sameFields(a, b Desc) bool {
+	if len(a.Fields) != len(b.Fields) {
+		return false
+	}
+	for i := range a.Fields {
+		if a.Fields[i] != b.Fields[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// HasField reports whether the descriptor's field set contains f.
+func (d Desc) HasField(f string) bool {
+	for _, x := range d.Fields {
+		if x == f {
+			return true
+		}
+	}
+	return false
+}
+
+// Entry is one cell of the matrix.
+type Entry struct {
+	Alias Alias
+	Descs []Desc
+}
+
+// IsZero reports whether the entry carries no information beyond the
+// non-alias guarantee.
+func (e Entry) IsZero() bool { return e.Alias == NoAlias && len(e.Descs) == 0 }
+
+// HasExact returns the edge ID of an exact descriptor via the plain
+// (non-array) field f, if any.
+func (e Entry) HasExact(f string) (int, bool) {
+	for _, d := range e.Descs {
+		if d.Exact && d.Fields[0] == f && d.Index == "" {
+			return d.EdgeID, true
+		}
+	}
+	return 0, false
+}
+
+// HasExactField reports whether any exact edge uses field f, indexed or
+// not.
+func (e Entry) HasExactField(f string) bool {
+	for _, d := range e.Descs {
+		if d.Exact && d.Fields[0] == f {
+			return true
+		}
+	}
+	return false
+}
+
+// HasPath reports whether the entry records any definite path (exact or
+// plus).
+func (e Entry) HasPath() bool { return len(e.Descs) > 0 }
+
+// AddDesc adds a descriptor, deduplicating by field set and kind. An
+// exact descriptor subsumes nothing and is never subsumed: both an exact
+// edge and a plus path over the same field may coexist (q->f == s and
+// also a longer f-path from q to s cannot both hold for trees, but can
+// for general graphs until validated).
+func (e *Entry) AddDesc(d Desc) {
+	for i, x := range e.Descs {
+		if x.Exact == d.Exact && x.Star == d.Star && x.Index == d.Index && sameFields(x, d) {
+			if d.Exact {
+				// Replace: the newer edge identity wins (the statement
+				// that created it overwrote the field).
+				e.Descs[i] = d
+			}
+			return
+		}
+	}
+	e.Descs = append(e.Descs, d)
+	e.dropSubsumedStars()
+	e.normalize()
+}
+
+func (e *Entry) normalize() {
+	sort.Slice(e.Descs, func(i, j int) bool {
+		a, b := e.Descs[i], e.Descs[j]
+		if a.Exact != b.Exact {
+			return a.Exact
+		}
+		if a.Star != b.Star {
+			return b.Star
+		}
+		as, bs := strings.Join(a.Fields, "."), strings.Join(b.Fields, ".")
+		if as != bs {
+			return as < bs
+		}
+		if a.Index != b.Index {
+			return a.Index < b.Index
+		}
+		return a.EdgeID < b.EdgeID
+	})
+}
+
+// RemoveExact deletes exact descriptors via field f (any index),
+// returning the IDs of the removed edges.
+func (e *Entry) RemoveExact(f string) []int {
+	var removed []int
+	out := e.Descs[:0]
+	for _, d := range e.Descs {
+		if d.Exact && d.Fields[0] == f {
+			removed = append(removed, d.EdgeID)
+			continue
+		}
+		out = append(out, d)
+	}
+	e.Descs = out
+	if len(e.Descs) == 0 {
+		e.Descs = nil
+	}
+	return removed
+}
+
+// RemovePathsUsing deletes every descriptor whose field set contains f
+// (both exact and plus), returning removed exact edge IDs. Used by the
+// store rule to invalidate paths that may run through an overwritten
+// edge.
+func (e *Entry) RemovePathsUsing(f string) []int {
+	var removed []int
+	out := e.Descs[:0]
+	for _, d := range e.Descs {
+		if d.HasField(f) {
+			if d.Exact {
+				removed = append(removed, d.EdgeID)
+			}
+			continue
+		}
+		out = append(out, d)
+	}
+	e.Descs = out
+	if len(e.Descs) == 0 {
+		e.Descs = nil
+	}
+	return removed
+}
+
+// RemoveExactsIndexedBy deletes exact descriptors whose index text
+// equals idx (used when the index variable is reassigned and the
+// recorded element identity goes stale).
+func (e *Entry) RemoveExactsIndexedBy(idx string) {
+	out := e.Descs[:0]
+	for _, d := range e.Descs {
+		if d.Exact && d.Index == idx {
+			continue
+		}
+		out = append(out, d)
+	}
+	e.Descs = out
+	if len(e.Descs) == 0 {
+		e.Descs = nil
+	}
+}
+
+// RemoveNonExactUsing deletes plus/star descriptors whose field set
+// contains f, keeping exact edges (which are known to emanate from a
+// different node than the one being stored through).
+func (e *Entry) RemoveNonExactUsing(f string) {
+	out := e.Descs[:0]
+	for _, d := range e.Descs {
+		if !d.Exact && d.HasField(f) {
+			continue
+		}
+		out = append(out, d)
+	}
+	e.Descs = out
+	if len(e.Descs) == 0 {
+		e.Descs = nil
+	}
+}
+
+// Clone deep-copies the entry.
+func (e Entry) Clone() Entry {
+	ne := Entry{Alias: e.Alias}
+	if len(e.Descs) > 0 {
+		ne.Descs = make([]Desc, len(e.Descs))
+		for i, d := range e.Descs {
+			ne.Descs[i] = Desc{Fields: append([]string(nil), d.Fields...),
+				Exact: d.Exact, Star: d.Star, EdgeID: d.EdgeID, Index: d.Index}
+		}
+	}
+	return ne
+}
+
+// JoinEntry computes the least upper bound of two entries: alias
+// components weaken via JoinAlias; definite paths survive only if both
+// sides record them (or one side is a definite alias, which acts as a
+// zero-length path and joins with any path into a star). Exact
+// descriptors with the same edge identity stay exact; exact edges
+// established separately on each side weaken to a plus path.
+func JoinEntry(a, b Entry) Entry {
+	out := Entry{Alias: JoinAlias(a.Alias, b.Alias)}
+	for _, da := range a.Descs {
+		for _, db := range b.Descs {
+			if !sameFields(da, db) {
+				continue
+			}
+			switch {
+			case da.Star || db.Star:
+				out.AddDesc(StarDesc(da.Fields...))
+			case da.Exact && db.Exact && da.EdgeID == db.EdgeID && da.Index == db.Index:
+				out.AddDesc(da)
+			case da.Exact == db.Exact && !da.Exact:
+				out.AddDesc(da)
+			default:
+				// exact vs plus, or exact vs different exact: weaken.
+				out.AddDesc(PlusDesc(da.Fields...))
+			}
+		}
+	}
+	// A definite alias is a zero-length path: joined with the other
+	// side's paths it yields ≥0 paths, preserving reachability facts
+	// across loop-head joins. Fields already covered by the pairwise
+	// rules are skipped so that join stays idempotent.
+	hasFields := func(e Entry, d Desc) bool {
+		for _, x := range e.Descs {
+			if sameFields(x, d) {
+				return true
+			}
+		}
+		return false
+	}
+	if a.Alias == DefiniteAlias {
+		for _, db := range b.Descs {
+			if !hasFields(a, db) {
+				out.AddDesc(StarDesc(db.Fields...))
+			}
+		}
+	}
+	if b.Alias == DefiniteAlias {
+		for _, da := range a.Descs {
+			if !hasFields(b, da) {
+				out.AddDesc(StarDesc(da.Fields...))
+			}
+		}
+	}
+	// Star subsumption: drop a star when a plus over the same fields is
+	// present (≥1 implies ≥0) to keep entries small and displays clean.
+	out.dropSubsumedStars()
+	return out
+}
+
+func (e *Entry) dropSubsumedStars() {
+	keep := e.Descs[:0]
+	for _, d := range e.Descs {
+		if d.Star {
+			subsumed := false
+			for _, x := range e.Descs {
+				if !x.Star && !x.Exact && sameFields(x, d) {
+					subsumed = true
+					break
+				}
+			}
+			if subsumed {
+				continue
+			}
+		}
+		keep = append(keep, d)
+	}
+	e.Descs = keep
+	if len(e.Descs) == 0 {
+		e.Descs = nil
+	}
+}
+
+// EqualEntry reports structural equality (used for fixed-point checks).
+func EqualEntry(a, b Entry) bool {
+	if a.Alias != b.Alias || len(a.Descs) != len(b.Descs) {
+		return false
+	}
+	for i := range a.Descs {
+		da, db := a.Descs[i], b.Descs[i]
+		if da.Exact != db.Exact || da.Star != db.Star || da.EdgeID != db.EdgeID ||
+			da.Index != db.Index || !sameFields(da, db) {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the entry in the paper's notation: "=", "=?", "next",
+// "next+", or combinations separated by commas.
+func (e Entry) String() string {
+	var parts []string
+	if s := e.Alias.String(); s != "" {
+		parts = append(parts, s)
+	}
+	for _, d := range e.Descs {
+		parts = append(parts, d.String())
+	}
+	return strings.Join(parts, ",")
+}
+
+// ---------------------------------------------------------------------------
+// Matrix
+
+// Matrix is a path matrix over a set of handles.
+type Matrix struct {
+	handles []string
+	index   map[string]int
+	cells   map[[2]int]Entry
+}
+
+// New returns a matrix over the given handles. Diagonal entries are
+// DefiniteAlias (every handle aliases itself); all others are zero
+// (NoAlias): callers establish initial relationships explicitly.
+func New(handles ...string) *Matrix {
+	m := &Matrix{index: make(map[string]int), cells: make(map[[2]int]Entry)}
+	for _, h := range handles {
+		m.AddHandle(h)
+	}
+	return m
+}
+
+// Handles returns the handle names in insertion order.
+func (m *Matrix) Handles() []string {
+	return append([]string(nil), m.handles...)
+}
+
+// HasHandle reports whether h is tracked.
+func (m *Matrix) HasHandle(h string) bool {
+	_, ok := m.index[h]
+	return ok
+}
+
+// AddHandle introduces a handle with a definite self-alias and no other
+// relationships. Adding an existing handle is a no-op.
+func (m *Matrix) AddHandle(h string) {
+	if _, ok := m.index[h]; ok {
+		return
+	}
+	i := len(m.handles)
+	m.handles = append(m.handles, h)
+	m.index[h] = i
+	m.cells[[2]int{i, i}] = Entry{Alias: DefiniteAlias}
+}
+
+// RemoveHandle deletes a handle and all its relationships.
+func (m *Matrix) RemoveHandle(h string) {
+	i, ok := m.index[h]
+	if !ok {
+		return
+	}
+	for k := range m.cells {
+		if k[0] == i || k[1] == i {
+			delete(m.cells, k)
+		}
+	}
+	// Compact indices: rebuild.
+	handles := append([]string(nil), m.handles[:i]...)
+	handles = append(handles, m.handles[i+1:]...)
+	old := m.cells
+	oldIndexOf := func(n int) int {
+		if n >= i {
+			return n + 1
+		}
+		return n
+	}
+	m.handles = handles
+	m.index = make(map[string]int, len(handles))
+	for j, h := range handles {
+		m.index[h] = j
+	}
+	m.cells = make(map[[2]int]Entry, len(old))
+	for j := range handles {
+		for k := range handles {
+			if e, ok := old[[2]int{oldIndexOf(j), oldIndexOf(k)}]; ok {
+				m.cells[[2]int{j, k}] = e
+			}
+		}
+	}
+}
+
+// Kill resets all of h's relationships (but keeps the handle): used when
+// h is reassigned or set to NULL. The self entry returns to definite.
+func (m *Matrix) Kill(h string) {
+	i, ok := m.index[h]
+	if !ok {
+		return
+	}
+	for k := range m.cells {
+		if k[0] == i || k[1] == i {
+			delete(m.cells, k)
+		}
+	}
+	m.cells[[2]int{i, i}] = Entry{Alias: DefiniteAlias}
+}
+
+// Get returns the entry from r to s (zero entry if either is untracked).
+func (m *Matrix) Get(r, s string) Entry {
+	i, ok := m.index[r]
+	if !ok {
+		return Entry{}
+	}
+	j, ok := m.index[s]
+	if !ok {
+		return Entry{}
+	}
+	return m.cells[[2]int{i, j}]
+}
+
+// Set stores the entry from r to s. Both handles must be tracked.
+func (m *Matrix) Set(r, s string, e Entry) {
+	i, ok := m.index[r]
+	if !ok {
+		panic(fmt.Sprintf("pathmatrix: Set: unknown handle %q", r))
+	}
+	j, ok := m.index[s]
+	if !ok {
+		panic(fmt.Sprintf("pathmatrix: Set: unknown handle %q", s))
+	}
+	if e.IsZero() && i != j {
+		delete(m.cells, [2]int{i, j})
+		return
+	}
+	m.cells[[2]int{i, j}] = e
+}
+
+// Update applies fn to the entry from r to s and stores the result.
+func (m *Matrix) Update(r, s string, fn func(*Entry)) {
+	e := m.Get(r, s).Clone()
+	fn(&e)
+	m.Set(r, s, e)
+}
+
+// Clone deep-copies the matrix.
+func (m *Matrix) Clone() *Matrix {
+	n := &Matrix{
+		handles: append([]string(nil), m.handles...),
+		index:   make(map[string]int, len(m.index)),
+		cells:   make(map[[2]int]Entry, len(m.cells)),
+	}
+	for k, v := range m.index {
+		n.index[k] = v
+	}
+	for k, v := range m.cells {
+		n.cells[k] = v.Clone()
+	}
+	return n
+}
+
+// Join computes the least upper bound of two matrices over the union of
+// their handle sets. A handle present on only one side contributes its
+// entries weakened against the zero entry (alias facts weaken to
+// PossibleAlias unless both sides agree).
+func Join(a, b *Matrix) *Matrix {
+	out := New()
+	for _, h := range a.handles {
+		out.AddHandle(h)
+	}
+	for _, h := range b.handles {
+		out.AddHandle(h)
+	}
+	for _, r := range out.handles {
+		for _, s := range out.handles {
+			var e Entry
+			inA := a.HasHandle(r) && a.HasHandle(s)
+			inB := b.HasHandle(r) && b.HasHandle(s)
+			switch {
+			case inA && inB:
+				e = JoinEntry(a.Get(r, s), b.Get(r, s))
+			case inA:
+				e = a.Get(r, s).Clone()
+			case inB:
+				e = b.Get(r, s).Clone()
+			}
+			out.Set(r, s, e)
+		}
+	}
+	return out
+}
+
+// Equal reports whether the two matrices have identical handle sets and
+// entries (fixed-point test).
+func Equal(a, b *Matrix) bool {
+	if len(a.handles) != len(b.handles) {
+		return false
+	}
+	for _, h := range a.handles {
+		if !b.HasHandle(h) {
+			return false
+		}
+	}
+	for _, r := range a.handles {
+		for _, s := range a.handles {
+			if !EqualEntry(a.Get(r, s), b.Get(r, s)) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// CopyRelationships makes dst's relationships identical to src's
+// (including the mutual definite alias), as required by "dst = src".
+// dst's previous relationships must already be killed.
+func (m *Matrix) CopyRelationships(dst, src string) {
+	for _, h := range m.handles {
+		if h == dst || h == src {
+			continue
+		}
+		m.Set(dst, h, m.Get(src, h).Clone())
+		m.Set(h, dst, m.Get(h, src).Clone())
+	}
+	m.Set(dst, src, Entry{Alias: DefiniteAlias})
+	m.Set(src, dst, Entry{Alias: DefiniteAlias})
+	m.Set(dst, dst, Entry{Alias: DefiniteAlias})
+}
+
+// Aliases enumerates handles h with a definite or possible alias to r
+// (excluding r itself).
+func (m *Matrix) Aliases(r string, includePossible bool) []string {
+	var out []string
+	for _, h := range m.handles {
+		if h == r {
+			continue
+		}
+		a := m.Get(r, h).Alias
+		if a == DefiniteAlias || (includePossible && a == PossibleAlias) {
+			out = append(out, h)
+		}
+	}
+	return out
+}
+
+// String renders the matrix as the paper prints them:
+//
+//	        | head    | p       | p'
+//	head    | =       | next+   |
+//	p       |         | =       |
+//	p'      |         | next    | =
+func (m *Matrix) String() string {
+	cols := make([]int, len(m.handles)+1)
+	for _, h := range m.handles {
+		if len(h) > cols[0] {
+			cols[0] = len(h)
+		}
+	}
+	grid := make([][]string, len(m.handles))
+	for i, r := range m.handles {
+		grid[i] = make([]string, len(m.handles))
+		for j, s := range m.handles {
+			cell := m.Get(r, s).String()
+			grid[i][j] = cell
+			if len(cell) > cols[j+1] {
+				cols[j+1] = len(cell)
+			}
+			if len(s) > cols[j+1] {
+				cols[j+1] = len(s)
+			}
+		}
+	}
+	var b strings.Builder
+	pad := func(s string, w int) string {
+		return s + strings.Repeat(" ", w-len(s))
+	}
+	b.WriteString(pad("", cols[0]))
+	for j, s := range m.handles {
+		b.WriteString(" | ")
+		b.WriteString(pad(s, cols[j+1]))
+	}
+	b.WriteString("\n")
+	for i, r := range m.handles {
+		b.WriteString(pad(r, cols[0]))
+		for j := range m.handles {
+			b.WriteString(" | ")
+			b.WriteString(pad(grid[i][j], cols[j+1]))
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}

@@ -1,0 +1,114 @@
+package sequent
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/interp"
+)
+
+// smallConfig keeps unit tests fast: small N, one measured step.
+func smallConfig() TableConfig {
+	cfg := DefaultTableConfig()
+	cfg.Ns = []int{32, 64}
+	cfg.PEs = []int{4, 7}
+	cfg.MeasureSteps = 1
+	cfg.Steps = 80
+	cfg.CalibrateSeconds = 188
+	return cfg
+}
+
+func TestBarnesHutTableShape(t *testing.T) {
+	table, err := BarnesHutTable(smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(table.Rows) != 2 {
+		t.Fatalf("rows = %d", len(table.Rows))
+	}
+	// Calibration anchors the first sequential time.
+	if got := table.Rows[0].Seq; got < 187 || got > 189 {
+		t.Errorf("calibrated seq seconds = %g, want ≈188", got)
+	}
+	for _, r := range table.Rows {
+		s4, s7 := r.Speedup[4], r.Speedup[7]
+		if s4 <= 1 || s7 <= 1 {
+			t.Errorf("N=%d: speedups must exceed 1: %g, %g", r.N, s4, s7)
+		}
+		if s7 <= s4 {
+			t.Errorf("N=%d: par(7) %g must beat par(4) %g", r.N, s7, s4)
+		}
+		if s4 >= 4 || s7 >= 7 {
+			t.Errorf("N=%d: speedups must be sublinear: %g, %g", r.N, s4, s7)
+		}
+		if r.Par[4] >= r.Seq || r.Par[7] >= r.Par[4] {
+			t.Errorf("N=%d: times must order seq > par4 > par7: %g, %g, %g",
+				r.N, r.Seq, r.Par[4], r.Par[7])
+		}
+	}
+	// The paper's trend: speedup grows with N (relative sync overhead
+	// shrinks).
+	if table.Rows[1].Speedup[4] <= table.Rows[0].Speedup[4] {
+		t.Errorf("par(4) speedup should grow with N: %g then %g",
+			table.Rows[0].Speedup[4], table.Rows[1].Speedup[4])
+	}
+}
+
+func TestTableFormatting(t *testing.T) {
+	table, err := BarnesHutTable(TableConfig{
+		Ns: []int{16}, Steps: 80, MeasureSteps: 1, PEs: []int{4},
+		Theta: 0.5, Dt: 0.01, Seed: 7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	times := table.FormatTimes()
+	for _, want := range []string{"TIMES", "N = 16", "seq", "par(4)"} {
+		if !strings.Contains(times, want) {
+			t.Errorf("times table missing %q:\n%s", want, times)
+		}
+	}
+	speeds := table.FormatSpeedups()
+	if !strings.Contains(speeds, "SPEEDUP") || !strings.Contains(speeds, "1.0") {
+		t.Errorf("speedup table malformed:\n%s", speeds)
+	}
+}
+
+func TestMachineRun(t *testing.T) {
+	m := NewMachine(2)
+	if m.ClockHz != DefaultClockHz || m.PEs != 2 {
+		t.Errorf("machine = %+v", m)
+	}
+	// Seconds must equal cycles/clock.
+	cfg := TableConfig{Ns: []int{8}, Steps: 1, MeasureSteps: 1, PEs: []int{2},
+		Theta: 0.5, Dt: 0.01, Seed: 7}
+	table, err := BarnesHutTable(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if table.Rows[0].Seq <= 0 {
+		t.Error("sequential seconds must be positive")
+	}
+}
+
+func TestSchedulingAblation(t *testing.T) {
+	// Block vs cyclic scheduling both work; with BH's irregular
+	// per-particle costs the elapsed times generally differ.
+	base := smallConfig()
+	base.Ns = []int{48}
+	base.CalibrateSeconds = 0
+
+	cyc, err := BarnesHutTable(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	blk := base
+	blk.Sched = interp.Block
+	blkT, err := BarnesHutTable(blk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cyc.Rows[0].Par[4] <= 0 || blkT.Rows[0].Par[4] <= 0 {
+		t.Error("both schedules must produce positive times")
+	}
+}

@@ -1,0 +1,312 @@
+// Package list implements the paper's §3.1.1 one-way and §2.2 two-way
+// linked lists as generic Go containers, with runtime verifiers for the
+// ADDS properties their declarations promise (acyclicity and uniqueness
+// along the X dimension) and a strip-mined parallel traversal that
+// mirrors the paper's §4.3.3 transformation.
+package list
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Node is a one-way list node ("OneWayList *next is uniquely forward
+// along X").
+type Node[T any] struct {
+	Data T
+	Next *Node[T]
+}
+
+// List is a one-way linked list with O(1) append.
+type List[T any] struct {
+	head, tail *Node[T]
+	n          int
+}
+
+// New builds a list from the given elements.
+func New[T any](xs ...T) *List[T] {
+	l := &List[T]{}
+	for _, x := range xs {
+		l.Append(x)
+	}
+	return l
+}
+
+// Len returns the number of nodes.
+func (l *List[T]) Len() int { return l.n }
+
+// Head returns the first node (nil when empty).
+func (l *List[T]) Head() *Node[T] { return l.head }
+
+// Append adds x at the tail.
+func (l *List[T]) Append(x T) *Node[T] {
+	node := &Node[T]{Data: x}
+	if l.tail == nil {
+		l.head, l.tail = node, node
+	} else {
+		l.tail.Next = node
+		l.tail = node
+	}
+	l.n++
+	return node
+}
+
+// Prepend adds x at the head.
+func (l *List[T]) Prepend(x T) *Node[T] {
+	node := &Node[T]{Data: x, Next: l.head}
+	l.head = node
+	if l.tail == nil {
+		l.tail = node
+	}
+	l.n++
+	return node
+}
+
+// InsertAfter inserts x after node n (which must belong to the list).
+func (l *List[T]) InsertAfter(n *Node[T], x T) *Node[T] {
+	node := &Node[T]{Data: x, Next: n.Next}
+	n.Next = node
+	if l.tail == n {
+		l.tail = node
+	}
+	l.n++
+	return node
+}
+
+// Remove unlinks the first node for which pred holds and reports
+// whether one was removed.
+func (l *List[T]) Remove(pred func(T) bool) bool {
+	var prev *Node[T]
+	for p := l.head; p != nil; p = p.Next {
+		if pred(p.Data) {
+			if prev == nil {
+				l.head = p.Next
+			} else {
+				prev.Next = p.Next
+			}
+			if l.tail == p {
+				l.tail = prev
+			}
+			l.n--
+			return true
+		}
+		prev = p
+	}
+	return false
+}
+
+// Each applies fn to every element in order.
+func (l *List[T]) Each(fn func(*Node[T])) {
+	for p := l.head; p != nil; p = p.Next {
+		fn(p)
+	}
+}
+
+// Slice copies the elements into a slice.
+func (l *List[T]) Slice() []T {
+	out := make([]T, 0, l.n)
+	for p := l.head; p != nil; p = p.Next {
+		out = append(out, p.Data)
+	}
+	return out
+}
+
+// Reverse reverses the list in place. (A shape-preserving rearrangement:
+// the ADDS abstraction is temporarily broken mid-loop and restored at
+// exit, exactly the §3.3.1 pattern.)
+func (l *List[T]) Reverse() {
+	var prev *Node[T]
+	p := l.head
+	l.tail = p
+	for p != nil {
+		next := p.Next
+		p.Next = prev
+		prev = p
+		p = next
+	}
+	l.head = prev
+}
+
+// Map builds a new list by applying fn to each element.
+func Map[T, U any](l *List[T], fn func(T) U) *List[U] {
+	out := New[U]()
+	for p := l.head; p != nil; p = p.Next {
+		out.Append(fn(p.Data))
+	}
+	return out
+}
+
+// Filter builds a new list with the elements for which pred holds.
+func Filter[T any](l *List[T], pred func(T) bool) *List[T] {
+	out := New[T]()
+	for p := l.head; p != nil; p = p.Next {
+		if pred(p.Data) {
+			out.Append(p.Data)
+		}
+	}
+	return out
+}
+
+// ParallelEach processes every node with pes workers using the paper's
+// strip-mined schedule (§4.3.3): worker i handles nodes i, i+pes, …,
+// each skipping ahead speculatively from the shared cursor. fn must not
+// touch other nodes (the dependence condition the analysis proves for
+// such loops).
+func (l *List[T]) ParallelEach(pes int, fn func(*Node[T])) {
+	if pes < 1 {
+		pes = 1
+	}
+	p := l.head
+	for p != nil {
+		var wg sync.WaitGroup
+		for i := 0; i < pes; i++ {
+			wg.Add(1)
+			go func(i int, p *Node[T]) {
+				defer wg.Done()
+				for k := 1; k <= i && p != nil; k++ { // FOR2
+					p = p.Next
+				}
+				if p != nil {
+					fn(p)
+				}
+			}(i, p)
+		}
+		wg.Wait()
+		for i := 0; i < pes && p != nil; i++ { // FOR1
+			p = p.Next
+		}
+	}
+}
+
+// VerifyAcyclic checks the "forward along X" promise at runtime with
+// Floyd's algorithm.
+func (l *List[T]) VerifyAcyclic() error {
+	slow, fast := l.head, l.head
+	for fast != nil && fast.Next != nil {
+		slow = slow.Next
+		fast = fast.Next.Next
+		if slow == fast {
+			return fmt.Errorf("list: cycle detected (forward-along-X violated)")
+		}
+	}
+	return nil
+}
+
+// VerifyUnique checks the "uniquely forward" promise: no node is the
+// next of two different nodes reachable from head.
+func (l *List[T]) VerifyUnique() error {
+	seen := make(map[*Node[T]]bool, l.n)
+	for p := l.head; p != nil; p = p.Next {
+		if p.Next != nil {
+			if seen[p.Next] {
+				return fmt.Errorf("list: node has two in-edges (uniquely-forward violated)")
+			}
+			seen[p.Next] = true
+		}
+		if seen[p] && p == l.head {
+			return fmt.Errorf("list: head has an in-edge")
+		}
+	}
+	return nil
+}
+
+// ---------------------------------------------------------------------------
+// Two-way lists (§2.2's TwoWayList)
+
+// DNode is a doubly linked node ("next uniquely forward, prev backward
+// along X").
+type DNode[T any] struct {
+	Data T
+	Next *DNode[T]
+	Prev *DNode[T]
+}
+
+// DList is a two-way linked list.
+type DList[T any] struct {
+	head, tail *DNode[T]
+	n          int
+}
+
+// NewD builds a two-way list from elements.
+func NewD[T any](xs ...T) *DList[T] {
+	l := &DList[T]{}
+	for _, x := range xs {
+		l.Append(x)
+	}
+	return l
+}
+
+// Len returns the number of nodes.
+func (l *DList[T]) Len() int { return l.n }
+
+// Head returns the first node.
+func (l *DList[T]) Head() *DNode[T] { return l.head }
+
+// Tail returns the last node.
+func (l *DList[T]) Tail() *DNode[T] { return l.tail }
+
+// Append adds x at the tail.
+func (l *DList[T]) Append(x T) *DNode[T] {
+	node := &DNode[T]{Data: x, Prev: l.tail}
+	if l.tail == nil {
+		l.head = node
+	} else {
+		l.tail.Next = node
+	}
+	l.tail = node
+	l.n++
+	return node
+}
+
+// Remove unlinks a node.
+func (l *DList[T]) Remove(node *DNode[T]) {
+	if node.Prev != nil {
+		node.Prev.Next = node.Next
+	} else {
+		l.head = node.Next
+	}
+	if node.Next != nil {
+		node.Next.Prev = node.Prev
+	} else {
+		l.tail = node.Prev
+	}
+	node.Next, node.Prev = nil, nil
+	l.n--
+}
+
+// Forward traverses head→tail (never visits a node twice: the §2.2
+// property that enables parallel processing).
+func (l *DList[T]) Forward(fn func(*DNode[T])) {
+	for p := l.head; p != nil; p = p.Next {
+		fn(p)
+	}
+}
+
+// Backward traverses tail→head.
+func (l *DList[T]) Backward(fn func(*DNode[T])) {
+	for p := l.tail; p != nil; p = p.Prev {
+		fn(p)
+	}
+}
+
+// VerifyLinks checks next/prev consistency — the invariant the ADDS
+// forward/backward pair promises.
+func (l *DList[T]) VerifyLinks() error {
+	if l.head != nil && l.head.Prev != nil {
+		return fmt.Errorf("dlist: head has a prev")
+	}
+	count := 0
+	for p := l.head; p != nil; p = p.Next {
+		count++
+		if count > l.n {
+			return fmt.Errorf("dlist: cycle detected")
+		}
+		if p.Next != nil && p.Next.Prev != p {
+			return fmt.Errorf("dlist: broken next/prev pairing")
+		}
+	}
+	if count != l.n {
+		return fmt.Errorf("dlist: length %d, walked %d", l.n, count)
+	}
+	return nil
+}

@@ -1,0 +1,208 @@
+package list
+
+import (
+	"reflect"
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+)
+
+func TestBasics(t *testing.T) {
+	l := New(1, 2, 3)
+	if l.Len() != 3 {
+		t.Fatalf("len = %d", l.Len())
+	}
+	if !reflect.DeepEqual(l.Slice(), []int{1, 2, 3}) {
+		t.Errorf("slice = %v", l.Slice())
+	}
+	l.Prepend(0)
+	l.Append(4)
+	if !reflect.DeepEqual(l.Slice(), []int{0, 1, 2, 3, 4}) {
+		t.Errorf("slice = %v", l.Slice())
+	}
+	if l.Head().Data != 0 {
+		t.Errorf("head = %v", l.Head().Data)
+	}
+}
+
+func TestInsertAfterAndRemove(t *testing.T) {
+	l := New("a", "c")
+	l.InsertAfter(l.Head(), "b")
+	if !reflect.DeepEqual(l.Slice(), []string{"a", "b", "c"}) {
+		t.Errorf("slice = %v", l.Slice())
+	}
+	// Inserting after the tail must update the tail.
+	var tail *Node[string]
+	l.Each(func(n *Node[string]) { tail = n })
+	l.InsertAfter(tail, "d")
+	l.Append("e")
+	if !reflect.DeepEqual(l.Slice(), []string{"a", "b", "c", "d", "e"}) {
+		t.Errorf("slice = %v", l.Slice())
+	}
+	if !l.Remove(func(s string) bool { return s == "c" }) {
+		t.Error("remove failed")
+	}
+	if l.Remove(func(s string) bool { return s == "zz" }) {
+		t.Error("remove of absent must be false")
+	}
+	// Removing the tail updates the tail.
+	l.Remove(func(s string) bool { return s == "e" })
+	l.Append("f")
+	if !reflect.DeepEqual(l.Slice(), []string{"a", "b", "d", "f"}) {
+		t.Errorf("slice = %v", l.Slice())
+	}
+	// Removing the head.
+	l.Remove(func(s string) bool { return s == "a" })
+	if l.Head().Data != "b" {
+		t.Errorf("head = %v", l.Head().Data)
+	}
+}
+
+func TestReverse(t *testing.T) {
+	l := New(1, 2, 3, 4)
+	l.Reverse()
+	if !reflect.DeepEqual(l.Slice(), []int{4, 3, 2, 1}) {
+		t.Errorf("reversed = %v", l.Slice())
+	}
+	if err := l.VerifyAcyclic(); err != nil {
+		t.Error(err)
+	}
+	if err := l.VerifyUnique(); err != nil {
+		t.Error(err)
+	}
+	l.Append(0)
+	if !reflect.DeepEqual(l.Slice(), []int{4, 3, 2, 1, 0}) {
+		t.Errorf("append after reverse = %v (tail stale?)", l.Slice())
+	}
+	empty := New[int]()
+	empty.Reverse()
+	if empty.Len() != 0 {
+		t.Error("empty reverse")
+	}
+}
+
+func TestMapFilter(t *testing.T) {
+	l := New(1, 2, 3, 4, 5)
+	doubled := Map(l, func(x int) int { return 2 * x })
+	if !reflect.DeepEqual(doubled.Slice(), []int{2, 4, 6, 8, 10}) {
+		t.Errorf("map = %v", doubled.Slice())
+	}
+	even := Filter(l, func(x int) bool { return x%2 == 0 })
+	if !reflect.DeepEqual(even.Slice(), []int{2, 4}) {
+		t.Errorf("filter = %v", even.Slice())
+	}
+}
+
+func TestParallelEach(t *testing.T) {
+	for _, pes := range []int{1, 2, 4, 7} {
+		l := New[int]()
+		for i := 0; i < 100; i++ {
+			l.Append(i)
+		}
+		var visited atomic.Int64
+		l.ParallelEach(pes, func(n *Node[int]) {
+			n.Data *= 3
+			visited.Add(1)
+		})
+		if visited.Load() != 100 {
+			t.Errorf("pes=%d: visited %d nodes", pes, visited.Load())
+		}
+		for i, v := range l.Slice() {
+			if v != 3*i {
+				t.Fatalf("pes=%d: node %d = %d", pes, i, v)
+			}
+		}
+	}
+	// pes < 1 falls back to sequential.
+	l := New(1, 2)
+	l.ParallelEach(0, func(n *Node[int]) { n.Data++ })
+	if !reflect.DeepEqual(l.Slice(), []int{2, 3}) {
+		t.Errorf("fallback = %v", l.Slice())
+	}
+}
+
+func TestVerifyDetectsCycle(t *testing.T) {
+	l := New(1, 2, 3)
+	var last *Node[int]
+	l.Each(func(n *Node[int]) { last = n })
+	last.Next = l.Head() // close a cycle
+	if err := l.VerifyAcyclic(); err == nil {
+		t.Error("cycle not detected")
+	}
+}
+
+func TestVerifyDetectsSharing(t *testing.T) {
+	// A Figure-1 "tournament"-like shape reachable in one walk:
+	// x -> y -> z and z -> y gives y two in-edges.
+	x := &Node[int]{Data: 1}
+	y := &Node[int]{Data: 2}
+	z := &Node[int]{Data: 3}
+	x.Next = y
+	y.Next = z
+	z.Next = y
+	shared := &List[int]{head: x, n: 3}
+	if err := shared.VerifyUnique(); err == nil {
+		t.Error("sharing not detected")
+	}
+}
+
+func TestQuickAppendOrder(t *testing.T) {
+	f := func(xs []int) bool {
+		l := New(xs...)
+		return reflect.DeepEqual(l.Slice(), append([]int{}, xs...)) &&
+			l.Len() == len(xs) &&
+			l.VerifyAcyclic() == nil && l.VerifyUnique() == nil
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickReverseInvolution(t *testing.T) {
+	f := func(xs []int) bool {
+		l := New(xs...)
+		l.Reverse()
+		l.Reverse()
+		return reflect.DeepEqual(l.Slice(), append([]int{}, xs...))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDList(t *testing.T) {
+	l := NewD(1, 2, 3)
+	if l.Len() != 3 {
+		t.Fatalf("len = %d", l.Len())
+	}
+	if err := l.VerifyLinks(); err != nil {
+		t.Fatal(err)
+	}
+	var fwd, bwd []int
+	l.Forward(func(n *DNode[int]) { fwd = append(fwd, n.Data) })
+	l.Backward(func(n *DNode[int]) { bwd = append(bwd, n.Data) })
+	if !reflect.DeepEqual(fwd, []int{1, 2, 3}) || !reflect.DeepEqual(bwd, []int{3, 2, 1}) {
+		t.Errorf("fwd=%v bwd=%v", fwd, bwd)
+	}
+	// Remove middle, head, tail.
+	l.Remove(l.Head().Next)
+	if err := l.VerifyLinks(); err != nil {
+		t.Fatal(err)
+	}
+	l.Remove(l.Head())
+	l.Remove(l.Tail())
+	if l.Len() != 0 || l.Head() != nil || l.Tail() != nil {
+		t.Errorf("not empty: len=%d", l.Len())
+	}
+	if err := l.VerifyLinks(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDListVerifyCatchesBreaks(t *testing.T) {
+	l := NewD(1, 2, 3)
+	l.Head().Next.Prev = nil // break pairing
+	if err := l.VerifyLinks(); err == nil {
+		t.Error("broken pairing not detected")
+	}
+}

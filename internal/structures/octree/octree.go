@@ -1,0 +1,276 @@
+// Package octree implements a reusable point octree with the paper's
+// Figure 5 shape: a spatial tree along the down dimension whose leaves
+// (the stored points) are additionally threaded into a one-way list
+// along the leaves dimension. Package nbody builds its own specialized
+// octree for the Barnes-Hut workload; this one serves the
+// computational-geometry uses the paper's introduction motivates
+// (point location, range counting).
+package octree
+
+import (
+	"fmt"
+	"math"
+)
+
+// Point is a 3-D point with a payload ID.
+type Point struct {
+	X, Y, Z float64
+	ID      int
+}
+
+// Node is an octree node.
+type Node struct {
+	Center   [3]float64
+	Half     float64
+	Children [8]*Node
+	// Point is set exactly for leaves.
+	Point *Point
+	// Next threads leaves in insertion order (the leaves dimension).
+	Next *Node
+}
+
+// IsLeaf reports whether n stores a point.
+func (n *Node) IsLeaf() bool { return n.Point != nil }
+
+// Tree is a point octree.
+type Tree struct {
+	Root *Node
+	// FirstLeaf / lastLeaf maintain the leaves list.
+	FirstLeaf *Node
+	lastLeaf  *Node
+	n         int
+}
+
+// New returns an empty tree.
+func New() *Tree { return &Tree{} }
+
+// Len returns the number of stored points.
+func (t *Tree) Len() int { return t.n }
+
+func octant(c [3]float64, p Point) int {
+	q := 0
+	if p.X >= c[0] {
+		q |= 1
+	}
+	if p.Y >= c[1] {
+		q |= 2
+	}
+	if p.Z >= c[2] {
+		q |= 4
+	}
+	return q
+}
+
+func octantCenter(n *Node, q int) [3]float64 {
+	h := n.Half / 2
+	c := n.Center
+	if q&1 != 0 {
+		c[0] += h
+	} else {
+		c[0] -= h
+	}
+	if q&2 != 0 {
+		c[1] += h
+	} else {
+		c[1] -= h
+	}
+	if q&4 != 0 {
+		c[2] += h
+	} else {
+		c[2] -= h
+	}
+	return c
+}
+
+func (n *Node) contains(p Point) bool {
+	return p.X >= n.Center[0]-n.Half && p.X < n.Center[0]+n.Half &&
+		p.Y >= n.Center[1]-n.Half && p.Y < n.Center[1]+n.Half &&
+		p.Z >= n.Center[2]-n.Half && p.Z < n.Center[2]+n.Half
+}
+
+// Insert adds a point (duplicates at the identical position are
+// rejected).
+func (t *Tree) Insert(p Point) error {
+	leaf := &Node{Point: &p}
+	if t.Root == nil {
+		t.Root = &Node{Center: [3]float64{p.X, p.Y, p.Z}, Half: 1}
+		q := octant(t.Root.Center, p)
+		t.Root.Children[q] = leaf
+		t.thread(leaf)
+		return nil
+	}
+	// Expand upward until the point fits.
+	for !t.Root.contains(p) {
+		r := t.Root
+		h := r.Half
+		nc := [3]float64{r.Center[0] - h, r.Center[1] - h, r.Center[2] - h}
+		if p.X >= r.Center[0] {
+			nc[0] = r.Center[0] + h
+		}
+		if p.Y >= r.Center[1] {
+			nc[1] = r.Center[1] + h
+		}
+		if p.Z >= r.Center[2] {
+			nc[2] = r.Center[2] + h
+		}
+		nr := &Node{Center: nc, Half: 2 * h}
+		nr.Children[octant(nc, Point{X: r.Center[0], Y: r.Center[1], Z: r.Center[2]})] = r
+		t.Root = nr
+	}
+	// Descend.
+	cur := t.Root
+	for {
+		q := octant(cur.Center, p)
+		child := cur.Children[q]
+		if child == nil {
+			cur.Children[q] = leaf
+			t.thread(leaf)
+			return nil
+		}
+		if !child.IsLeaf() {
+			cur = child
+			continue
+		}
+		other := *child.Point
+		if other.X == p.X && other.Y == p.Y && other.Z == p.Z {
+			return fmt.Errorf("octree: duplicate point at (%g,%g,%g)", p.X, p.Y, p.Z)
+		}
+		sub := &Node{Center: octantCenter(cur, q), Half: cur.Half / 2}
+		sub.Children[octant(sub.Center, other)] = child
+		cur.Children[q] = sub
+		cur = sub
+	}
+}
+
+func (t *Tree) thread(leaf *Node) {
+	if t.lastLeaf == nil {
+		t.FirstLeaf = leaf
+	} else {
+		t.lastLeaf.Next = leaf
+	}
+	t.lastLeaf = leaf
+	t.n++
+}
+
+// CountInBox counts points within the axis-aligned box [lo, hi].
+func (t *Tree) CountInBox(lo, hi [3]float64) int {
+	var count func(n *Node) int
+	count = func(n *Node) int {
+		if n == nil {
+			return 0
+		}
+		if n.IsLeaf() {
+			p := n.Point
+			if p.X >= lo[0] && p.X <= hi[0] &&
+				p.Y >= lo[1] && p.Y <= hi[1] &&
+				p.Z >= lo[2] && p.Z <= hi[2] {
+				return 1
+			}
+			return 0
+		}
+		// Prune cells disjoint from the box.
+		for i := 0; i < 3; i++ {
+			if n.Center[i]+n.Half < lo[i] || n.Center[i]-n.Half > hi[i] {
+				return 0
+			}
+		}
+		total := 0
+		for _, c := range n.Children {
+			total += count(c)
+		}
+		return total
+	}
+	return count(t.Root)
+}
+
+// Nearest returns the stored point closest to (x, y, z) (ok=false for
+// an empty tree).
+func (t *Tree) Nearest(x, y, z float64) (Point, bool) {
+	best := Point{}
+	bestD := math.Inf(1)
+	found := false
+	var visit func(n *Node)
+	visit = func(n *Node) {
+		if n == nil {
+			return
+		}
+		if n.IsLeaf() {
+			p := n.Point
+			d := (p.X-x)*(p.X-x) + (p.Y-y)*(p.Y-y) + (p.Z-z)*(p.Z-z)
+			if d < bestD {
+				bestD, best, found = d, *p, true
+			}
+			return
+		}
+		// Prune cells farther than the current best.
+		dx := math.Max(0, math.Abs(n.Center[0]-x)-n.Half)
+		dy := math.Max(0, math.Abs(n.Center[1]-y)-n.Half)
+		dz := math.Max(0, math.Abs(n.Center[2]-z)-n.Half)
+		if dx*dx+dy*dy+dz*dz > bestD {
+			return
+		}
+		for _, c := range n.Children {
+			visit(c)
+		}
+	}
+	visit(t.Root)
+	return best, found
+}
+
+// Leaves returns the points in insertion (leaves-dimension) order.
+func (t *Tree) Leaves() []Point {
+	var out []Point
+	for n := t.FirstLeaf; n != nil; n = n.Next {
+		out = append(out, *n.Point)
+	}
+	return out
+}
+
+// Verify checks the Figure 5 invariants: each point sits in exactly one
+// leaf reachable along down, the leaves list reaches exactly the same
+// nodes (the dimensions are dependent), and both dimensions are unique.
+func (t *Tree) Verify() error {
+	treeLeaves := map[*Node]bool{}
+	var walk func(n *Node) error
+	walk = func(n *Node) error {
+		if n == nil {
+			return nil
+		}
+		if n.IsLeaf() {
+			if treeLeaves[n] {
+				return fmt.Errorf("octree: leaf shared along down")
+			}
+			treeLeaves[n] = true
+			return nil
+		}
+		for _, c := range n.Children {
+			if err := walk(c); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := walk(t.Root); err != nil {
+		return err
+	}
+	listLeaves := map[*Node]bool{}
+	count := 0
+	for n := t.FirstLeaf; n != nil; n = n.Next {
+		if listLeaves[n] {
+			return fmt.Errorf("octree: leaves list revisits a node")
+		}
+		listLeaves[n] = true
+		if !treeLeaves[n] {
+			return fmt.Errorf("octree: listed leaf not reachable along down")
+		}
+		count++
+		if count > t.n {
+			return fmt.Errorf("octree: leaves list longer than point count")
+		}
+	}
+	if len(treeLeaves) != t.n || count != t.n {
+		return fmt.Errorf("octree: %d tree leaves, %d listed, %d points",
+			len(treeLeaves), count, t.n)
+	}
+	return nil
+}

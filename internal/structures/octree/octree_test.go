@@ -1,0 +1,157 @@
+package octree
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func randomPoints(seed int64, n int) []Point {
+	r := rand.New(rand.NewSource(seed))
+	pts := make([]Point, n)
+	for i := range pts {
+		pts[i] = Point{
+			X:  r.Float64()*200 - 100,
+			Y:  r.Float64()*200 - 100,
+			Z:  r.Float64()*200 - 100,
+			ID: i,
+		}
+	}
+	return pts
+}
+
+func build(t *testing.T, pts []Point) *Tree {
+	t.Helper()
+	tr := New()
+	for _, p := range pts {
+		if err := tr.Insert(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return tr
+}
+
+func TestInsertAndVerify(t *testing.T) {
+	for _, n := range []int{1, 2, 10, 100, 400} {
+		tr := build(t, randomPoints(int64(n), n))
+		if tr.Len() != n {
+			t.Fatalf("n=%d: len=%d", n, tr.Len())
+		}
+		if err := tr.Verify(); err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+	}
+}
+
+func TestDuplicateRejected(t *testing.T) {
+	tr := New()
+	if err := tr.Insert(Point{1, 2, 3, 0}); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Insert(Point{1, 2, 3, 1}); err == nil {
+		t.Error("duplicate accepted")
+	}
+	if tr.Len() != 1 {
+		t.Errorf("len = %d", tr.Len())
+	}
+}
+
+func TestLeavesOrder(t *testing.T) {
+	pts := randomPoints(7, 50)
+	tr := build(t, pts)
+	leaves := tr.Leaves()
+	if len(leaves) != 50 {
+		t.Fatalf("leaves = %d", len(leaves))
+	}
+	for i, p := range leaves {
+		if p.ID != i {
+			t.Fatalf("leaves not in insertion order at %d: %v", i, p)
+		}
+	}
+}
+
+func TestCountInBoxAgainstBruteForce(t *testing.T) {
+	pts := randomPoints(11, 300)
+	tr := build(t, pts)
+	boxes := [][2][3]float64{
+		{{-100, -100, -100}, {100, 100, 100}},
+		{{0, 0, 0}, {50, 50, 50}},
+		{{-25, -25, -25}, {25, 25, 25}},
+		{{90, 90, 90}, {99, 99, 99}},
+		{{5, 5, 5}, {4, 4, 4}}, // inverted: empty
+	}
+	for _, box := range boxes {
+		lo, hi := box[0], box[1]
+		want := 0
+		for _, p := range pts {
+			if p.X >= lo[0] && p.X <= hi[0] && p.Y >= lo[1] && p.Y <= hi[1] &&
+				p.Z >= lo[2] && p.Z <= hi[2] {
+				want++
+			}
+		}
+		if got := tr.CountInBox(lo, hi); got != want {
+			t.Errorf("box %v: got %d, want %d", box, got, want)
+		}
+	}
+}
+
+func TestNearestAgainstBruteForce(t *testing.T) {
+	pts := randomPoints(13, 200)
+	tr := build(t, pts)
+	r := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 50; trial++ {
+		x, y, z := r.Float64()*240-120, r.Float64()*240-120, r.Float64()*240-120
+		got, ok := tr.Nearest(x, y, z)
+		if !ok {
+			t.Fatal("no nearest")
+		}
+		bestD := 1e18
+		var want Point
+		for _, p := range pts {
+			d := (p.X-x)*(p.X-x) + (p.Y-y)*(p.Y-y) + (p.Z-z)*(p.Z-z)
+			if d < bestD {
+				bestD, want = d, p
+			}
+		}
+		if got.ID != want.ID {
+			t.Errorf("nearest(%g,%g,%g) = %d, want %d", x, y, z, got.ID, want.ID)
+		}
+	}
+	if _, ok := New().Nearest(0, 0, 0); ok {
+		t.Error("empty tree has no nearest")
+	}
+}
+
+// TestQuickInvariants: arbitrary inserts keep the tree valid.
+func TestQuickInvariants(t *testing.T) {
+	f := func(seed int64, nRaw uint8) bool {
+		n := int(nRaw%150) + 1
+		tr := New()
+		for _, p := range randomPoints(seed, n) {
+			if err := tr.Insert(p); err != nil {
+				return false
+			}
+		}
+		return tr.Len() == n && tr.Verify() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickCountConsistent: counting the universe finds every point.
+func TestQuickCountConsistent(t *testing.T) {
+	f := func(seed int64, nRaw uint8) bool {
+		n := int(nRaw%100) + 1
+		tr := New()
+		for _, p := range randomPoints(seed, n) {
+			if err := tr.Insert(p); err != nil {
+				return false
+			}
+		}
+		return tr.CountInBox([3]float64{-1e9, -1e9, -1e9}, [3]float64{1e9, 1e9, 1e9}) == n
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

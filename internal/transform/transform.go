@@ -1,0 +1,284 @@
+// Package transform implements the parallelizing transformations the
+// paper applies once the analysis has proven a loop's iterations
+// independent:
+//
+//   - StripMine (§4.3.3): rewrite "while p != NULL { body; p = p->f }"
+//     into an outer while whose body runs PEs iterations in parallel —
+//     a cloned iteration procedure first advances its private copy of p
+//     by i speculative steps (the paper's FOR2), then the outer loop
+//     advances p by PEs steps (FOR1). Speculative traversability (§3.2)
+//     makes the unguarded advances safe.
+//
+//   - Unroll ([HG92]): replicate the body, relying on the same
+//     speculative traversability to avoid per-copy NULL checks on the
+//     advances.
+//
+// Both refuse to run unless package depend approves the loop.
+package transform
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/analysis"
+	"repro/internal/depend"
+	"repro/internal/effects"
+	"repro/internal/lang"
+)
+
+// StripMineResult carries the transformed program and the dependence
+// report that licensed it.
+type StripMineResult struct {
+	Program *lang.Program
+	Report  *depend.Report
+	// Helper is the generated per-iteration procedure name.
+	Helper string
+}
+
+// StripMine parallelizes the loopIndex-th while loop of fnName across
+// pes processing elements, returning a transformed copy of the program
+// (the input is not modified). It fails if the dependence test rejects
+// the loop.
+func StripMine(prog *lang.Program, fnName string, loopIndex, pes int) (*StripMineResult, error) {
+	if pes < 1 {
+		return nil, fmt.Errorf("transform: pes must be >= 1, got %d", pes)
+	}
+	fr, err := analysis.Analyze(prog, fnName)
+	if err != nil {
+		return nil, err
+	}
+	eff := effects.NewAnalyzer(prog)
+	rep, err := depend.AnalyzeLoop(prog, fr, eff, fnName, loopIndex)
+	if err != nil {
+		return nil, err
+	}
+	if !rep.Parallelizable {
+		return nil, fmt.Errorf("transform: loop #%d of %s is not parallelizable:\n%s", loopIndex, fnName, rep)
+	}
+
+	clone := prog.Clone()
+	fn := clone.Func(fnName)
+	loop, err := analysis.FindLoop(fn, loopIndex)
+	if err != nil {
+		return nil, err
+	}
+	ind := rep.Induction
+	field := rep.AdvanceField
+
+	indType := inductionType(loop, ind)
+	if indType == nil {
+		return nil, fmt.Errorf("transform: cannot determine type of induction %q", ind)
+	}
+
+	// Free variables of the body (excluding the induction and locals):
+	// they become parameters of the iteration procedure.
+	frees := freeVars(loop.Body, ind)
+
+	helperName := fmt.Sprintf("_%s_L%d_iteration", fnName, loopIndex)
+	helper, err := buildHelper(helperName, ind, indType, field, loop, frees)
+	if err != nil {
+		return nil, err
+	}
+	if err := clone.AddFunc(helper); err != nil {
+		return nil, err
+	}
+
+	// Replace the loop body:
+	//   forall i = 0 to PEs-1 { helper(i, p, frees...); }   // parallel
+	//   for i = 0 to PEs-1 { p = p->f; }                    // FOR1
+	args := []lang.Expr{&lang.Ident{Name: "_pe"}, &lang.Ident{Name: ind}}
+	for _, fv := range frees {
+		args = append(args, &lang.Ident{Name: fv.Name})
+	}
+	parallel := &lang.ForStmt{
+		Var:      "_pe",
+		From:     lang.NewIntLit(0, loop.Pos()),
+		To:       lang.NewIntLit(int64(pes-1), loop.Pos()),
+		Parallel: true,
+		Body: &lang.Block{Stmts: []lang.Stmt{
+			&lang.CallStmt{Call: &lang.CallExpr{Func: helperName, Args: args}},
+		}},
+	}
+	advance := &lang.ForStmt{
+		Var:  "_pe",
+		From: lang.NewIntLit(0, loop.Pos()),
+		To:   lang.NewIntLit(int64(pes-1), loop.Pos()),
+		Body: &lang.Block{Stmts: []lang.Stmt{
+			&lang.AssignStmt{
+				LHS: &lang.Ident{Name: ind},
+				RHS: &lang.FieldExpr{X: &lang.Ident{Name: ind}, Field: field},
+			},
+		}},
+	}
+	loop.Body = &lang.Block{Stmts: []lang.Stmt{parallel, advance}}
+
+	// Re-check to type the synthesized nodes.
+	if err := lang.Check(clone); err != nil {
+		return nil, fmt.Errorf("transform: internal: generated code does not check: %w", err)
+	}
+	return &StripMineResult{Program: clone, Report: rep, Helper: helperName}, nil
+}
+
+// buildHelper constructs:
+//
+//	procedure <name>(int _pe, T *p, <frees>) {
+//	  for _k = 1 to _pe { p = p->f; }   // FOR2: speculative skip-ahead
+//	  if p != NULL { <body without advance> }
+//	}
+func buildHelper(name, ind string, indType lang.Type, field string, loop *lang.WhileStmt, frees []lang.Param) (*lang.FuncDecl, error) {
+	params := []lang.Param{{Name: "_pe", Type: lang.Int}, {Name: ind, Type: indType}}
+	params = append(params, frees...)
+
+	skip := &lang.ForStmt{
+		Var:  "_k",
+		From: lang.NewIntLit(1, loop.Pos()),
+		To:   &lang.Ident{Name: "_pe"},
+		Body: &lang.Block{Stmts: []lang.Stmt{
+			&lang.AssignStmt{
+				LHS: &lang.Ident{Name: ind},
+				RHS: &lang.FieldExpr{X: &lang.Ident{Name: ind}, Field: field},
+			},
+		}},
+	}
+
+	// Clone the body and drop the trailing advance.
+	body := lang.CloneBlock(loop.Body)
+	if len(body.Stmts) == 0 {
+		return nil, fmt.Errorf("transform: empty loop body")
+	}
+	body.Stmts = body.Stmts[:len(body.Stmts)-1]
+
+	guard := &lang.IfStmt{
+		Cond: &lang.BinExpr{
+			Op: lang.NEQ,
+			X:  &lang.Ident{Name: ind},
+			Y:  &lang.NullLit{},
+		},
+		Then: body,
+	}
+	return &lang.FuncDecl{
+		Name:   name,
+		Params: params,
+		Body:   &lang.Block{Stmts: []lang.Stmt{skip, guard}},
+	}, nil
+}
+
+// inductionType finds the pointer type of the induction variable from
+// its uses in the loop.
+func inductionType(loop *lang.WhileStmt, ind string) lang.Type {
+	var t lang.Type
+	if be, ok := loop.Cond.(*lang.BinExpr); ok {
+		for _, e := range []lang.Expr{be.X, be.Y} {
+			if id, ok := e.(*lang.Ident); ok && id.Name == ind && id.Type() != nil {
+				t = id.Type()
+			}
+		}
+	}
+	if t != nil {
+		return t
+	}
+	lang.Walk(loop.Body, func(s lang.Stmt) bool {
+		lang.WalkExprs(s, func(e lang.Expr) {
+			if id, ok := e.(*lang.Ident); ok && id.Name == ind && id.Type() != nil {
+				t = id.Type()
+			}
+		})
+		return t == nil
+	})
+	return t
+}
+
+// freeVars lists the variables the body reads that are declared outside
+// it (excluding the induction variable), in deterministic order.
+func freeVars(body *lang.Block, ind string) []lang.Param {
+	declared := map[string]bool{ind: true}
+	lang.Walk(body, func(s lang.Stmt) bool {
+		switch s := s.(type) {
+		case *lang.VarStmt:
+			declared[s.Name] = true
+		case *lang.ForStmt:
+			declared[s.Var] = true
+		}
+		return true
+	})
+	seen := map[string]lang.Type{}
+	lang.Walk(body, func(s lang.Stmt) bool {
+		lang.WalkExprs(s, func(e lang.Expr) {
+			id, ok := e.(*lang.Ident)
+			if !ok || declared[id.Name] || id.Type() == nil {
+				return
+			}
+			seen[id.Name] = id.Type()
+		})
+		return true
+	})
+	names := make([]string, 0, len(seen))
+	for n := range seen {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	out := make([]lang.Param, len(names))
+	for i, n := range names {
+		out[i] = lang.Param{Name: n, Type: seen[n]}
+	}
+	return out
+}
+
+// Unroll replicates the body of the loop `factor` times ([HG92]). Each
+// copy is guarded by a NULL check on the induction variable, but the
+// advances themselves run unguarded thanks to speculative
+// traversability. The loop must pass the same dependence test as
+// StripMine (unrolling reorders no writes, but the test guarantees the
+// copies do not interfere, which also keeps the transformation safe
+// under later scheduling).
+func Unroll(prog *lang.Program, fnName string, loopIndex, factor int) (*lang.Program, error) {
+	if factor < 2 {
+		return nil, fmt.Errorf("transform: unroll factor must be >= 2, got %d", factor)
+	}
+	fr, err := analysis.Analyze(prog, fnName)
+	if err != nil {
+		return nil, err
+	}
+	eff := effects.NewAnalyzer(prog)
+	rep, err := depend.AnalyzeLoop(prog, fr, eff, fnName, loopIndex)
+	if err != nil {
+		return nil, err
+	}
+	if !rep.Parallelizable {
+		return nil, fmt.Errorf("transform: loop #%d of %s is not unrollable:\n%s", loopIndex, fnName, rep)
+	}
+
+	clone := prog.Clone()
+	fn := clone.Func(fnName)
+	loop, err := analysis.FindLoop(fn, loopIndex)
+	if err != nil {
+		return nil, err
+	}
+	ind := rep.Induction
+	field := rep.AdvanceField
+
+	orig := lang.CloneBlock(loop.Body)
+	orig.Stmts = orig.Stmts[:len(orig.Stmts)-1] // drop advance
+
+	mkAdvance := func() lang.Stmt {
+		return &lang.AssignStmt{
+			LHS: &lang.Ident{Name: ind},
+			RHS: &lang.FieldExpr{X: &lang.Ident{Name: ind}, Field: field},
+		}
+	}
+	var stmts []lang.Stmt
+	// First copy runs unguarded (the loop condition holds).
+	stmts = append(stmts, lang.CloneBlock(orig), mkAdvance())
+	for k := 1; k < factor; k++ {
+		stmts = append(stmts, &lang.IfStmt{
+			Cond: &lang.BinExpr{Op: lang.NEQ, X: &lang.Ident{Name: ind}, Y: &lang.NullLit{}},
+			Then: lang.CloneBlock(orig),
+		}, mkAdvance()) // speculative: advances past NULL are safe
+	}
+	loop.Body = &lang.Block{Stmts: stmts}
+
+	if err := lang.Check(clone); err != nil {
+		return nil, fmt.Errorf("transform: internal: unrolled code does not check: %w", err)
+	}
+	return clone, nil
+}

@@ -1,0 +1,143 @@
+package repro
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/interp"
+	"repro/internal/lang"
+)
+
+func compileFile(t *testing.T, name string) *core.Compilation {
+	t.Helper()
+	src, err := os.ReadFile(filepath.Join("testdata", name))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := core.Compile(string(src))
+	if err != nil {
+		t.Fatalf("%s: %v", name, err)
+	}
+	return c
+}
+
+// TestDataPolyScale: the file-based version of the §3.3.2 pipeline:
+// parse from disk, prove, transform, run, compare.
+func TestDataPolyScale(t *testing.T) {
+	c := compileFile(t, "polyscale.psl")
+	reps, err := c.LoopReports("scale")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reps[0].Parallelizable {
+		t.Fatalf("scale: %s", reps[0])
+	}
+	want, _, err := c.Run(core.RunConfig{}, "main")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, pes := range []int{2, 4, 7} {
+		par, err := c.StripMine("scale", 0, pes)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, _, err := par.Run(core.RunConfig{}, "main")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.I != want.I {
+			t.Errorf("pes=%d: %d vs %d", pes, got.I, want.I)
+		}
+	}
+}
+
+// TestDataViolations: each procedure in violations.psl has the
+// validation outcome its comment claims.
+func TestDataViolations(t *testing.T) {
+	c := compileFile(t, "violations.psl")
+	cases := []struct {
+		fn    string
+		valid bool
+	}{
+		{"move_subtree", true},
+		{"move_subtree_broken", false},
+		{"rotate_right", true},
+		{"make_ring", false},
+		{"reverse", true},
+		{"main", true},
+	}
+	for _, tc := range cases {
+		keys, err := c.ExitViolations(tc.fn)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := len(keys) == 0; got != tc.valid {
+			t.Errorf("%s: valid=%v, want %v (violations %v)", tc.fn, got, tc.valid, keys)
+		}
+	}
+	// The reversal runs correctly too: the list 4,3,2,1,0 reversed is
+	// 0,1,2,3,4 → digits 01234.
+	v, _, err := c.Run(core.RunConfig{}, "main")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.I != 1234 {
+		t.Errorf("main = %d, want 1234", v.I)
+	}
+}
+
+// TestDataOrthList: the across-traversals verdict split and execution.
+func TestDataOrthList(t *testing.T) {
+	c := compileFile(t, "orthlist.psl")
+	scaleReps, err := c.LoopReports("scale_row")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !scaleReps[0].Parallelizable {
+		t.Errorf("scale_row: %s", scaleReps[0])
+	}
+	sumReps, err := c.LoopReports("sum_row")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sumReps[0].Parallelizable {
+		t.Errorf("sum_row must be rejected (reduction): %s", sumReps[0])
+	}
+	v, _, err := c.Run(core.RunConfig{}, "main")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// sum((1..10)) * 7 = 385.
+	if v.I != 385 {
+		t.Errorf("main = %d, want 385", v.I)
+	}
+	// make_row prepends with back-links; the declaration must hold.
+	keys, err := c.ExitViolations("make_row")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(keys) != 0 {
+		t.Errorf("make_row: %v", keys)
+	}
+}
+
+// TestDataRunWithShapeChecks: the testdata programs stay clean under
+// runtime shape checking, except the deliberate ring.
+func TestDataRunWithShapeChecks(t *testing.T) {
+	for _, name := range []string{"polyscale.psl", "violations.psl", "orthlist.psl"} {
+		src, err := os.ReadFile(filepath.Join("testdata", name))
+		if err != nil {
+			t.Fatal(err)
+		}
+		prog, err := lang.Parse(string(src))
+		if err != nil {
+			t.Fatal(err)
+		}
+		ip := interp.New(prog, interp.Config{ShapeChecks: true, ShapeChecksFatal: true})
+		if _, err := ip.Call("main"); err != nil {
+			t.Errorf("%s under shape checks: %v", name, err)
+		}
+	}
+}
