@@ -15,6 +15,7 @@ import (
 	"repro/internal/interp"
 	"repro/internal/lang"
 	"repro/internal/nbody"
+	"repro/internal/parexec"
 	"repro/internal/sequent"
 	"repro/internal/structures/bignum"
 	"repro/internal/structures/list"
@@ -77,6 +78,47 @@ func BenchmarkNativeBHPlummerSeq(b *testing.B) {
 		}
 	}
 }
+
+// ---------------------------------------------------------------------------
+// R1 — real goroutine-backed execution: the measured counterpart of
+// T1/T2, interpreting the strip-mined §3.3.2 workload on the parexec
+// worker pool instead of the simulated Sequent.
+
+func BenchmarkR1RealPolySerial(b *testing.B) {
+	c, err := core.Compile(parexec.PolyNormalizePSL)
+	if err != nil {
+		b.Fatal(err)
+	}
+	args := []interp.Value{interp.IntVal(512), interp.RealVal(1.001)}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := c.Run(core.RunConfig{}, "run", args...); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func benchRealPoly(b *testing.B, pes int) {
+	c, err := core.Compile(parexec.PolyNormalizePSL)
+	if err != nil {
+		b.Fatal(err)
+	}
+	par, err := c.StripMine(parexec.NormalizeFunc, parexec.NormalizeLoop, pes)
+	if err != nil {
+		b.Fatal(err)
+	}
+	args := []interp.Value{interp.IntVal(512), interp.RealVal(1.001)}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := par.RunParallel(core.RunConfig{}, pes, "run", args...); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkR1RealPolyParallel2(b *testing.B) { benchRealPoly(b, 2) }
+func BenchmarkR1RealPolyParallel4(b *testing.B) { benchRealPoly(b, 4) }
+func BenchmarkR1RealPolyParallel8(b *testing.B) { benchRealPoly(b, 8) }
 
 // ---------------------------------------------------------------------------
 // F1 — validation distinguishing the Figure 1 shapes.

@@ -8,6 +8,8 @@
 //	          matrix; PM3 (= V2): octree build validation
 //	-x N      X1: analysis precision comparison; X2: scheduling/sync
 //	          ablation; X3: theta accuracy/work sweep
+//	-real     R1: measured wall-clock speedups on real goroutines
+//	          (parexec) next to the simulated Sequent prediction
 //	-all      everything (the default when no flag is given)
 //	-measure  time steps simulated per T1 cell (default 1)
 package main
@@ -16,12 +18,16 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"time"
 
 	"repro/internal/adds"
 	"repro/internal/core"
 	"repro/internal/interp"
 	"repro/internal/nbody"
+	"repro/internal/parexec"
 	"repro/internal/sequent"
+	"repro/internal/tablefmt"
 )
 
 func main() {
@@ -29,15 +35,19 @@ func main() {
 	fig := flag.Int("fig", 0, "figure number (1-5)")
 	pm := flag.Int("pm", 0, "path-matrix experiment (1-3)")
 	x := flag.Int("x", 0, "supplementary experiment (1-3)")
+	real := flag.Bool("real", false, "R1: measured wall-clock speedups (parexec)")
 	all := flag.Bool("all", false, "run everything")
 	measure := flag.Int("measure", 1, "measured steps per table cell")
 	flag.Parse()
 
-	if !*tables && *fig == 0 && *pm == 0 && *x == 0 {
+	if !*tables && *fig == 0 && *pm == 0 && *x == 0 && !*real {
 		*all = true
 	}
 	if *all || *tables {
 		runTables(*measure)
+	}
+	if *all || *real {
+		runReal()
 	}
 	for f := 1; f <= 5; f++ {
 		if *all || *fig == f {
@@ -77,6 +87,117 @@ func runTables(measure int) {
 	fmt.Println(t.FormatTimes())
 	fmt.Println(t.FormatSpeedups())
 	fmt.Println("paper: seq 188/1496/3768 s; par(4) speedups 2.5/2.7/2.8; par(7) 3.3/4.1/4.3")
+}
+
+// ---------------------------------------------------------------------------
+// R1 — measured wall-clock speedup on real goroutines
+
+// timeRun reports the best wall-clock of three executions.
+func timeRun(run func() error) (time.Duration, error) {
+	best := time.Duration(0)
+	for i := 0; i < 3; i++ {
+		t0 := time.Now()
+		if err := run(); err != nil {
+			return 0, err
+		}
+		if d := time.Since(t0); best == 0 || d < best {
+			best = d
+		}
+	}
+	return best, nil
+}
+
+func runReal() {
+	header("R1 — measured wall-clock speedup (goroutine-backed parexec)")
+	fmt.Printf("host: GOMAXPROCS=%d, NumCPU=%d; workload: §3.3.2 polynomial\n",
+		runtime.GOMAXPROCS(0), runtime.NumCPU())
+	fmt.Println("normalize (O(exp) work per node); best of 3 runs per cell.")
+	fmt.Println()
+
+	ns := []int{500, 2000}
+	pesList := []int{2, 4}
+	if runtime.NumCPU() >= 8 {
+		pesList = append(pesList, 8)
+	}
+	c, err := core.Compile(parexec.PolyNormalizePSL)
+	if err != nil {
+		fatal(err)
+	}
+
+	x := interp.RealVal(1.001)
+	times := tablefmt.New("TIMES ms", ns...)
+	speedups := tablefmt.New("SPEEDUP", ns...)
+	simulated := tablefmt.New("SEQUENT", ns...)
+
+	seqMs := make([]float64, len(ns))
+	seqCycles := make([]float64, len(ns))
+	checksums := make([]float64, len(ns))
+	ones := make([]float64, len(ns))
+	for i, n := range ns {
+		args := []interp.Value{interp.IntVal(int64(n)), x}
+		d, err := timeRun(func() error {
+			v, _, err := c.Run(core.RunConfig{}, "run", args...)
+			checksums[i] = v.F
+			return err
+		})
+		if err != nil {
+			fatal(err)
+		}
+		seqMs[i] = float64(d.Microseconds()) / 1000
+		m := sequent.NewMachine(1)
+		res, err := m.Run(c.Program, "run", args...)
+		if err != nil {
+			fatal(err)
+		}
+		seqCycles[i] = float64(res.Cycles)
+		ones[i] = 1
+	}
+	times.AddRow("seq", seqMs...)
+	speedups.AddRow("seq", ones...)
+	simulated.AddRow("seq", ones...)
+
+	for _, pes := range pesList {
+		par, err := c.StripMine(parexec.NormalizeFunc, parexec.NormalizeLoop, pes)
+		if err != nil {
+			fatal(err)
+		}
+		parMs := make([]float64, len(ns))
+		parSpeed := make([]float64, len(ns))
+		simSpeed := make([]float64, len(ns))
+		for i, n := range ns {
+			args := []interp.Value{interp.IntVal(int64(n)), x}
+			d, err := timeRun(func() error {
+				v, _, err := par.RunParallel(core.RunConfig{}, pes, "run", args...)
+				if err == nil && v.F != checksums[i] {
+					return fmt.Errorf("pes=%d N=%d: checksum %g != serial %g", pes, n, v.F, checksums[i])
+				}
+				return err
+			})
+			if err != nil {
+				fatal(err)
+			}
+			parMs[i] = float64(d.Microseconds()) / 1000
+			parSpeed[i] = seqMs[i] / parMs[i]
+			m := sequent.NewMachine(pes)
+			res, err := m.Run(par.Program, "run", args...)
+			if err != nil {
+				fatal(err)
+			}
+			simSpeed[i] = seqCycles[i] / float64(res.Cycles)
+		}
+		label := fmt.Sprintf("par(%d)", pes)
+		times.AddRow(label, parMs...)
+		speedups.AddRow(label, parSpeed...)
+		simulated.AddRow(label, simSpeed...)
+	}
+
+	fmt.Println(times.Format(1))
+	fmt.Println(speedups.Format(2))
+	fmt.Println("Simulated Sequent speedup for the same strip-mined program")
+	fmt.Println("(the model's prediction, for comparison):")
+	fmt.Println()
+	fmt.Println(simulated.Format(2))
+	fmt.Println("Parallel checksums matched the serial run bit-for-bit.")
 }
 
 // ---------------------------------------------------------------------------

@@ -25,6 +25,7 @@ import (
 	"repro/internal/effects"
 	"repro/internal/interp"
 	"repro/internal/lang"
+	"repro/internal/parexec"
 	"repro/internal/transform"
 )
 
@@ -147,6 +148,20 @@ func (c *Compilation) Run(cfg RunConfig, fn string, args ...interp.Value) (inter
 	return interp.Run(c.Program, interp.Config{
 		Mode:   mode,
 		PEs:    cfg.PEs,
+		Seed:   cfg.Seed,
+		Output: cfg.Output,
+	}, fn, args...)
+}
+
+// RunParallel executes fn with real goroutine parallelism: the
+// program's forall regions (the ones StripMine emits) run on a
+// parexec worker pool of pes PEs (0 = one worker per logical CPU).
+// Result and print() output are bit-identical to a serial Run, with
+// one exception: rand() inside a forall body draws from the shared
+// stream in scheduling order (see package parexec).
+func (c *Compilation) RunParallel(cfg RunConfig, pes int, fn string, args ...interp.Value) (interp.Value, interp.Stats, error) {
+	return parexec.Run(c.Program, parexec.Options{
+		PEs:    pes,
 		Seed:   cfg.Seed,
 		Output: cfg.Output,
 	}, fn, args...)

@@ -85,7 +85,22 @@ type Config struct {
 	ShapeChecksFatal bool
 	// ShapeWalkLimit bounds the cycle-check walk (0 = 100000 nodes).
 	ShapeWalkLimit int
+	// Forall, if non-nil and Mode == Real, schedules every parallel
+	// forall instead of the default goroutine-per-iteration strategy.
+	// It receives the inclusive iteration bounds and a run function
+	// that executes one iteration on the given worker interpreter
+	// (obtain workers with Fork). Forks clear this hook, so nested
+	// foralls inside a scheduled iteration fall back to the default
+	// strategy rather than re-entering the scheduler.
+	Forall ForallScheduler
 }
+
+// ForallScheduler executes the iterations [from, to] of a parallel
+// loop, calling run(w, k) exactly once per k on a worker interpreter w.
+// run is safe to call from multiple goroutines concurrently as long as
+// each call gets its own worker. The scheduler must not return before
+// every iteration has completed (it is the loop's barrier).
+type ForallScheduler func(from, to int64, run func(w *Interp, k int64) error) error
 
 // Stats reports execution counters.
 type Stats struct {
@@ -101,13 +116,12 @@ type Interp struct {
 	prog  *lang.Program
 	cfg   Config
 	out   io.Writer
-	outMu sync.Mutex
+	outMu *sync.Mutex
 
-	rngState uint64
-
-	steps  atomic.Int64
-	allocs atomic.Int64
-	nextID atomic.Int64
+	// sh is shared between an interpreter and all its forks so that
+	// step accounting, allocation ids, the deterministic RNG, and the
+	// shape-check log stay global across parallel workers.
+	sh *state
 
 	// cycles is the current accounting bucket (Simulated mode only;
 	// single-threaded there).
@@ -115,11 +129,20 @@ type Interp struct {
 	work     int64
 	barriers int64
 
-	shapeMu  sync.Mutex
-	shapeLog []ShapeViolation
-
 	maxSteps int64
 	maxDepth int
+}
+
+// state holds the counters an interpreter shares with its forks.
+type state struct {
+	rngState uint64
+
+	steps  atomic.Int64
+	allocs atomic.Int64
+	nextID atomic.Int64
+
+	shapeMu  sync.Mutex
+	shapeLog []ShapeViolation
 }
 
 // New creates an interpreter for a checked, normalized program.
@@ -140,10 +163,47 @@ func New(prog *lang.Program, cfg Config) *Interp {
 		prog:     prog,
 		cfg:      cfg,
 		out:      cfg.Output,
-		rngState: cfg.Seed*2862933555777941757 + 3037000493,
+		outMu:    &sync.Mutex{},
+		sh:       &state{rngState: cfg.Seed*2862933555777941757 + 3037000493},
 		maxSteps: cfg.MaxSteps,
 		maxDepth: cfg.MaxDepth,
 	}
+}
+
+// Fork returns a worker interpreter over the same program, sharing the
+// parent's counters, RNG, and shape-check log. If out is non-nil the
+// fork prints there through its own mutex (the parallel executor hands
+// each iteration a private buffer and merges them deterministically);
+// with nil it shares the parent's writer and lock. The fork drops the
+// parent's Forall scheduler so a nested parallel loop cannot re-enter
+// the worker pool that is running it. A fork must execute at most one
+// call at a time.
+func (ip *Interp) Fork(out io.Writer) *Interp {
+	nf := &Interp{
+		prog:     ip.prog,
+		cfg:      ip.cfg,
+		out:      ip.out,
+		outMu:    ip.outMu,
+		sh:       ip.sh,
+		maxSteps: ip.maxSteps,
+		maxDepth: ip.maxDepth,
+	}
+	nf.cfg.Forall = nil
+	if out != nil {
+		nf.out = out
+		nf.outMu = &sync.Mutex{}
+	}
+	return nf
+}
+
+// SetOutput redirects this interpreter's print() stream (nil discards).
+// Not safe to call while the interpreter is executing; it exists for
+// worker loops that swap in a fresh buffer between tasks.
+func (ip *Interp) SetOutput(out io.Writer) {
+	if out == nil {
+		out = io.Discard
+	}
+	ip.out = out
 }
 
 // Stats returns execution counters so far.
@@ -151,8 +211,8 @@ func (ip *Interp) Stats() Stats {
 	return Stats{
 		Cycles:      ip.cycles,
 		WorkCycles:  ip.work,
-		Steps:       ip.steps.Load(),
-		Allocations: ip.allocs.Load(),
+		Steps:       ip.sh.steps.Load(),
+		Allocations: ip.sh.allocs.Load(),
 		Barriers:    ip.barriers,
 	}
 }
@@ -186,7 +246,7 @@ func (ip *Interp) charge(c int64) {
 }
 
 func (ip *Interp) step(pos lang.Pos) error {
-	if ip.steps.Add(1) > ip.maxSteps {
+	if ip.sh.steps.Add(1) > ip.maxSteps {
 		return fmt.Errorf("%s: interp: step limit exceeded (%d)", pos, ip.maxSteps)
 	}
 	return nil
@@ -196,9 +256,9 @@ func (ip *Interp) step(pos lang.Pos) error {
 // concurrent use (atomic state).
 func (ip *Interp) rand() float64 {
 	for {
-		old := atomic.LoadUint64(&ip.rngState)
+		old := atomic.LoadUint64(&ip.sh.rngState)
 		z := old + 0x9e3779b97f4a7c15
-		if !atomic.CompareAndSwapUint64(&ip.rngState, old, z) {
+		if !atomic.CompareAndSwapUint64(&ip.sh.rngState, old, z) {
 			continue
 		}
 		z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
@@ -425,7 +485,11 @@ func (ip *Interp) execAssign(s *lang.AssignStmt, fr *frame, depth int) error {
 			}
 			return nil
 		}
-		node.Data[lhs.Field] = coerce(rv, lhs.Type())
+		slot, ok := node.Data[lhs.Field]
+		if !ok {
+			return fmt.Errorf("%s: interp: %s has no data field %q", s.Pos(), node.Type, lhs.Field)
+		}
+		*slot = coerce(rv, lhs.Type())
 		return nil
 	}
 	return fmt.Errorf("%s: interp: bad assignment target %T", s.Pos(), s.LHS)
@@ -466,6 +530,22 @@ func (ip *Interp) execFor(s *lang.ForStmt, fr *frame, depth int) (ctrl, Value, e
 	}
 	if ip.cfg.Mode == Simulated {
 		return ctrlNext, Value{}, ip.simulatedForall(s, fr, depth, from, to)
+	}
+
+	// Real mode with an installed scheduler (parexec's worker pool):
+	// hand the iterations over; the scheduler is the barrier.
+	if ip.cfg.Forall != nil {
+		run := func(w *Interp, k int64) error {
+			nf := fr.snapshot()
+			nf.push()
+			nf.declare(s.Var, IntVal(k))
+			c, _, err := w.execBlock(s.Body, nf, depth)
+			if err == nil && c == ctrlReturn {
+				err = fmt.Errorf("%s: interp: return inside forall is not allowed", s.Pos())
+			}
+			return err
+		}
+		return ctrlNext, Value{}, ip.cfg.Forall(from, to, run)
 	}
 
 	// Real mode: one goroutine per iteration with a snapshot frame.
@@ -603,22 +683,24 @@ func (ip *Interp) alloc(typeName string) (Value, error) {
 		return Value{}, fmt.Errorf("interp: new of unknown type %q", typeName)
 	}
 	ip.charge(ip.cfg.Costs.Alloc)
-	ip.allocs.Add(1)
+	ip.sh.allocs.Add(1)
 	n := &Node{
 		Type: typeName,
-		Data: make(map[string]Value, len(decl.Data)),
+		Data: make(map[string]*Value, len(decl.Data)),
 		Ptrs: make(map[string][]*Node, len(decl.Pointers)),
-		id:   ip.nextID.Add(1),
+		id:   ip.sh.nextID.Add(1),
 	}
 	for _, df := range decl.Data {
+		v := new(Value)
 		switch df.Type {
 		case "real":
-			n.Data[df.Name] = RealVal(0)
+			*v = RealVal(0)
 		case "bool":
-			n.Data[df.Name] = BoolVal(false)
+			*v = BoolVal(false)
 		default:
-			n.Data[df.Name] = IntVal(0)
+			*v = IntVal(0)
 		}
+		n.Data[df.Name] = v
 	}
 	for _, pf := range decl.Pointers {
 		n.Ptrs[pf.Name] = make([]*Node, pf.Count)
@@ -661,7 +743,7 @@ func (ip *Interp) evalField(e *lang.FieldExpr, fr *frame, depth int) (Value, err
 	if !ok {
 		return Value{}, fmt.Errorf("%s: interp: %s has no data field %q", e.Pos(), node.Type, e.Field)
 	}
-	return v, nil
+	return *v, nil
 }
 
 func (ip *Interp) evalCall(e *lang.CallExpr, fr *frame, depth int) (Value, error) {
@@ -814,28 +896,28 @@ func (ip *Interp) evalBin(e *lang.BinExpr, fr *frame, depth int) (Value, error) 
 // ---------------------------------------------------------------------------
 // Heap inspection helpers (used by tests and examples)
 
-// FieldInt reads an int data field of a node.
-func FieldInt(v Value, field string) (int64, error) {
+// Field reads any data field of a node as a Value.
+func Field(v Value, field string) (Value, error) {
 	if v.N == nil {
-		return 0, fmt.Errorf("interp: FieldInt on NULL")
+		return Value{}, fmt.Errorf("interp: Field on NULL")
 	}
 	fv, ok := v.N.Data[field]
 	if !ok {
-		return 0, fmt.Errorf("interp: no field %q", field)
+		return Value{}, fmt.Errorf("interp: no field %q", field)
 	}
-	return fv.I, nil
+	return *fv, nil
+}
+
+// FieldInt reads an int data field of a node.
+func FieldInt(v Value, field string) (int64, error) {
+	fv, err := Field(v, field)
+	return fv.I, err
 }
 
 // FieldReal reads a real data field of a node.
 func FieldReal(v Value, field string) (float64, error) {
-	if v.N == nil {
-		return 0, fmt.Errorf("interp: FieldReal on NULL")
-	}
-	fv, ok := v.N.Data[field]
-	if !ok {
-		return 0, fmt.Errorf("interp: no field %q", field)
-	}
-	return fv.AsReal(), nil
+	fv, err := Field(v, field)
+	return fv.AsReal(), err
 }
 
 // FieldPtr reads a pointer field (index 0) of a node.

@@ -37,17 +37,17 @@ func (v ShapeViolation) String() string {
 
 // ShapeViolations returns the runtime shape-check log.
 func (ip *Interp) ShapeViolations() []ShapeViolation {
-	ip.shapeMu.Lock()
-	defer ip.shapeMu.Unlock()
-	out := make([]ShapeViolation, len(ip.shapeLog))
-	copy(out, ip.shapeLog)
+	ip.sh.shapeMu.Lock()
+	defer ip.sh.shapeMu.Unlock()
+	out := make([]ShapeViolation, len(ip.sh.shapeLog))
+	copy(out, ip.sh.shapeLog)
 	return out
 }
 
 func (ip *Interp) recordShape(v ShapeViolation) error {
-	ip.shapeMu.Lock()
-	ip.shapeLog = append(ip.shapeLog, v)
-	ip.shapeMu.Unlock()
+	ip.sh.shapeMu.Lock()
+	ip.sh.shapeLog = append(ip.sh.shapeLog, v)
+	ip.sh.shapeMu.Unlock()
 	if ip.cfg.ShapeChecksFatal {
 		return fmt.Errorf("interp: %s", v)
 	}
@@ -69,20 +69,20 @@ func (ip *Interp) checkStore(pos lang.Pos, node *Node, field string, old, target
 	// Uniqueness: maintain per-dimension in-edge counts.
 	if pf.Unique {
 		if old != nil {
-			ip.shapeMu.Lock()
+			ip.sh.shapeMu.Lock()
 			if old.inEdges != nil {
 				old.inEdges[pf.Dim]--
 			}
-			ip.shapeMu.Unlock()
+			ip.sh.shapeMu.Unlock()
 		}
 		if target != nil {
-			ip.shapeMu.Lock()
+			ip.sh.shapeMu.Lock()
 			if target.inEdges == nil {
 				target.inEdges = map[string]int{}
 			}
 			target.inEdges[pf.Dim]++
 			count := target.inEdges[pf.Dim]
-			ip.shapeMu.Unlock()
+			ip.sh.shapeMu.Unlock()
 			if count > 1 {
 				if err := ip.recordShape(ShapeViolation{
 					Pos: pos, Kind: "sharing", Type: node.Type, Dim: pf.Dim,

@@ -38,8 +38,13 @@ const (
 // Node is a heap record instance.
 type Node struct {
 	Type string
-	// Data holds scalar fields.
-	Data map[string]Value
+	// Data holds scalar fields. The map is fully populated at
+	// allocation and never structurally modified afterwards: stores
+	// mutate the pointed-to Value in place. That keeps concurrent
+	// access to *different* fields of one node race-free, which the
+	// parallel executor relies on (the dependence test guarantees no
+	// two iterations touch the same field of the same node).
+	Data map[string]*Value
 	// Ptrs holds pointer fields; each entry has the declared Count
 	// length (1 for plain pointers).
 	Ptrs map[string][]*Node

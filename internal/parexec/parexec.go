@@ -1,0 +1,189 @@
+// Package parexec executes transformed PSL programs with real
+// goroutine parallelism: it is the hardware counterpart of the
+// simulated Sequent in package sequent.
+//
+// The engine runs a program on a root interpreter whose parallel
+// forall loops — the regions transform.StripMine emits — are handed to
+// a fixed pool of worker goroutines (one per PE, default GOMAXPROCS).
+// Each worker executes iterations on an interpreter forked from the
+// root: the program is shared and immutable, step/allocation counters
+// and the deterministic RNG are shared atomics, and heap writes are
+// partitioned by construction — the dependence test only licenses
+// loops whose iterations write disjoint nodes (and at field
+// granularity, disjoint fields), so no locking of the heap is needed.
+//
+// Every forall is a barrier, mirroring the paper's FOR1/FOR2 structure
+// (§4.3.3): the pool finishes all PE iteration procedures (FOR2 bodies)
+// before the serial outer loop advances the induction pointer (FOR1).
+// print() output from iterations is captured in per-iteration buffers
+// and flushed in iteration order at the barrier, so a parallel run's
+// output stream — and its result, since the heap writes are disjoint —
+// is bit-identical to the serial run's.
+//
+// One caveat: the rand() builtin draws from a single shared stream in
+// completion order, so a forall body that calls rand() receives
+// scheduling-dependent draws and loses the bit-identical guarantee.
+// None of the paper's parallel loops use rand; programs that want
+// determinism must keep rand() out of parallel regions.
+package parexec
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"runtime"
+	"sync"
+
+	"repro/internal/interp"
+	"repro/internal/lang"
+)
+
+// Options configures an Engine.
+type Options struct {
+	// PEs is the number of worker goroutines (0 = GOMAXPROCS).
+	PEs int
+	// Seed for the deterministic rand() builtin.
+	Seed uint64
+	// Output receives the merged print() stream (nil discards).
+	Output io.Writer
+	// MaxSteps bounds execution (0 = interpreter default).
+	MaxSteps int64
+}
+
+// Engine runs programs with a goroutine-backed worker pool. An Engine
+// is cheap; each Run call builds its own pool and tears it down, so one
+// Engine may be reused (even concurrently) for many runs.
+type Engine struct {
+	prog *lang.Program
+	opt  Options
+}
+
+// New creates an engine for a checked, normalized program.
+func New(prog *lang.Program, opt Options) *Engine {
+	return &Engine{prog: prog, opt: opt}
+}
+
+// PEs reports the worker-pool size a Run will use.
+func (e *Engine) PEs() int {
+	if e.opt.PEs > 0 {
+		return e.opt.PEs
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// Run executes fn on the pool and returns its result, with Stats whose
+// Barriers field counts the parallel regions joined.
+func (e *Engine) Run(fn string, args ...interp.Value) (interp.Value, interp.Stats, error) {
+	out := e.opt.Output
+	if out == nil {
+		out = io.Discard
+	}
+	rs := &runState{tasks: make(chan task), out: out}
+	root := interp.New(e.prog, interp.Config{
+		Mode:     interp.Real,
+		Seed:     e.opt.Seed,
+		Output:   out,
+		MaxSteps: e.opt.MaxSteps,
+		Forall:   rs.forall,
+	})
+
+	var workers sync.WaitGroup
+	for i := 0; i < e.PEs(); i++ {
+		workers.Add(1)
+		w := root.Fork(io.Discard)
+		go func() {
+			defer workers.Done()
+			for t := range rs.tasks {
+				w.SetOutput(t.buf)
+				*t.err = t.run(w, t.k)
+				w.SetOutput(nil)
+				t.wg.Done()
+			}
+		}()
+	}
+	v, err := root.Call(fn, args...)
+	close(rs.tasks)
+	workers.Wait()
+
+	st := root.Stats()
+	st.Barriers = rs.barriers
+	return v, st, err
+}
+
+// Run is the one-shot convenience: execute fn on a fresh engine.
+func Run(prog *lang.Program, opt Options, fn string, args ...interp.Value) (interp.Value, interp.Stats, error) {
+	return New(prog, opt).Run(fn, args...)
+}
+
+// ---------------------------------------------------------------------------
+// Pool internals
+
+// task is one forall iteration handed to the pool.
+type task struct {
+	k   int64
+	buf *bytes.Buffer
+	run func(w *interp.Interp, k int64) error
+	err *error
+	wg  *sync.WaitGroup
+}
+
+// runState is the per-Run scheduler the root interpreter calls for
+// every parallel forall. It lives on the interpreting goroutine; only
+// the tasks channel crosses into the workers.
+type runState struct {
+	tasks    chan task
+	out      io.Writer
+	barriers int64
+	bufPool  sync.Pool
+}
+
+func (rs *runState) getBuf() *bytes.Buffer {
+	if b, ok := rs.bufPool.Get().(*bytes.Buffer); ok {
+		b.Reset()
+		return b
+	}
+	return new(bytes.Buffer)
+}
+
+// forall schedules the iterations [from, to] onto the pool and blocks
+// until all complete — the per-step barrier. Iteration output is then
+// flushed in index order and the first failing iteration (in index
+// order, matching where a serial run would have stopped) decides the
+// error.
+func (rs *runState) forall(from, to int64, run func(w *interp.Interp, k int64) error) error {
+	n := int(to - from + 1)
+	bufs := make([]*bytes.Buffer, n)
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	wg.Add(n)
+	for k := from; k <= to; k++ {
+		i := int(k - from)
+		bufs[i] = rs.getBuf()
+		rs.tasks <- task{k: k, buf: bufs[i], run: run, err: &errs[i], wg: &wg}
+	}
+	wg.Wait()
+	rs.barriers++
+
+	// First failing iteration, in index order: a serial run would have
+	// stopped there, so only earlier iterations' output is flushed.
+	failed := -1
+	for i, err := range errs {
+		if err != nil {
+			failed = i
+			break
+		}
+	}
+	var writeErr error
+	for i, b := range bufs {
+		if (failed < 0 || i < failed) && b.Len() > 0 && writeErr == nil {
+			if _, err := rs.out.Write(b.Bytes()); err != nil {
+				writeErr = fmt.Errorf("parexec: merging output: %w", err)
+			}
+		}
+		rs.bufPool.Put(b)
+	}
+	if failed >= 0 {
+		return errs[failed]
+	}
+	return writeErr
+}

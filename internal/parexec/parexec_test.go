@@ -1,0 +1,324 @@
+package parexec_test
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"runtime"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/interp"
+	"repro/internal/lang"
+	"repro/internal/nbody"
+	"repro/internal/parexec"
+)
+
+// testdataPEs are the pool sizes the determinism tests sweep.
+var testdataPEs = []int{2, 4, 8}
+
+func compileTestdata(t *testing.T, name string) *core.Compilation {
+	t.Helper()
+	src, err := os.ReadFile(filepath.Join("..", "..", "testdata", name))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := core.Compile(string(src))
+	if err != nil {
+		t.Fatalf("%s: %v", name, err)
+	}
+	return c
+}
+
+// TestPolyscaleDeterministic: the strip-mined §3.3.2 program returns
+// the serial checksum for every pool size.
+func TestPolyscaleDeterministic(t *testing.T) {
+	c := compileTestdata(t, "polyscale.psl")
+	want, _, err := c.Run(core.RunConfig{}, "main")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, pes := range testdataPEs {
+		par, err := c.StripMine("scale", 0, pes)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, st, err := par.RunParallel(core.RunConfig{}, pes, "main")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.I != want.I {
+			t.Errorf("pes=%d: %d, want %d", pes, got.I, want.I)
+		}
+		if st.Barriers == 0 {
+			t.Errorf("pes=%d: no barriers counted — did the pool run?", pes)
+		}
+	}
+}
+
+// TestTestdataProgramsUnderPool: every root testdata program (including
+// the untransformed ones, which exercise the serial path through the
+// engine) produces its serial result on the pool.
+func TestTestdataProgramsUnderPool(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		want int64
+	}{
+		{"polyscale.psl", 0}, {"violations.psl", 1234}, {"orthlist.psl", 385},
+	} {
+		c := compileTestdata(t, tc.name)
+		want, _, err := c.Run(core.RunConfig{}, "main")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if tc.want != 0 && want.I != tc.want {
+			t.Fatalf("%s: serial main = %d, want %d", tc.name, want.I, tc.want)
+		}
+		for _, pes := range testdataPEs {
+			got, _, err := c.RunParallel(core.RunConfig{}, pes, "main")
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got.I != want.I {
+				t.Errorf("%s pes=%d: %d, want %d", tc.name, pes, got.I, want.I)
+			}
+		}
+	}
+}
+
+// unevenSrc prints from a forall whose iterations do wildly different
+// amounts of work, so completion order differs from iteration order:
+// the merged stream must still come out in iteration order.
+const unevenSrc = `
+type Cell [X]
+{ int v;
+  Cell *next is uniquely forward along X;
+};
+
+procedure work(int i) {
+  var int spin = (17 - i) * 4000;
+  var int j = 0;
+  var int acc = 0;
+  while j < spin {
+    acc = acc + j;
+    j = j + 1;
+  }
+  print(i, acc);
+}
+
+procedure main() {
+  forall i = 0 to 17 {
+    work(i);
+  }
+}
+`
+
+// TestOutputMergedInIterationOrder: parallel print() output is
+// bit-identical to the serial stream.
+func TestOutputMergedInIterationOrder(t *testing.T) {
+	prog, err := lang.Parse(unevenSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The serial reference is Simulated mode: it executes forall
+	// iterations sequentially in iteration order (Real mode without a
+	// scheduler interleaves goroutine output nondeterministically).
+	var serial bytes.Buffer
+	if _, _, err := interp.Run(prog, interp.Config{Mode: interp.Simulated, PEs: 1, Output: &serial}, "main"); err != nil {
+		t.Fatal(err)
+	}
+	if serial.Len() == 0 {
+		t.Fatal("serial run printed nothing")
+	}
+	for _, pes := range testdataPEs {
+		var par bytes.Buffer
+		_, st, err := parexec.Run(prog, parexec.Options{PEs: pes, Output: &par}, "main")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(serial.Bytes(), par.Bytes()) {
+			t.Errorf("pes=%d: output diverged\nserial:\n%s\nparallel:\n%s",
+				pes, serial.String(), par.String())
+		}
+		if st.Barriers != 1 {
+			t.Errorf("pes=%d: barriers = %d, want 1", pes, st.Barriers)
+		}
+	}
+}
+
+// TestBarnesHutParallelMatchesSerial: the full §4.3 pipeline — both BH
+// loops strip-mined — integrates to the same trajectories on the pool.
+func TestBarnesHutParallelMatchesSerial(t *testing.T) {
+	c, err := core.Compile(nbody.BarnesHutPSL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	args := []interp.Value{
+		interp.IntVal(24), interp.IntVal(2), interp.RealVal(0.5), interp.RealVal(0.01),
+	}
+	want, _, err := c.Run(core.RunConfig{Seed: 7}, "simulate", args...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, pes := range testdataPEs {
+		p1, err := c.StripMine(nbody.TimestepFunc, nbody.BHL1, pes)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p2, err := p1.StripMine(nbody.TimestepFunc, nbody.BHL2, pes)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, st, err := p2.RunParallel(core.RunConfig{Seed: 7}, pes, "simulate", args...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wn, gn := want.N, got.N
+		for wn != nil {
+			if gn == nil {
+				t.Fatalf("pes=%d: parallel particle list too short", pes)
+			}
+			for _, f := range []string{"posx", "posy", "posz", "velx"} {
+				wv, err := interp.Field(interp.PtrVal(wn), f)
+				if err != nil {
+					t.Fatal(err)
+				}
+				gv, err := interp.Field(interp.PtrVal(gn), f)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if wv.F != gv.F {
+					t.Fatalf("pes=%d: %s diverged: %g vs %g", pes, f, wv.F, gv.F)
+				}
+			}
+			wn, gn = wn.Ptrs["next"][0], gn.Ptrs["next"][0]
+		}
+		if gn != nil {
+			t.Fatalf("pes=%d: parallel particle list too long", pes)
+		}
+		// Two strip-mined loops × two timesteps = 4 barriers minimum
+		// (the outer while trips several times per step).
+		if st.Barriers < 4 {
+			t.Errorf("pes=%d: barriers = %d, want >= 4", pes, st.Barriers)
+		}
+	}
+}
+
+// TestMeasuredSpeedup: on a host with enough cores, the pool must beat
+// serial interpretation on the measured workload. The threshold is
+// deliberately below the ~2.5x a quiet 4-core host shows, to keep CI
+// timing noise from flaking the suite.
+func TestMeasuredSpeedup(t *testing.T) {
+	if runtime.NumCPU() < 4 {
+		t.Skipf("need >= 4 CPUs for a meaningful speedup, have %d", runtime.NumCPU())
+	}
+	if testing.Short() {
+		t.Skip("timing test")
+	}
+	c, err := core.Compile(parexec.PolyNormalizePSL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const pes = 4
+	par, err := c.StripMine(parexec.NormalizeFunc, parexec.NormalizeLoop, pes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	args := []interp.Value{interp.IntVal(2000), interp.RealVal(1.001)}
+	best := func(run func() error) time.Duration {
+		var b time.Duration
+		for i := 0; i < 3; i++ {
+			t0 := time.Now()
+			if err := run(); err != nil {
+				t.Fatal(err)
+			}
+			if d := time.Since(t0); b == 0 || d < b {
+				b = d
+			}
+		}
+		return b
+	}
+	serial := best(func() error {
+		_, _, err := c.Run(core.RunConfig{}, "run", args...)
+		return err
+	})
+	parallel := best(func() error {
+		_, _, err := par.RunParallel(core.RunConfig{}, pes, "run", args...)
+		return err
+	})
+	speedup := float64(serial) / float64(parallel)
+	t.Logf("serial %v, parallel(%d) %v: speedup %.2fx", serial, pes, parallel, speedup)
+	if speedup < 1.2 {
+		t.Errorf("speedup %.2fx at %d PEs on %d CPUs; want >= 1.2x", speedup, pes, runtime.NumCPU())
+	}
+}
+
+// TestErrorPropagates: a failing iteration surfaces as the run's error.
+func TestErrorPropagates(t *testing.T) {
+	const src = `
+procedure main(int d) {
+  forall i = 0 to 7 {
+    var int x = 10 / (i - d);
+    print(x);
+  }
+}
+`
+	prog, err := lang.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	_, _, err = parexec.Run(prog, parexec.Options{PEs: 4, Output: &out}, "main", interp.IntVal(3))
+	if err == nil {
+		t.Fatal("division by zero in iteration 3 must fail the run")
+	}
+	// Output mirrors the serial stream: iterations before the failing
+	// one printed, nothing after.
+	if got, want := out.String(), "-3\n-5\n-10\n"; got != want {
+		t.Errorf("output on error path = %q, want %q", got, want)
+	}
+}
+
+// TestReturnInsideForallRejected: the scheduler path reports the same
+// error Simulated mode does instead of silently dropping the return.
+func TestReturnInsideForallRejected(t *testing.T) {
+	const src = `
+function int main() {
+  forall i = 0 to 3 {
+    return i;
+  }
+  return -1;
+}
+`
+	prog, err := lang.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, _, err = parexec.Run(prog, parexec.Options{PEs: 2}, "main")
+	if err == nil {
+		t.Fatal("return inside forall must be an error")
+	}
+}
+
+// TestEngineReuse: one engine, many runs, stable results.
+func TestEngineReuse(t *testing.T) {
+	c := compileTestdata(t, "polyscale.psl")
+	par, err := c.StripMine("scale", 0, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := parexec.New(par.Program, parexec.Options{PEs: 4})
+	var first int64
+	for i := 0; i < 3; i++ {
+		v, _, err := e.Run("main")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if i == 0 {
+			first = v.I
+		} else if v.I != first {
+			t.Fatalf("run %d: %d, want %d", i, v.I, first)
+		}
+	}
+}

@@ -1,0 +1,68 @@
+package parexec
+
+// PolyNormalizePSL is the measured-speedup workload: the §3.3.2
+// polynomial program scaled so one loop iteration carries enough work
+// (an O(exp) power loop, exp in [100, 164)) for real parallelism to
+// pay for the pool's scheduling overhead. normalize's while loop is
+// loop #0 — the strip-mining target; every iteration writes only its
+// own node's val field, so the dependence test approves it.
+//
+// run(n, x) builds the n-term polynomial, normalizes it, and folds the
+// values into a checksum, which parallel runs must reproduce exactly.
+const PolyNormalizePSL = `
+type OneWayList [X]
+{ int coef, exp;
+  real val;
+  OneWayList *next is uniquely forward along X;
+};
+
+function OneWayList * poly(int n) {
+  var OneWayList *head = NULL;
+  var int i = 0;
+  while i < n {
+    var OneWayList *t = new OneWayList;
+    t->coef = i + 1;
+    t->exp = 100 + i % 64;
+    t->next = head;
+    head = t;
+    i = i + 1;
+  }
+  return head;
+}
+
+procedure normalize(OneWayList *head, real x) {
+  var OneWayList *p = head;
+  while p != NULL {
+    var real v = 1.0;
+    var int e = 0;
+    while e < p->exp {
+      v = v * x;
+      e = e + 1;
+    }
+    p->val = p->coef * v;
+    p = p->next;
+  }
+}
+
+function real checksum(OneWayList *head) {
+  var real s = 0.0;
+  var OneWayList *p = head;
+  while p != NULL {
+    s = s + p->val;
+    p = p->next;
+  }
+  return s;
+}
+
+function real run(int n, real x) {
+  var OneWayList *h = poly(n);
+  normalize(h, x);
+  return checksum(h);
+}
+`
+
+// NormalizeFunc is the procedure holding the strip-mining target.
+const NormalizeFunc = "normalize"
+
+// NormalizeLoop is the loop index of the target within NormalizeFunc.
+const NormalizeLoop = 0

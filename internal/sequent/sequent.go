@@ -17,11 +17,11 @@ package sequent
 
 import (
 	"fmt"
-	"strings"
 
 	"repro/internal/interp"
 	"repro/internal/lang"
 	"repro/internal/nbody"
+	"repro/internal/tablefmt"
 	"repro/internal/transform"
 )
 
@@ -192,46 +192,40 @@ func BarnesHutTable(cfg TableConfig) (*Table, error) {
 
 // FormatTimes renders the paper's TIMES table.
 func (t *Table) FormatTimes() string {
-	var b strings.Builder
-	b.WriteString("TIMES    ")
-	for _, r := range t.Rows {
-		fmt.Fprintf(&b, "| N = %-6d ", r.N)
-	}
-	b.WriteString("\n")
-	fmt.Fprintf(&b, "seq      ")
-	for _, r := range t.Rows {
-		fmt.Fprintf(&b, "| %-10.0f ", r.Seq)
-	}
-	b.WriteString("\n")
+	g := tablefmt.New("TIMES", t.ns()...)
+	g.AddRow("seq", t.cells(func(r TableRow) float64 { return r.Seq })...)
 	for _, pes := range t.Config.PEs {
-		fmt.Fprintf(&b, "par(%d)   ", pes)
-		for _, r := range t.Rows {
-			fmt.Fprintf(&b, "| %-10.0f ", r.Par[pes])
-		}
-		b.WriteString("\n")
+		pes := pes
+		g.AddRow(fmt.Sprintf("par(%d)", pes),
+			t.cells(func(r TableRow) float64 { return r.Par[pes] })...)
 	}
-	return b.String()
+	return g.Format(0)
 }
 
 // FormatSpeedups renders the paper's SPEEDUP table.
 func (t *Table) FormatSpeedups() string {
-	var b strings.Builder
-	b.WriteString("SPEEDUP  ")
-	for _, r := range t.Rows {
-		fmt.Fprintf(&b, "| N = %-6d ", r.N)
-	}
-	b.WriteString("\n")
-	fmt.Fprintf(&b, "seq      ")
-	for range t.Rows {
-		fmt.Fprintf(&b, "| %-10.1f ", 1.0)
-	}
-	b.WriteString("\n")
+	g := tablefmt.New("SPEEDUP", t.ns()...)
+	g.AddRow("seq", t.cells(func(TableRow) float64 { return 1.0 })...)
 	for _, pes := range t.Config.PEs {
-		fmt.Fprintf(&b, "par(%d)   ", pes)
-		for _, r := range t.Rows {
-			fmt.Fprintf(&b, "| %-10.1f ", r.Speedup[pes])
-		}
-		b.WriteString("\n")
+		pes := pes
+		g.AddRow(fmt.Sprintf("par(%d)", pes),
+			t.cells(func(r TableRow) float64 { return r.Speedup[pes] })...)
 	}
-	return b.String()
+	return g.Format(1)
+}
+
+func (t *Table) ns() []int {
+	out := make([]int, len(t.Rows))
+	for i, r := range t.Rows {
+		out[i] = r.N
+	}
+	return out
+}
+
+func (t *Table) cells(get func(TableRow) float64) []float64 {
+	out := make([]float64, len(t.Rows))
+	for i, r := range t.Rows {
+		out[i] = get(r)
+	}
+	return out
 }
