@@ -121,6 +121,48 @@ func BenchmarkR1RealPolyParallel4(b *testing.B) { benchRealPoly(b, 4) }
 func BenchmarkR1RealPolyParallel8(b *testing.B) { benchRealPoly(b, 8) }
 
 // ---------------------------------------------------------------------------
+// R2 — the Barnes-Hut force loop on the parexec pool, one benchmark per
+// scheduling policy (the measured counterpart of the X2 ablation; full
+// scale is `go run ./cmd/experiments -real`).
+
+func BenchmarkR2ForceSerial(b *testing.B) {
+	c, err := core.Compile(nbody.BarnesHutForcePSL)
+	if err != nil {
+		b.Fatal(err)
+	}
+	args := []interp.Value{interp.IntVal(64), interp.RealVal(0.5)}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := c.Run(core.RunConfig{Seed: 7}, nbody.ForceFunc, args...); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func benchR2Force(b *testing.B, pol parexec.Policy, pes int) {
+	c, err := core.Compile(nbody.BarnesHutForcePSL)
+	if err != nil {
+		b.Fatal(err)
+	}
+	par, err := c.StripMine(nbody.ForceFunc, nbody.ForceLoop, 4*pes)
+	if err != nil {
+		b.Fatal(err)
+	}
+	args := []interp.Value{interp.IntVal(64), interp.RealVal(0.5)}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := par.RunParallel(core.RunConfig{Seed: 7, Sched: pol}, pes, nbody.ForceFunc, args...); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkR2ForceBlock4(b *testing.B)   { benchR2Force(b, parexec.StaticBlock, 4) }
+func BenchmarkR2ForceCyclic4(b *testing.B)  { benchR2Force(b, parexec.StaticCyclic, 4) }
+func BenchmarkR2ForceDynamic4(b *testing.B) { benchR2Force(b, parexec.Dynamic(1), 4) }
+func BenchmarkR2ForceDynamic8(b *testing.B) { benchR2Force(b, parexec.Dynamic(2), 8) }
+
+// ---------------------------------------------------------------------------
 // F1 — validation distinguishing the Figure 1 shapes.
 
 func BenchmarkFig1ValidationVerdict(b *testing.B) {

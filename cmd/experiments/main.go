@@ -8,10 +8,18 @@
 //	          matrix; PM3 (= V2): octree build validation
 //	-x N      X1: analysis precision comparison; X2: scheduling/sync
 //	          ablation; X3: theta accuracy/work sweep
-//	-real     R1: measured wall-clock speedups on real goroutines
-//	          (parexec) next to the simulated Sequent prediction
+//	-real     R1 and R2: measured wall-clock speedups on real goroutines
+//	          (parexec) next to the simulated Sequent prediction —
+//	          R1 on the §3.3.2 polynomial, R2 on the Barnes-Hut force
+//	          loop, per scheduling policy (RX2)
+//	-pes, -sched, -chunk
+//	          pool sizes and R2 scheduling policy for -real
 //	-all      everything (the default when no flag is given)
 //	-measure  time steps simulated per T1 cell (default 1)
+//
+// The flag set itself — authoritative names, defaults, and usage
+// strings — lives in internal/expflags, so the doc-drift test can
+// check documented commands against it; run with -h for the details.
 package main
 
 import (
@@ -19,10 +27,12 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"strings"
 	"time"
 
 	"repro/internal/adds"
 	"repro/internal/core"
+	"repro/internal/expflags"
 	"repro/internal/interp"
 	"repro/internal/nbody"
 	"repro/internal/parexec"
@@ -31,37 +41,40 @@ import (
 )
 
 func main() {
-	tables := flag.Bool("t", false, "T1/T2 tables")
-	fig := flag.Int("fig", 0, "figure number (1-5)")
-	pm := flag.Int("pm", 0, "path-matrix experiment (1-3)")
-	x := flag.Int("x", 0, "supplementary experiment (1-3)")
-	real := flag.Bool("real", false, "R1: measured wall-clock speedups (parexec)")
-	all := flag.Bool("all", false, "run everything")
-	measure := flag.Int("measure", 1, "measured steps per table cell")
+	f := expflags.Register(flag.CommandLine)
 	flag.Parse()
 
-	if !*tables && *fig == 0 && *pm == 0 && *x == 0 && !*real {
-		*all = true
+	if !f.Tables && f.Fig == 0 && f.PM == 0 && f.X == 0 && !f.Real {
+		f.All = true
 	}
-	if *all || *tables {
-		runTables(*measure)
+	if f.All || f.Tables {
+		runTables(f.Measure)
 	}
-	if *all || *real {
-		runReal()
+	if f.All || f.Real {
+		peList, err := f.PEList()
+		if err != nil {
+			fatal(err)
+		}
+		policies, err := f.Policies()
+		if err != nil {
+			fatal(err)
+		}
+		runR1(peList)
+		runR2(peList, policies)
 	}
-	for f := 1; f <= 5; f++ {
-		if *all || *fig == f {
-			runFigure(f)
+	for n := 1; n <= 5; n++ {
+		if f.All || f.Fig == n {
+			runFigure(n)
 		}
 	}
 	for p := 1; p <= 3; p++ {
-		if *all || *pm == p {
+		if f.All || f.PM == p {
 			runPM(p)
 		}
 	}
 	for e := 1; e <= 3; e++ {
-		if *all || *x == e {
-			runX(e, *measure)
+		if f.All || f.X == e {
+			runX(e, f.Measure)
 		}
 	}
 }
@@ -90,7 +103,25 @@ func runTables(measure int) {
 }
 
 // ---------------------------------------------------------------------------
-// R1 — measured wall-clock speedup on real goroutines
+// R1/R2 — measured wall-clock speedup on real goroutines
+
+// warnOversubscribed flags pool sizes beyond the host's CPUs: those
+// cells still verify the bit-identical checksum property, but their
+// SPEEDUP entries measure oversubscription, not parallel capacity.
+// (The default -pes 2,4,8 keeps the determinism sweep complete on any
+// host; trim it to taste for timing-only runs.)
+func warnOversubscribed(peList []int) {
+	maxPEs := 0
+	for _, p := range peList {
+		if p > maxPEs {
+			maxPEs = p
+		}
+	}
+	if maxPEs > runtime.NumCPU() {
+		fmt.Printf("note: pool sizes above NumCPU=%d are oversubscribed — those SPEEDUP\n", runtime.NumCPU())
+		fmt.Println("rows check determinism, not parallel capacity.")
+	}
+}
 
 // timeRun reports the best wall-clock of three executions.
 func timeRun(run func() error) (time.Duration, error) {
@@ -107,97 +138,206 @@ func timeRun(run func() error) (time.Duration, error) {
 	return best, nil
 }
 
-func runReal() {
-	header("R1 — measured wall-clock speedup (goroutine-backed parexec)")
-	fmt.Printf("host: GOMAXPROCS=%d, NumCPU=%d; workload: §3.3.2 polynomial\n",
-		runtime.GOMAXPROCS(0), runtime.NumCPU())
-	fmt.Println("normalize (O(exp) work per node); best of 3 runs per cell.")
-	fmt.Println()
+// realTable accumulates one measured experiment's TIMES/SPEEDUP grids
+// plus the simulated Sequent's prediction, sharing the measurement
+// conventions between R1 and R2 (DESIGN.md: best of 3 runs per cell,
+// speedups relative to the serial interpreter on the same host,
+// checksum equality with the serial run asserted on every parallel
+// cell).
+type realTable struct {
+	c         *core.Compilation
+	fn        string
+	seed      uint64
+	ns        []int
+	argsFor   func(n int) []interp.Value
+	times     *tablefmt.Table
+	speedups  *tablefmt.Table
+	simulated *tablefmt.Table
+	seqMs     []float64
+	seqCycles []float64
+	checksums []float64
+	cells     int
+}
 
-	ns := []int{500, 2000}
-	pesList := []int{2, 4}
-	if runtime.NumCPU() >= 8 {
-		pesList = append(pesList, 8)
+// newRealTable times the serial interpreter (and the 1-PE simulated
+// machine) on every N, filling the seq rows and the reference
+// checksums every parallel cell is compared against.
+func newRealTable(c *core.Compilation, fn string, seed uint64, ns []int, argsFor func(n int) []interp.Value) *realTable {
+	rt := &realTable{
+		c: c, fn: fn, seed: seed, ns: ns, argsFor: argsFor,
+		times:     tablefmt.New("TIMES ms", ns...),
+		speedups:  tablefmt.New("SPEEDUP", ns...),
+		simulated: tablefmt.New("SEQUENT", ns...),
+		seqMs:     make([]float64, len(ns)),
+		seqCycles: make([]float64, len(ns)),
+		checksums: make([]float64, len(ns)),
 	}
-	c, err := core.Compile(parexec.PolyNormalizePSL)
-	if err != nil {
-		fatal(err)
-	}
-
-	x := interp.RealVal(1.001)
-	times := tablefmt.New("TIMES ms", ns...)
-	speedups := tablefmt.New("SPEEDUP", ns...)
-	simulated := tablefmt.New("SEQUENT", ns...)
-
-	seqMs := make([]float64, len(ns))
-	seqCycles := make([]float64, len(ns))
-	checksums := make([]float64, len(ns))
 	ones := make([]float64, len(ns))
 	for i, n := range ns {
-		args := []interp.Value{interp.IntVal(int64(n)), x}
+		args := argsFor(n)
 		d, err := timeRun(func() error {
-			v, _, err := c.Run(core.RunConfig{}, "run", args...)
-			checksums[i] = v.F
+			v, _, err := c.Run(core.RunConfig{Seed: seed}, fn, args...)
+			rt.checksums[i] = v.F
 			return err
 		})
 		if err != nil {
 			fatal(err)
 		}
-		seqMs[i] = float64(d.Microseconds()) / 1000
+		rt.seqMs[i] = float64(d.Microseconds()) / 1000
 		m := sequent.NewMachine(1)
-		res, err := m.Run(c.Program, "run", args...)
+		m.Seed = seed
+		res, err := m.Run(c.Program, fn, args...)
 		if err != nil {
 			fatal(err)
 		}
-		seqCycles[i] = float64(res.Cycles)
+		rt.seqCycles[i] = float64(res.Cycles)
 		ones[i] = 1
 	}
-	times.AddRow("seq", seqMs...)
-	speedups.AddRow("seq", ones...)
-	simulated.AddRow("seq", ones...)
+	rt.times.AddRow("seq", rt.seqMs...)
+	rt.speedups.AddRow("seq", ones...)
+	rt.simulated.AddRow("seq", ones...)
+	return rt
+}
 
-	for _, pes := range pesList {
+// addMeasuredRow times one parallel configuration (best of 3 per N),
+// asserting each cell's checksum against the serial run, and appends
+// it to the TIMES and SPEEDUP grids.
+func (rt *realTable) addMeasuredRow(label string, par *core.Compilation, pes int, pol parexec.Policy) {
+	parMs := make([]float64, len(rt.ns))
+	parSpeed := make([]float64, len(rt.ns))
+	for i, n := range rt.ns {
+		args := rt.argsFor(n)
+		d, err := timeRun(func() error {
+			v, _, err := par.RunParallel(core.RunConfig{Seed: rt.seed, Sched: pol}, pes, rt.fn, args...)
+			if err == nil && v.F != rt.checksums[i] {
+				return fmt.Errorf("%s N=%d: checksum %g != serial %g", label, n, v.F, rt.checksums[i])
+			}
+			return err
+		})
+		if err != nil {
+			fatal(err)
+		}
+		parMs[i] = float64(d.Microseconds()) / 1000
+		parSpeed[i] = rt.seqMs[i] / parMs[i]
+		rt.cells++
+	}
+	rt.times.AddRow(label, parMs...)
+	rt.speedups.AddRow(label, parSpeed...)
+}
+
+// addSimRow appends the simulated Sequent's speedup prediction for the
+// same strip-mined program (the machine model only has the static
+// cyclic/block mappings; predictions here use its default, cyclic).
+func (rt *realTable) addSimRow(label string, par *core.Compilation, pes int) {
+	simSpeed := make([]float64, len(rt.ns))
+	for i, n := range rt.ns {
+		m := sequent.NewMachine(pes)
+		m.Seed = rt.seed
+		res, err := m.Run(par.Program, rt.fn, rt.argsFor(n)...)
+		if err != nil {
+			fatal(err)
+		}
+		simSpeed[i] = rt.seqCycles[i] / float64(res.Cycles)
+	}
+	rt.simulated.AddRow(label, simSpeed...)
+}
+
+// print renders the three grids.
+func (rt *realTable) print() {
+	fmt.Println(rt.times.Format(1))
+	fmt.Println(rt.speedups.Format(2))
+	fmt.Println("Simulated Sequent speedup prediction for the same strip-mined")
+	fmt.Println("program (static cyclic mapping — the model's scheduling):")
+	fmt.Println()
+	fmt.Println(rt.simulated.Format(2))
+}
+
+// runR1 measures the paper's own strip-mining configuration: width =
+// PEs, one iteration per PE per barrier, under the paper's static
+// cyclic mapping (enforced, not assumed — the engine default dynamic
+// policy could let one PE claim two iterations on a loaded host). At
+// that width the -sched/-chunk knobs could only de-parallelize the
+// strip, so they shape the R2 tables instead.
+func runR1(peList []int) {
+	header("R1 — measured wall-clock speedup (goroutine-backed parexec)")
+	fmt.Printf("host: GOMAXPROCS=%d, NumCPU=%d; workload: §3.3.2 polynomial\n",
+		runtime.GOMAXPROCS(0), runtime.NumCPU())
+	fmt.Println("normalize (O(exp) work per node); strip width = PEs, static cyclic")
+	fmt.Println("(the paper's §4.3.3 split); best of 3 runs per cell.")
+	warnOversubscribed(peList)
+	fmt.Println()
+
+	c, err := core.Compile(parexec.PolyNormalizePSL)
+	if err != nil {
+		fatal(err)
+	}
+	rt := newRealTable(c, "run", 0, []int{500, 2000}, func(n int) []interp.Value {
+		return []interp.Value{interp.IntVal(int64(n)), interp.RealVal(1.001)}
+	})
+	for _, pes := range peList {
 		par, err := c.StripMine(parexec.NormalizeFunc, parexec.NormalizeLoop, pes)
 		if err != nil {
 			fatal(err)
 		}
-		parMs := make([]float64, len(ns))
-		parSpeed := make([]float64, len(ns))
-		simSpeed := make([]float64, len(ns))
-		for i, n := range ns {
-			args := []interp.Value{interp.IntVal(int64(n)), x}
-			d, err := timeRun(func() error {
-				v, _, err := par.RunParallel(core.RunConfig{}, pes, "run", args...)
-				if err == nil && v.F != checksums[i] {
-					return fmt.Errorf("pes=%d N=%d: checksum %g != serial %g", pes, n, v.F, checksums[i])
-				}
-				return err
-			})
-			if err != nil {
-				fatal(err)
-			}
-			parMs[i] = float64(d.Microseconds()) / 1000
-			parSpeed[i] = seqMs[i] / parMs[i]
-			m := sequent.NewMachine(pes)
-			res, err := m.Run(par.Program, "run", args...)
-			if err != nil {
-				fatal(err)
-			}
-			simSpeed[i] = seqCycles[i] / float64(res.Cycles)
-		}
 		label := fmt.Sprintf("par(%d)", pes)
-		times.AddRow(label, parMs...)
-		speedups.AddRow(label, parSpeed...)
-		simulated.AddRow(label, simSpeed...)
+		rt.addMeasuredRow(label, par, pes, parexec.StaticCyclic)
+		rt.addSimRow(label, par, pes)
 	}
-
-	fmt.Println(times.Format(1))
-	fmt.Println(speedups.Format(2))
-	fmt.Println("Simulated Sequent speedup for the same strip-mined program")
-	fmt.Println("(the model's prediction, for comparison):")
-	fmt.Println()
-	fmt.Println(simulated.Format(2))
+	rt.print()
 	fmt.Println("Parallel checksums matched the serial run bit-for-bit.")
+}
+
+// polLabel abbreviates a policy name for table rows: blk(4), cyc(4),
+// dyn(4).
+func polLabel(pol parexec.Policy, pes int) string {
+	short := map[string]string{"block": "blk", "cyclic": "cyc", "dynamic": "dyn"}
+	s, ok := short[pol.Name()]
+	if !ok {
+		s = pol.Name()
+	}
+	return fmt.Sprintf("%s(%d)", s, pes)
+}
+
+// runR2 measures the paper's headline workload on real goroutines: the
+// Barnes-Hut force-computation loop (nbody.BarnesHutForcePSL), strip-
+// mined at width 4×PEs so the scheduling policy owns the iteration→PE
+// map, one row per policy × pool size, next to the simulated Sequent's
+// prediction for the same strip-mined program (the T1/T2 model).
+func runR2(peList []int, policies []parexec.Policy) {
+	header("R2 — Barnes-Hut measured wall-clock (goroutine-backed parexec)")
+	fmt.Printf("host: GOMAXPROCS=%d, NumCPU=%d; workload: Barnes-Hut force loop\n",
+		runtime.GOMAXPROCS(0), runtime.NumCPU())
+	fmt.Println("(run_forces: serial octree build, parallel FCL — the BHL1 shape);")
+	fmt.Println("strip width 4×PEs; best of 3 runs per cell; every parallel cell's")
+	fmt.Println("checksum is asserted bit-identical to the serial interpreter.")
+	warnOversubscribed(peList)
+	fmt.Println()
+
+	c, err := core.Compile(nbody.BarnesHutForcePSL)
+	if err != nil {
+		fatal(err)
+	}
+	rt := newRealTable(c, nbody.ForceFunc, 7, []int{64, 128}, func(n int) []interp.Value {
+		return []interp.Value{interp.IntVal(int64(n)), interp.RealVal(0.5)}
+	})
+	for _, pes := range peList {
+		par, err := c.StripMine(nbody.ForceFunc, nbody.ForceLoop, 4*pes)
+		if err != nil {
+			fatal(err)
+		}
+		for _, pol := range policies {
+			rt.addMeasuredRow(polLabel(pol, pes), par, pes, pol)
+		}
+		rt.addSimRow(fmt.Sprintf("cyc(%d)", pes), par, pes)
+	}
+	rt.print()
+	names := make([]string, len(policies))
+	for i, p := range policies {
+		names[i] = p.Name()
+	}
+	fmt.Printf("All %d parallel cells (policies: %s; PEs: %v) matched the serial\n",
+		rt.cells, strings.Join(names, ", "), peList)
+	fmt.Println("checksum bit-for-bit.")
 }
 
 // ---------------------------------------------------------------------------

@@ -1,0 +1,97 @@
+// Doc-drift checks: every command the documentation tells the reader
+// to run must still exist and parse. README.md, DESIGN.md, and
+// docs/ARCHITECTURE.md quote `go run ./...` commands; this test
+// extracts them, verifies the package path exists, and — for
+// cmd/experiments, whose flag surface is defined in internal/expflags
+// precisely so it can be checked here — parses the quoted flags
+// against the real flag set. CI runs this as its own step.
+package repro
+
+import (
+	"flag"
+	"io"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+
+	"repro/internal/expflags"
+)
+
+var docFiles = []string{"README.md", "DESIGN.md", filepath.Join("docs", "ARCHITECTURE.md")}
+
+// goRunRe matches a documented command: `go run ./pkg/path [flags...]`
+// up to the end of the line or closing backtick.
+var goRunRe = regexp.MustCompile("go run (\\./[\\w/.-]+)([^`\\n]*)")
+
+func experimentsFlagSet() *flag.FlagSet {
+	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
+	fs.SetOutput(io.Discard)
+	expflags.Register(fs)
+	return fs
+}
+
+// TestDocCommandsParse: documented `go run` targets exist, and
+// documented cmd/experiments invocations parse against the current
+// flag set.
+func TestDocCommandsParse(t *testing.T) {
+	found := 0
+	for _, file := range docFiles {
+		data, err := os.ReadFile(file)
+		if err != nil {
+			t.Fatalf("%s: %v (documented files must exist)", file, err)
+		}
+		for _, m := range goRunRe.FindAllStringSubmatch(string(data), -1) {
+			found++
+			pkg, rest := m[1], m[2]
+			if i := strings.Index(rest, "#"); i >= 0 {
+				rest = rest[:i]
+			}
+			st, err := os.Stat(filepath.FromSlash(pkg))
+			if err != nil || !st.IsDir() {
+				t.Errorf("%s quotes %q but %s is not a package directory", file, strings.TrimSpace(m[0]), pkg)
+				continue
+			}
+			if pkg != "./cmd/experiments" {
+				continue
+			}
+			if err := experimentsFlagSet().Parse(strings.Fields(rest)); err != nil {
+				t.Errorf("%s: documented command %q no longer parses: %v",
+					file, strings.TrimSpace(m[0]), err)
+			}
+		}
+	}
+	if found < 5 {
+		t.Fatalf("only %d `go run` commands found across %v — extraction regex rotted?", found, docFiles)
+	}
+}
+
+// TestDocFlagReferences: DESIGN.md's experiment-index table
+// abbreviates repeat commands to just their flags (e.g. `-fig 2`);
+// every flag name quoted in a table row must still be registered.
+// (Prose outside the table may mention go-tool flags like `-race`,
+// so only `|`-delimited table lines are scanned.)
+func TestDocFlagReferences(t *testing.T) {
+	data, err := os.ReadFile("DESIGN.md")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs := experimentsFlagSet()
+	re := regexp.MustCompile("`-([a-z]+)( [^`]*)?`")
+	found := 0
+	for _, line := range strings.Split(string(data), "\n") {
+		if !strings.HasPrefix(strings.TrimSpace(line), "|") {
+			continue
+		}
+		for _, m := range re.FindAllStringSubmatch(line, -1) {
+			found++
+			if fs.Lookup(m[1]) == nil {
+				t.Errorf("DESIGN.md's index references flag -%s, which cmd/experiments no longer defines", m[1])
+			}
+		}
+	}
+	if found == 0 {
+		t.Skip("no abbreviated flag references in DESIGN.md's index")
+	}
+}

@@ -107,10 +107,12 @@ func (c *Compilation) LoopReports(fn string) ([]*depend.Report, error) {
 }
 
 // StripMine applies §4.3.3's transformation to the loopIndex-th while
-// loop of fn for pes processing elements and returns a new compilation
-// of the transformed program.
-func (c *Compilation) StripMine(fn string, loopIndex, pes int) (*Compilation, error) {
-	res, err := transform.StripMine(c.Program, fn, loopIndex, pes)
+// loop of fn with the given strip width (forall iterations per trip of
+// the outer loop; the paper uses width = PEs, the scheduling policies
+// in parexec want width > PEs) and returns a new compilation of the
+// transformed program.
+func (c *Compilation) StripMine(fn string, loopIndex, width int) (*Compilation, error) {
+	res, err := transform.StripMine(c.Program, fn, loopIndex, width)
 	if err != nil {
 		return nil, err
 	}
@@ -133,6 +135,9 @@ type RunConfig struct {
 	Simulate bool
 	// PEs is the simulated PE count (Simulate mode).
 	PEs int
+	// Sched is the iteration→PE scheduling policy for RunParallel
+	// (nil = parexec's default, dynamic self-scheduling with chunk 1).
+	Sched parexec.Policy
 	// Seed for the deterministic rand() builtin.
 	Seed uint64
 	// Output receives print() output (nil discards).
@@ -155,13 +160,15 @@ func (c *Compilation) Run(cfg RunConfig, fn string, args ...interp.Value) (inter
 
 // RunParallel executes fn with real goroutine parallelism: the
 // program's forall regions (the ones StripMine emits) run on a
-// parexec worker pool of pes PEs (0 = one worker per logical CPU).
-// Result and print() output are bit-identical to a serial Run, with
-// one exception: rand() inside a forall body draws from the shared
-// stream in scheduling order (see package parexec).
+// parexec worker pool of pes PEs (0 = one worker per logical CPU),
+// with cfg.Sched deciding which PE runs which iteration. Result and
+// print() output are bit-identical to a serial Run under every policy,
+// with one exception: rand() inside a forall body draws from the
+// shared stream in scheduling order (see package parexec).
 func (c *Compilation) RunParallel(cfg RunConfig, pes int, fn string, args ...interp.Value) (interp.Value, interp.Stats, error) {
 	return parexec.Run(c.Program, parexec.Options{
 		PEs:    pes,
+		Sched:  cfg.Sched,
 		Seed:   cfg.Seed,
 		Output: cfg.Output,
 	}, fn, args...)

@@ -1,3 +1,16 @@
+// Package interp executes checked, normalized PSL programs. It is the
+// semantic reference for the whole reproduction: package parexec runs
+// forall regions on real goroutines through the Forall hook, and
+// package sequent replays runs on the 1992 machine model through
+// Simulated mode.
+//
+// Paper provenance: speculative traversability — loading a pointer
+// field through NULL yields NULL — is §3.2 (the transformed code's
+// unguarded FOR1/FOR2 advances rely on it; StrictNull disables it for
+// tests); runtime shape checks against ADDS declarations are §2.2;
+// Simulated mode's cost accounting (max-over-PEs per forall plus a
+// barrier, CostModel cycles) implements the §4.4 measurement setup,
+// with Scheduling choosing the §4.3.3 static iteration→PE mapping.
 package interp
 
 import (

@@ -295,3 +295,59 @@ const (
 	BHL1 = 0
 	BHL2 = 1
 )
+
+// forceDriver appends the R2 measurement driver to the Barnes-Hut
+// program: run_forces builds the octree serially, then runs the
+// BHL1-shaped force loop — the strip-mining target — over the particle
+// list, and folds the force vectors into a checksum that a parallel
+// run must reproduce bit-for-bit. It exists because the full
+// `simulate` driver rebuilds the tree every step (serial work that
+// drowns the parallel region at interpreter speed); run_forces
+// isolates the paper's hot loop, whose per-particle compute_force
+// descent is heavy enough (O(#interactions) tree visits, sqrt per
+// visit) for real goroutine speedup.
+//
+// rand() is only called in make_particles, before the parallel region,
+// so the deterministic-merge guarantee (see package parexec) holds.
+const forceDriver = `
+// force_checksum folds the force vectors into one number, in list
+// order, so serial and parallel runs are comparable bit-for-bit.
+function real force_checksum(Octree *particles) {
+  var real s = 0.0;
+  var Octree *p = particles;
+  while p != NULL {
+    s = s + p->forcex + p->forcey + p->forcez;
+    p = p->next;
+  }
+  return s;
+}
+
+// run_forces is the R2 workload driver: serial tree build, then the
+// force-computation loop (FCL, loop #0 — the same shape as BHL1).
+function real run_forces(int n, real theta) {
+  var Octree *particles = make_particles(n);
+  var Octree *root = build_tree(particles);
+  compute_mass(root);
+  var Octree *p = particles;
+  while p != NULL {             // FCL: the strip-mining target
+    p->forcex = 0.0;
+    p->forcey = 0.0;
+    p->forcez = 0.0;
+    compute_force(p, root, theta);
+    p = p->next;
+  }
+  return force_checksum(particles);
+}
+`
+
+// BarnesHutForcePSL is the Barnes-Hut program plus the run_forces
+// driver: the measured-speedup Barnes-Hut workload (experiment R2, the
+// real-hardware counterpart of the paper's §4.4 tables).
+const BarnesHutForcePSL = BarnesHutPSL + forceDriver
+
+// ForceFunc is the function containing the R2 force-computation loop.
+const ForceFunc = "run_forces"
+
+// ForceLoop is the loop index of the strip-mining target within
+// ForceFunc (the FCL loop; force_checksum's fold stays serial).
+const ForceLoop = 0

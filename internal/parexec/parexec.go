@@ -12,13 +12,19 @@
 // loops whose iterations write disjoint nodes (and at field
 // granularity, disjoint fields), so no locking of the heap is needed.
 //
+// Which PE runs which iteration is decided by a pluggable Policy
+// (§4.3.3 / experiment X2): StaticBlock, StaticCyclic (the paper's
+// "simple static scheduling"), or Dynamic self-scheduling with a
+// configurable chunk size. The policy affects only load balance and
+// scheduling overhead, never the result — see Policy.
+//
 // Every forall is a barrier, mirroring the paper's FOR1/FOR2 structure
 // (§4.3.3): the pool finishes all PE iteration procedures (FOR2 bodies)
 // before the serial outer loop advances the induction pointer (FOR1).
 // print() output from iterations is captured in per-iteration buffers
 // and flushed in iteration order at the barrier, so a parallel run's
 // output stream — and its result, since the heap writes are disjoint —
-// is bit-identical to the serial run's.
+// is bit-identical to the serial run's under every scheduling policy.
 //
 // One caveat: the rand() builtin draws from a single shared stream in
 // completion order, so a forall body that calls rand() receives
@@ -42,6 +48,10 @@ import (
 type Options struct {
 	// PEs is the number of worker goroutines (0 = GOMAXPROCS).
 	PEs int
+	// Sched maps forall iterations to PEs (nil = Dynamic(1),
+	// self-scheduling one iteration at a time — the behavior of the
+	// original task-queue pool).
+	Sched Policy
 	// Seed for the deterministic rand() builtin.
 	Seed uint64
 	// Output receives the merged print() stream (nil discards).
@@ -51,8 +61,10 @@ type Options struct {
 }
 
 // Engine runs programs with a goroutine-backed worker pool. An Engine
-// is cheap; each Run call builds its own pool and tears it down, so one
-// Engine may be reused (even concurrently) for many runs.
+// is cheap; each Run call builds its own pool and tears it down, so
+// one Engine may be reused for many runs — concurrently too, provided
+// Options.Output is nil (concurrent runs would otherwise interleave
+// unsynchronized writes to the shared writer).
 type Engine struct {
 	prog *lang.Program
 	opt  Options
@@ -71,6 +83,14 @@ func (e *Engine) PEs() int {
 	return runtime.GOMAXPROCS(0)
 }
 
+// Sched reports the scheduling policy a Run will use.
+func (e *Engine) Sched() Policy {
+	if e.opt.Sched != nil {
+		return e.opt.Sched
+	}
+	return Dynamic(1)
+}
+
 // Run executes fn on the pool and returns its result, with Stats whose
 // Barriers field counts the parallel regions joined.
 func (e *Engine) Run(fn string, args ...interp.Value) (interp.Value, interp.Stats, error) {
@@ -78,7 +98,11 @@ func (e *Engine) Run(fn string, args ...interp.Value) (interp.Value, interp.Stat
 	if out == nil {
 		out = io.Discard
 	}
-	rs := &runState{tasks: make(chan task), out: out}
+	pes := e.PEs()
+	rs := &runState{tasks: make([]chan task, pes), out: out, pes: pes, sched: e.Sched()}
+	for i := range rs.tasks {
+		rs.tasks[i] = make(chan task)
+	}
 	root := interp.New(e.prog, interp.Config{
 		Mode:     interp.Real,
 		Seed:     e.opt.Seed,
@@ -87,22 +111,35 @@ func (e *Engine) Run(fn string, args ...interp.Value) (interp.Value, interp.Stat
 		Forall:   rs.forall,
 	})
 
+	// One channel per worker, so PE p's assignment stream always runs
+	// on worker p: two streams can never collapse onto one goroutine
+	// (which would serialize a static policy's chunks and distort the
+	// measured schedule).
 	var workers sync.WaitGroup
-	for i := 0; i < e.PEs(); i++ {
+	for i := 0; i < pes; i++ {
 		workers.Add(1)
 		w := root.Fork(io.Discard)
-		go func() {
+		go func(ch <-chan task) {
 			defer workers.Done()
-			for t := range rs.tasks {
-				w.SetOutput(t.buf)
-				*t.err = t.run(w, t.k)
-				w.SetOutput(nil)
+			for t := range ch {
+				for {
+					k, ok := t.asn.Next(t.pe)
+					if !ok {
+						break
+					}
+					i := k - t.from
+					w.SetOutput(t.bufs[i])
+					t.errs[i] = t.run(w, k)
+					w.SetOutput(nil)
+				}
 				t.wg.Done()
 			}
-		}()
+		}(rs.tasks[i])
 	}
 	v, err := root.Call(fn, args...)
-	close(rs.tasks)
+	for _, ch := range rs.tasks {
+		close(ch)
+	}
 	workers.Wait()
 
 	st := root.Stats()
@@ -118,21 +155,28 @@ func Run(prog *lang.Program, opt Options, fn string, args ...interp.Value) (inte
 // ---------------------------------------------------------------------------
 // Pool internals
 
-// task is one forall iteration handed to the pool.
+// task is one PE's share of one forall: the worker drains its
+// Assignment stream, writing iteration k's output into bufs[k-from]
+// and its error into errs[k-from] (each slot owned by exactly one
+// iteration, so no locking).
 type task struct {
-	k   int64
-	buf *bytes.Buffer
-	run func(w *interp.Interp, k int64) error
-	err *error
-	wg  *sync.WaitGroup
+	pe   int
+	asn  Assignment
+	from int64
+	bufs []*bytes.Buffer
+	errs []error
+	run  func(w *interp.Interp, k int64) error
+	wg   *sync.WaitGroup
 }
 
 // runState is the per-Run scheduler the root interpreter calls for
 // every parallel forall. It lives on the interpreting goroutine; only
-// the tasks channel crosses into the workers.
+// the per-worker task channels cross into the workers.
 type runState struct {
-	tasks    chan task
+	tasks    []chan task // tasks[pe] feeds worker pe
 	out      io.Writer
+	pes      int
+	sched    Policy
 	barriers int64
 	bufPool  sync.Pool
 }
@@ -145,21 +189,23 @@ func (rs *runState) getBuf() *bytes.Buffer {
 	return new(bytes.Buffer)
 }
 
-// forall schedules the iterations [from, to] onto the pool and blocks
-// until all complete — the per-step barrier. Iteration output is then
-// flushed in index order and the first failing iteration (in index
-// order, matching where a serial run would have stopped) decides the
-// error.
+// forall asks the scheduling policy for an iteration→PE assignment,
+// hands each PE its stream, and blocks until all complete — the
+// per-step barrier. Iteration output is then flushed in index order
+// and the first failing iteration (in index order, matching where a
+// serial run would have stopped) decides the error.
 func (rs *runState) forall(from, to int64, run func(w *interp.Interp, k int64) error) error {
 	n := int(to - from + 1)
 	bufs := make([]*bytes.Buffer, n)
-	errs := make([]error, n)
-	var wg sync.WaitGroup
-	wg.Add(n)
-	for k := from; k <= to; k++ {
-		i := int(k - from)
+	for i := range bufs {
 		bufs[i] = rs.getBuf()
-		rs.tasks <- task{k: k, buf: bufs[i], run: run, err: &errs[i], wg: &wg}
+	}
+	errs := make([]error, n)
+	asn := rs.sched.Assign(from, to, rs.pes)
+	var wg sync.WaitGroup
+	wg.Add(rs.pes)
+	for pe := 0; pe < rs.pes; pe++ {
+		rs.tasks[pe] <- task{pe: pe, asn: asn, from: from, bufs: bufs, errs: errs, run: run, wg: &wg}
 	}
 	wg.Wait()
 	rs.barriers++

@@ -18,6 +18,17 @@ import (
 // testdataPEs are the pool sizes the determinism tests sweep.
 var testdataPEs = []int{2, 4, 8}
 
+// testPolicies are the scheduling policies the determinism tests sweep
+// (every policy must preserve the bit-identical guarantee). The two
+// dynamic entries exercise both the chunk=1 engine default and a
+// multi-iteration chunk.
+var testPolicies = []parexec.Policy{
+	parexec.StaticBlock,
+	parexec.StaticCyclic,
+	parexec.Dynamic(1),
+	parexec.Dynamic(3),
+}
+
 func compileTestdata(t *testing.T, name string) *core.Compilation {
 	t.Helper()
 	src, err := os.ReadFile(filepath.Join("..", "..", "testdata", name))
@@ -32,7 +43,9 @@ func compileTestdata(t *testing.T, name string) *core.Compilation {
 }
 
 // TestPolyscaleDeterministic: the strip-mined §3.3.2 program returns
-// the serial checksum for every pool size.
+// the serial checksum for every pool size and scheduling policy. The
+// strip width is 4×PEs so the policies actually differ (at width=PEs
+// every policy degenerates to one iteration per PE).
 func TestPolyscaleDeterministic(t *testing.T) {
 	c := compileTestdata(t, "polyscale.psl")
 	want, _, err := c.Run(core.RunConfig{}, "main")
@@ -40,19 +53,91 @@ func TestPolyscaleDeterministic(t *testing.T) {
 		t.Fatal(err)
 	}
 	for _, pes := range testdataPEs {
-		par, err := c.StripMine("scale", 0, pes)
+		par, err := c.StripMine("scale", 0, 4*pes)
 		if err != nil {
 			t.Fatal(err)
 		}
-		got, st, err := par.RunParallel(core.RunConfig{}, pes, "main")
+		for _, pol := range testPolicies {
+			got, st, err := par.RunParallel(core.RunConfig{Sched: pol}, pes, "main")
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got.I != want.I {
+				t.Errorf("pes=%d sched=%s: %d, want %d", pes, pol.Name(), got.I, want.I)
+			}
+			if st.Barriers == 0 {
+				t.Errorf("pes=%d sched=%s: no barriers counted — did the pool run?", pes, pol.Name())
+			}
+		}
+	}
+}
+
+// TestForceWorkloadDeterministic: the R2 Barnes-Hut force loop
+// (nbody.BarnesHutForcePSL) produces the serial checksum bit-for-bit
+// under every scheduling policy at every pool size — the acceptance
+// property `cmd/experiments -real` asserts at full scale.
+func TestForceWorkloadDeterministic(t *testing.T) {
+	c, err := core.Compile(nbody.BarnesHutForcePSL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	args := []interp.Value{interp.IntVal(48), interp.RealVal(0.5)}
+	want, _, err := c.Run(core.RunConfig{Seed: 7}, nbody.ForceFunc, args...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want.F == 0 {
+		t.Fatal("serial checksum is zero — no forces computed?")
+	}
+	for _, pes := range testdataPEs {
+		par, err := c.StripMine(nbody.ForceFunc, nbody.ForceLoop, 4*pes)
 		if err != nil {
 			t.Fatal(err)
 		}
-		if got.I != want.I {
-			t.Errorf("pes=%d: %d, want %d", pes, got.I, want.I)
+		for _, pol := range testPolicies {
+			got, _, err := par.RunParallel(core.RunConfig{Seed: 7, Sched: pol}, pes, nbody.ForceFunc, args...)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got.F != want.F {
+				t.Errorf("pes=%d sched=%s: checksum %g, want %g", pes, pol.Name(), got.F, want.F)
+			}
 		}
-		if st.Barriers == 0 {
-			t.Errorf("pes=%d: no barriers counted — did the pool run?", pes)
+	}
+}
+
+// TestPolicyCoverage: every policy hands out each iteration exactly
+// once, for ranges that are smaller than, equal to, larger than, and
+// not divisible by the PE count.
+func TestPolicyCoverage(t *testing.T) {
+	for _, pol := range testPolicies {
+		for _, tc := range []struct {
+			from, to int64
+			pes      int
+		}{
+			{0, 0, 4}, {0, 2, 4}, {0, 3, 4}, {0, 14, 4}, {5, 21, 3}, {0, 63, 8}, {0, 6, 1},
+		} {
+			seen := make(map[int64]int)
+			asn := pol.Assign(tc.from, tc.to, tc.pes)
+			for pe := 0; pe < tc.pes; pe++ {
+				for {
+					k, ok := asn.Next(pe)
+					if !ok {
+						break
+					}
+					seen[k]++
+				}
+			}
+			for k := tc.from; k <= tc.to; k++ {
+				if seen[k] != 1 {
+					t.Errorf("%s [%d,%d] pes=%d: iteration %d handed out %d times",
+						pol.Name(), tc.from, tc.to, tc.pes, k, seen[k])
+				}
+			}
+			if int64(len(seen)) != tc.to-tc.from+1 {
+				t.Errorf("%s [%d,%d] pes=%d: %d distinct iterations, want %d",
+					pol.Name(), tc.from, tc.to, tc.pes, len(seen), tc.to-tc.from+1)
+			}
 		}
 	}
 }
@@ -132,18 +217,40 @@ func TestOutputMergedInIterationOrder(t *testing.T) {
 		t.Fatal("serial run printed nothing")
 	}
 	for _, pes := range testdataPEs {
-		var par bytes.Buffer
-		_, st, err := parexec.Run(prog, parexec.Options{PEs: pes, Output: &par}, "main")
+		for _, pol := range testPolicies {
+			var par bytes.Buffer
+			_, st, err := parexec.Run(prog, parexec.Options{PEs: pes, Sched: pol, Output: &par}, "main")
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(serial.Bytes(), par.Bytes()) {
+				t.Errorf("pes=%d sched=%s: output diverged\nserial:\n%s\nparallel:\n%s",
+					pes, pol.Name(), serial.String(), par.String())
+			}
+			if st.Barriers != 1 {
+				t.Errorf("pes=%d sched=%s: barriers = %d, want 1", pes, pol.Name(), st.Barriers)
+			}
+		}
+	}
+}
+
+// TestParsePolicy: the flag-surface names resolve, and garbage is
+// rejected with the accepted names in the message.
+func TestParsePolicy(t *testing.T) {
+	for _, name := range parexec.PolicyNames() {
+		p, err := parexec.ParsePolicy(name, 2)
 		if err != nil {
 			t.Fatal(err)
 		}
-		if !bytes.Equal(serial.Bytes(), par.Bytes()) {
-			t.Errorf("pes=%d: output diverged\nserial:\n%s\nparallel:\n%s",
-				pes, serial.String(), par.String())
+		if p.Name() != name {
+			t.Errorf("ParsePolicy(%q).Name() = %q", name, p.Name())
 		}
-		if st.Barriers != 1 {
-			t.Errorf("pes=%d: barriers = %d, want 1", pes, st.Barriers)
-		}
+	}
+	if p, err := parexec.ParsePolicy(" Block ", 1); err != nil || p.Name() != "block" {
+		t.Errorf("ParsePolicy is not case/space-insensitive: %v, %v", p, err)
+	}
+	if _, err := parexec.ParsePolicy("guided", 1); err == nil {
+		t.Error("unknown policy accepted")
 	}
 }
 

@@ -1,0 +1,91 @@
+package tablefmt
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestFormatBasic(t *testing.T) {
+	tb := New("TIMES ms", 500, 2000).
+		AddRow("seq", 1.5, 12.25).
+		AddRow("par(4)", 0.5, 3.138)
+	got := tb.Format(2)
+	lines := strings.Split(strings.TrimRight(got, "\n"), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("line count = %d, want 3 (header + 2 rows):\n%s", len(lines), got)
+	}
+	for _, want := range []string{"TIMES ms", "N = 500", "N = 2000"} {
+		if !strings.Contains(lines[0], want) {
+			t.Errorf("header %q missing %q", lines[0], want)
+		}
+	}
+	if !strings.Contains(lines[1], "seq") || !strings.Contains(lines[1], "1.50") || !strings.Contains(lines[1], "12.25") {
+		t.Errorf("row 1 = %q, want seq/1.50/12.25", lines[1])
+	}
+	if !strings.Contains(lines[2], "par(4)") || !strings.Contains(lines[2], "3.14") {
+		t.Errorf("row 2 = %q, want par(4) with 3.14 (prec-2 rounding)", lines[2])
+	}
+}
+
+// TestFormatPrecision: prec controls digits after the decimal point.
+func TestFormatPrecision(t *testing.T) {
+	tb := New("X", 1).AddRow("r", 2.71828)
+	if got := tb.Format(0); !strings.Contains(got, "| 3 ") {
+		t.Errorf("prec 0: %q does not round to 3", got)
+	}
+	if got := tb.Format(3); !strings.Contains(got, "2.718") {
+		t.Errorf("prec 3: %q missing 2.718", got)
+	}
+}
+
+// TestFormatEmptyTable: a table with no rows renders just the header,
+// and one with no columns renders just the label column.
+func TestFormatEmptyTable(t *testing.T) {
+	got := New("EMPTY", 10, 20).Format(1)
+	lines := strings.Split(strings.TrimRight(got, "\n"), "\n")
+	if len(lines) != 1 {
+		t.Fatalf("empty table: %d lines, want header only:\n%s", len(lines), got)
+	}
+	got = New("NOCOLS").AddRow("r", 1).Format(1)
+	lines = strings.Split(strings.TrimRight(got, "\n"), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("no-column table: %d lines, want 2:\n%s", len(lines), got)
+	}
+	if strings.Contains(got, "N =") {
+		t.Errorf("no-column table printed an N header: %q", got)
+	}
+}
+
+// TestFormatRaggedRows: rows shorter than the column list zero-fill the
+// missing cells; rows longer than the column list drop the extras — a
+// ragged input never panics or misaligns the grid.
+func TestFormatRaggedRows(t *testing.T) {
+	tb := New("RAGGED", 1, 2, 3).
+		AddRow("short", 9).
+		AddRow("long", 1, 2, 3, 4, 5)
+	got := tb.Format(0)
+	lines := strings.Split(strings.TrimRight(got, "\n"), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("%d lines, want 3:\n%s", len(lines), got)
+	}
+	if n := strings.Count(lines[1], "|"); n != 3 {
+		t.Errorf("short row has %d cells, want 3: %q", n, lines[1])
+	}
+	if !strings.Contains(lines[1], "9") || strings.Count(lines[1], "0") < 2 {
+		t.Errorf("short row %q should zero-fill the two missing cells", lines[1])
+	}
+	if n := strings.Count(lines[2], "|"); n != 3 {
+		t.Errorf("long row has %d cells, want 3 (extras dropped): %q", n, lines[2])
+	}
+	if strings.Contains(lines[2], "4") || strings.Contains(lines[2], "5") {
+		t.Errorf("long row %q leaked cells beyond the columns", lines[2])
+	}
+}
+
+// TestAddRowChains: AddRow returns the table for chaining.
+func TestAddRowChains(t *testing.T) {
+	tb := New("C", 1)
+	if tb.AddRow("a", 1) != tb {
+		t.Error("AddRow did not return the receiver")
+	}
+}

@@ -3,11 +3,15 @@
 // independent:
 //
 //   - StripMine (§4.3.3): rewrite "while p != NULL { body; p = p->f }"
-//     into an outer while whose body runs PEs iterations in parallel —
-//     a cloned iteration procedure first advances its private copy of p
-//     by i speculative steps (the paper's FOR2), then the outer loop
-//     advances p by PEs steps (FOR1). Speculative traversability (§3.2)
-//     makes the unguarded advances safe.
+//     into an outer while whose body runs `width` iterations in
+//     parallel — a cloned iteration procedure first advances its
+//     private copy of p by i speculative steps (the paper's FOR2), then
+//     the outer loop advances p by width steps (FOR1). Speculative
+//     traversability (§3.2) makes the unguarded advances safe. The
+//     strip width is a free parameter, not the PE count: the paper sets
+//     width = PEs (one iteration per PE per trip), while experiment X2
+//     and the parexec scheduling policies use width > PEs so that the
+//     iteration→PE mapping is the scheduler's choice.
 //
 //   - Unroll ([HG92]): replicate the body, relying on the same
 //     speculative traversability to avoid per-copy NULL checks on the
@@ -33,15 +37,20 @@ type StripMineResult struct {
 	Report  *depend.Report
 	// Helper is the generated per-iteration procedure name.
 	Helper string
+	// Width is the strip width: forall iterations per outer-loop trip.
+	Width int
 }
 
-// StripMine parallelizes the loopIndex-th while loop of fnName across
-// pes processing elements, returning a transformed copy of the program
-// (the input is not modified). It fails if the dependence test rejects
-// the loop.
-func StripMine(prog *lang.Program, fnName string, loopIndex, pes int) (*StripMineResult, error) {
-	if pes < 1 {
-		return nil, fmt.Errorf("transform: pes must be >= 1, got %d", pes)
+// StripMine parallelizes the loopIndex-th while loop of fnName with
+// the given strip width — the number of iterations each trip of the
+// outer loop runs as one parallel forall (§4.3.3 uses width = PEs; a
+// larger width hands the executor's scheduling policy more iterations
+// per barrier). It returns a transformed copy of the program (the
+// input is not modified) and fails if the dependence test rejects the
+// loop.
+func StripMine(prog *lang.Program, fnName string, loopIndex, width int) (*StripMineResult, error) {
+	if width < 1 {
+		return nil, fmt.Errorf("transform: strip width must be >= 1, got %d", width)
 	}
 	fr, err := analysis.Analyze(prog, fnName)
 	if err != nil {
@@ -84,8 +93,8 @@ func StripMine(prog *lang.Program, fnName string, loopIndex, pes int) (*StripMin
 	}
 
 	// Replace the loop body:
-	//   forall i = 0 to PEs-1 { helper(i, p, frees...); }   // parallel
-	//   for i = 0 to PEs-1 { p = p->f; }                    // FOR1
+	//   forall i = 0 to width-1 { helper(i, p, frees...); }  // parallel
+	//   for i = 0 to width-1 { p = p->f; }                   // FOR1
 	args := []lang.Expr{&lang.Ident{Name: "_pe"}, &lang.Ident{Name: ind}}
 	for _, fv := range frees {
 		args = append(args, &lang.Ident{Name: fv.Name})
@@ -93,7 +102,7 @@ func StripMine(prog *lang.Program, fnName string, loopIndex, pes int) (*StripMin
 	parallel := &lang.ForStmt{
 		Var:      "_pe",
 		From:     lang.NewIntLit(0, loop.Pos()),
-		To:       lang.NewIntLit(int64(pes-1), loop.Pos()),
+		To:       lang.NewIntLit(int64(width-1), loop.Pos()),
 		Parallel: true,
 		Body: &lang.Block{Stmts: []lang.Stmt{
 			&lang.CallStmt{Call: &lang.CallExpr{Func: helperName, Args: args}},
@@ -102,7 +111,7 @@ func StripMine(prog *lang.Program, fnName string, loopIndex, pes int) (*StripMin
 	advance := &lang.ForStmt{
 		Var:  "_pe",
 		From: lang.NewIntLit(0, loop.Pos()),
-		To:   lang.NewIntLit(int64(pes-1), loop.Pos()),
+		To:   lang.NewIntLit(int64(width-1), loop.Pos()),
 		Body: &lang.Block{Stmts: []lang.Stmt{
 			&lang.AssignStmt{
 				LHS: &lang.Ident{Name: ind},
@@ -116,7 +125,7 @@ func StripMine(prog *lang.Program, fnName string, loopIndex, pes int) (*StripMin
 	if err := lang.Check(clone); err != nil {
 		return nil, fmt.Errorf("transform: internal: generated code does not check: %w", err)
 	}
-	return &StripMineResult{Program: clone, Report: rep, Helper: helperName}, nil
+	return &StripMineResult{Program: clone, Report: rep, Helper: helperName, Width: width}, nil
 }
 
 // buildHelper constructs:
