@@ -163,6 +163,79 @@ func BenchmarkR2ForceDynamic4(b *testing.B) { benchR2Force(b, parexec.Dynamic(1)
 func BenchmarkR2ForceDynamic8(b *testing.B) { benchR2Force(b, parexec.Dynamic(2), 8) }
 
 // ---------------------------------------------------------------------------
+// R3 — the execution-engine comparison: the same workloads under the
+// tree-walking oracle (interp.EngineWalk) and the slot-resolved
+// compiled engine (interp.EngineCompiled, the default). These are the
+// CI guards behind the R3 table (`cmd/experiments -real`) and the
+// checked-in BENCH_interp.json trajectory; TestCompiledSpeedupFloor
+// asserts the serial force-workload ratio.
+
+func benchR3Serial(b *testing.B, eng interp.Engine, src, fn string, seed uint64, args ...interp.Value) {
+	c, err := core.Compile(src)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := c.Run(core.RunConfig{Seed: seed, Engine: eng}, fn, args...); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func r3PolyArgs() (string, string, uint64, []interp.Value) {
+	return parexec.PolyNormalizePSL, "run", 0,
+		[]interp.Value{interp.IntVal(512), interp.RealVal(1.001)}
+}
+
+func r3ForceArgs() (string, string, uint64, []interp.Value) {
+	return nbody.BarnesHutForcePSL, nbody.ForceFunc, 7,
+		[]interp.Value{interp.IntVal(64), interp.RealVal(0.5)}
+}
+
+func BenchmarkR3WalkPolySerial(b *testing.B) {
+	src, fn, seed, args := r3PolyArgs()
+	benchR3Serial(b, interp.EngineWalk, src, fn, seed, args...)
+}
+
+func BenchmarkR3CompiledPolySerial(b *testing.B) {
+	src, fn, seed, args := r3PolyArgs()
+	benchR3Serial(b, interp.EngineCompiled, src, fn, seed, args...)
+}
+
+func BenchmarkR3WalkForceSerial(b *testing.B) {
+	src, fn, seed, args := r3ForceArgs()
+	benchR3Serial(b, interp.EngineWalk, src, fn, seed, args...)
+}
+
+func BenchmarkR3CompiledForceSerial(b *testing.B) {
+	src, fn, seed, args := r3ForceArgs()
+	benchR3Serial(b, interp.EngineCompiled, src, fn, seed, args...)
+}
+
+func benchR3ForceParallel(b *testing.B, eng interp.Engine) {
+	src, fn, seed, args := r3ForceArgs()
+	c, err := core.Compile(src)
+	if err != nil {
+		b.Fatal(err)
+	}
+	par, err := c.StripMine(fn, nbody.ForceLoop, 16)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := par.RunParallel(core.RunConfig{Seed: seed, Engine: eng, Sched: parexec.StaticCyclic},
+			4, fn, args...); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkR3WalkForceParallel4(b *testing.B)     { benchR3ForceParallel(b, interp.EngineWalk) }
+func BenchmarkR3CompiledForceParallel4(b *testing.B) { benchR3ForceParallel(b, interp.EngineCompiled) }
+
+// ---------------------------------------------------------------------------
 // F1 — validation distinguishing the Figure 1 shapes.
 
 func BenchmarkFig1ValidationVerdict(b *testing.B) {

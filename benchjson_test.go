@@ -1,0 +1,139 @@
+// BENCH_interp.json is the checked-in interpreter performance
+// trajectory: ns/op for the tree-walking oracle vs the compiled
+// engine on the R1 (polynomial) and R2 (Barnes-Hut force) workloads,
+// regenerated via testing.Benchmark from the same BenchmarkR3*
+// configurations CI compiles. Future PRs that touch the execution
+// core re-emit the file and commit it, so the walk/compiled gap — and
+// any regression of the compiled hot path — is visible in review
+// diffs rather than lost to whoever happens to run the benchmarks.
+//
+// Regenerate (takes ~30 s) with:
+//
+//	go test -run TestBenchInterpJSON -write-bench .
+//
+// The non-writing run only validates shape: the file exists, parses,
+// names every expected configuration, and reports positive timings.
+// Absolute numbers are machine-dependent by nature and are never
+// asserted.
+package repro
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+
+	"repro/internal/interp"
+)
+
+var writeBench = flag.Bool("write-bench", false, "re-measure and rewrite BENCH_interp.json")
+
+const benchJSONPath = "BENCH_interp.json"
+
+// benchEntry is one measured configuration.
+type benchEntry struct {
+	Name        string  `json:"name"`
+	Engine      string  `json:"engine"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	N           int     `json:"n"` // benchmark iterations behind the measurement
+}
+
+// benchFile is the BENCH_interp.json schema.
+type benchFile struct {
+	GeneratedBy string       `json:"generated_by"`
+	GOOS        string       `json:"goos"`
+	GOARCH      string       `json:"goarch"`
+	CPUs        int          `json:"cpus"`
+	Entries     []benchEntry `json:"benchmarks"`
+	// SpeedupSerialForce is walk/compiled ns on the serial force
+	// workload — the ratio TestCompiledSpeedupFloor guards.
+	SpeedupSerialForce float64 `json:"speedup_serial_force"`
+}
+
+// benchConfigs maps trajectory entries to the BenchmarkR3* bodies.
+var benchConfigs = []struct {
+	name   string
+	engine interp.Engine
+	run    func(*testing.B)
+}{
+	{"R1-poly/serial", interp.EngineWalk, BenchmarkR3WalkPolySerial},
+	{"R1-poly/serial", interp.EngineCompiled, BenchmarkR3CompiledPolySerial},
+	{"R2-force/serial", interp.EngineWalk, BenchmarkR3WalkForceSerial},
+	{"R2-force/serial", interp.EngineCompiled, BenchmarkR3CompiledForceSerial},
+	{"R2-force/par4", interp.EngineWalk, BenchmarkR3WalkForceParallel4},
+	{"R2-force/par4", interp.EngineCompiled, BenchmarkR3CompiledForceParallel4},
+}
+
+func TestBenchInterpJSON(t *testing.T) {
+	if *writeBench {
+		writeBenchJSON(t)
+	}
+	data, err := os.ReadFile(benchJSONPath)
+	if err != nil {
+		t.Fatalf("%v (regenerate with `go test -run TestBenchInterpJSON -write-bench .`)", err)
+	}
+	var f benchFile
+	if err := json.Unmarshal(data, &f); err != nil {
+		t.Fatalf("%s does not parse: %v", benchJSONPath, err)
+	}
+	seen := map[string]bool{}
+	for _, e := range f.Entries {
+		if e.NsPerOp <= 0 {
+			t.Errorf("%s %s: non-positive ns/op %v", e.Name, e.Engine, e.NsPerOp)
+		}
+		seen[e.Name+"/"+e.Engine] = true
+	}
+	for _, c := range benchConfigs {
+		if key := c.name + "/" + c.engine.String(); !seen[key] {
+			t.Errorf("%s missing entry %s (regenerate with -write-bench)", benchJSONPath, key)
+		}
+	}
+	if f.SpeedupSerialForce <= 1 {
+		t.Errorf("recorded serial-force speedup %.2f should exceed 1 (compiled faster than walk)",
+			f.SpeedupSerialForce)
+	}
+}
+
+func writeBenchJSON(t *testing.T) {
+	t.Helper()
+	f := benchFile{
+		GeneratedBy: "go test -run TestBenchInterpJSON -write-bench .",
+		GOOS:        runtime.GOOS,
+		GOARCH:      runtime.GOARCH,
+		CPUs:        runtime.NumCPU(),
+	}
+	var walkForce, compiledForce float64
+	for _, c := range benchConfigs {
+		r := testing.Benchmark(c.run)
+		ns := float64(r.T.Nanoseconds()) / float64(r.N)
+		f.Entries = append(f.Entries, benchEntry{
+			Name:        c.name,
+			Engine:      c.engine.String(),
+			NsPerOp:     ns,
+			AllocsPerOp: r.AllocsPerOp(),
+			N:           r.N,
+		})
+		if c.name == "R2-force/serial" {
+			if c.engine == interp.EngineWalk {
+				walkForce = ns
+			} else {
+				compiledForce = ns
+			}
+		}
+		t.Logf("%s/%s: %.0f ns/op (N=%d)", c.name, c.engine, ns, r.N)
+	}
+	if compiledForce > 0 {
+		f.SpeedupSerialForce = walkForce / compiledForce
+	}
+	data, err := json.MarshalIndent(f, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(benchJSONPath, append(data, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	fmt.Printf("wrote %s (serial force speedup %.2fx)\n", benchJSONPath, f.SpeedupSerialForce)
+}

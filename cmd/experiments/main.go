@@ -8,12 +8,16 @@
 //	          matrix; PM3 (= V2): octree build validation
 //	-x N      X1: analysis precision comparison; X2: scheduling/sync
 //	          ablation; X3: theta accuracy/work sweep
-//	-real     R1 and R2: measured wall-clock speedups on real goroutines
-//	          (parexec) next to the simulated Sequent prediction —
-//	          R1 on the §3.3.2 polynomial, R2 on the Barnes-Hut force
-//	          loop, per scheduling policy (RX2)
+//	-real     R1, R2, R3: measured wall-clock speedups on real
+//	          goroutines (parexec) next to the simulated Sequent
+//	          prediction — R1 on the §3.3.2 polynomial, R2 on the
+//	          Barnes-Hut force loop, per scheduling policy (RX2), and
+//	          R3 the compiled-engine vs tree-walker comparison on both
+//	          workloads
 //	-pes, -sched, -chunk
 //	          pool sizes and R2 scheduling policy for -real
+//	-engine   interpreter engine for the R1/R2 tables (compiled or
+//	          walk; R3 always measures both)
 //	-all      everything (the default when no flag is given)
 //	-measure  time steps simulated per T1 cell (default 1)
 //
@@ -59,8 +63,13 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		runR1(peList)
-		runR2(peList, policies)
+		eng, err := f.EngineKind()
+		if err != nil {
+			fatal(err)
+		}
+		runR1(peList, eng)
+		runR2(peList, policies, eng)
+		runR3(peList)
 	}
 	for n := 1; n <= 5; n++ {
 		if f.All || f.Fig == n {
@@ -147,6 +156,7 @@ func timeRun(run func() error) (time.Duration, error) {
 type realTable struct {
 	c         *core.Compilation
 	fn        string
+	eng       interp.Engine
 	seed      uint64
 	ns        []int
 	argsFor   func(n int) []interp.Value
@@ -162,9 +172,9 @@ type realTable struct {
 // newRealTable times the serial interpreter (and the 1-PE simulated
 // machine) on every N, filling the seq rows and the reference
 // checksums every parallel cell is compared against.
-func newRealTable(c *core.Compilation, fn string, seed uint64, ns []int, argsFor func(n int) []interp.Value) *realTable {
+func newRealTable(c *core.Compilation, fn string, eng interp.Engine, seed uint64, ns []int, argsFor func(n int) []interp.Value) *realTable {
 	rt := &realTable{
-		c: c, fn: fn, seed: seed, ns: ns, argsFor: argsFor,
+		c: c, fn: fn, eng: eng, seed: seed, ns: ns, argsFor: argsFor,
 		times:     tablefmt.New("TIMES ms", ns...),
 		speedups:  tablefmt.New("SPEEDUP", ns...),
 		simulated: tablefmt.New("SEQUENT", ns...),
@@ -176,7 +186,7 @@ func newRealTable(c *core.Compilation, fn string, seed uint64, ns []int, argsFor
 	for i, n := range ns {
 		args := argsFor(n)
 		d, err := timeRun(func() error {
-			v, _, err := c.Run(core.RunConfig{Seed: seed}, fn, args...)
+			v, _, err := c.Run(core.RunConfig{Seed: seed, Engine: eng}, fn, args...)
 			rt.checksums[i] = v.F
 			return err
 		})
@@ -208,7 +218,7 @@ func (rt *realTable) addMeasuredRow(label string, par *core.Compilation, pes int
 	for i, n := range rt.ns {
 		args := rt.argsFor(n)
 		d, err := timeRun(func() error {
-			v, _, err := par.RunParallel(core.RunConfig{Seed: rt.seed, Sched: pol}, pes, rt.fn, args...)
+			v, _, err := par.RunParallel(core.RunConfig{Seed: rt.seed, Sched: pol, Engine: rt.eng}, pes, rt.fn, args...)
 			if err == nil && v.F != rt.checksums[i] {
 				return fmt.Errorf("%s N=%d: checksum %g != serial %g", label, n, v.F, rt.checksums[i])
 			}
@@ -258,10 +268,11 @@ func (rt *realTable) print() {
 // policy could let one PE claim two iterations on a loaded host). At
 // that width the -sched/-chunk knobs could only de-parallelize the
 // strip, so they shape the R2 tables instead.
-func runR1(peList []int) {
+func runR1(peList []int, eng interp.Engine) {
 	header("R1 — measured wall-clock speedup (goroutine-backed parexec)")
-	fmt.Printf("host: GOMAXPROCS=%d, NumCPU=%d; workload: §3.3.2 polynomial\n",
+	fmt.Printf("host: GOMAXPROCS=%d, NumCPU=%d; workload: §3.3.2 polynomial;\n",
 		runtime.GOMAXPROCS(0), runtime.NumCPU())
+	fmt.Printf("engine: %s\n", eng)
 	fmt.Println("normalize (O(exp) work per node); strip width = PEs, static cyclic")
 	fmt.Println("(the paper's §4.3.3 split); best of 3 runs per cell.")
 	warnOversubscribed(peList)
@@ -271,7 +282,7 @@ func runR1(peList []int) {
 	if err != nil {
 		fatal(err)
 	}
-	rt := newRealTable(c, "run", 0, []int{500, 2000}, func(n int) []interp.Value {
+	rt := newRealTable(c, "run", eng, 0, []int{500, 2000}, func(n int) []interp.Value {
 		return []interp.Value{interp.IntVal(int64(n)), interp.RealVal(1.001)}
 	})
 	for _, pes := range peList {
@@ -303,10 +314,11 @@ func polLabel(pol parexec.Policy, pes int) string {
 // mined at width 4×PEs so the scheduling policy owns the iteration→PE
 // map, one row per policy × pool size, next to the simulated Sequent's
 // prediction for the same strip-mined program (the T1/T2 model).
-func runR2(peList []int, policies []parexec.Policy) {
+func runR2(peList []int, policies []parexec.Policy, eng interp.Engine) {
 	header("R2 — Barnes-Hut measured wall-clock (goroutine-backed parexec)")
-	fmt.Printf("host: GOMAXPROCS=%d, NumCPU=%d; workload: Barnes-Hut force loop\n",
+	fmt.Printf("host: GOMAXPROCS=%d, NumCPU=%d; workload: Barnes-Hut force loop;\n",
 		runtime.GOMAXPROCS(0), runtime.NumCPU())
+	fmt.Printf("engine: %s\n", eng)
 	fmt.Println("(run_forces: serial octree build, parallel FCL — the BHL1 shape);")
 	fmt.Println("strip width 4×PEs; best of 3 runs per cell; every parallel cell's")
 	fmt.Println("checksum is asserted bit-identical to the serial interpreter.")
@@ -317,7 +329,7 @@ func runR2(peList []int, policies []parexec.Policy) {
 	if err != nil {
 		fatal(err)
 	}
-	rt := newRealTable(c, nbody.ForceFunc, 7, []int{64, 128}, func(n int) []interp.Value {
+	rt := newRealTable(c, nbody.ForceFunc, eng, 7, []int{64, 128}, func(n int) []interp.Value {
 		return []interp.Value{interp.IntVal(int64(n)), interp.RealVal(0.5)}
 	})
 	for _, pes := range peList {
@@ -338,6 +350,92 @@ func runR2(peList []int, policies []parexec.Policy) {
 	fmt.Printf("All %d parallel cells (policies: %s; PEs: %v) matched the serial\n",
 		rt.cells, strings.Join(names, ", "), peList)
 	fmt.Println("checksum bit-for-bit.")
+}
+
+// runR3 measures the execution-engine comparison: the same programs
+// under the tree-walking oracle and the slot-resolved compiled engine,
+// serial and strip-mined parallel, with checksums asserted identical
+// across every engine × mode cell. It exists because R1/R2 speedups
+// are only as honest as their serial baseline: the compiled engine is
+// that baseline made fast (no scope-map lookups, no field-name
+// hashing, slice-copy frame forks instead of map rebuilds).
+func runR3(peList []int) {
+	header("R3 — compiled engine vs tree-walker (same results, fewer cycles of ours)")
+	fmt.Printf("host: GOMAXPROCS=%d, NumCPU=%d; best of 3 runs per cell;\n",
+		runtime.GOMAXPROCS(0), runtime.NumCPU())
+	fmt.Println("par rows: strip width 4×PEs, static cyclic, parexec pool.")
+	fmt.Println()
+
+	maxPE := 0
+	for _, p := range peList {
+		if p > maxPE {
+			maxPE = p
+		}
+	}
+	type workload struct {
+		label  string
+		src    string
+		fn     string // strip-mining target
+		loop   int
+		driver string // entry point to time
+		seed   uint64
+		args   []interp.Value
+	}
+	workloads := []workload{
+		{"poly N=2000", parexec.PolyNormalizePSL, parexec.NormalizeFunc, parexec.NormalizeLoop, "run", 0,
+			[]interp.Value{interp.IntVal(2000), interp.RealVal(1.001)}},
+		{"force N=128", nbody.BarnesHutForcePSL, nbody.ForceFunc, nbody.ForceLoop, nbody.ForceFunc, 7,
+			[]interp.Value{interp.IntVal(128), interp.RealVal(0.5)}},
+	}
+	fmt.Printf("%-14s %-9s %10s %12s %8s\n", "workload", "config", "walk ms", "compiled ms", "ratio")
+	for _, w := range workloads {
+		c, err := core.Compile(w.src)
+		if err != nil {
+			fatal(err)
+		}
+		driver := w.driver
+		par, err := c.StripMine(w.fn, w.loop, 4*maxPE)
+		if err != nil {
+			fatal(err)
+		}
+		var ref float64
+		haveRef := false
+		cell := func(eng interp.Engine, parallel bool) float64 {
+			d, err := timeRun(func() error {
+				var v interp.Value
+				var err error
+				if parallel {
+					v, _, err = par.RunParallel(core.RunConfig{Seed: w.seed, Sched: parexec.StaticCyclic, Engine: eng},
+						maxPE, driver, w.args...)
+				} else {
+					v, _, err = c.Run(core.RunConfig{Seed: w.seed, Engine: eng}, driver, w.args...)
+				}
+				if err != nil {
+					return err
+				}
+				if haveRef && v.F != ref {
+					return fmt.Errorf("%s: engine %s checksum %g != reference %g", w.label, eng, v.F, ref)
+				}
+				ref, haveRef = v.F, true
+				return nil
+			})
+			if err != nil {
+				fatal(err)
+			}
+			return float64(d.Microseconds()) / 1000
+		}
+		for _, parallel := range []bool{false, true} {
+			cfgLabel := "seq"
+			if parallel {
+				cfgLabel = fmt.Sprintf("par(%d)", maxPE)
+			}
+			wms := cell(interp.EngineWalk, parallel)
+			cms := cell(interp.EngineCompiled, parallel)
+			fmt.Printf("%-14s %-9s %10.1f %12.1f %7.1fx\n", w.label, cfgLabel, wms, cms, wms/cms)
+		}
+	}
+	fmt.Println("\nEvery engine × mode cell reproduced the same checksum bit-for-bit;")
+	fmt.Println("TestCompiledSpeedupFloor pins the serial force-workload ratio in CI.")
 }
 
 // ---------------------------------------------------------------------------

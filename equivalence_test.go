@@ -1,0 +1,213 @@
+// Engine equivalence: the differential suite behind the "two engines,
+// one oracle" contract (DESIGN.md). The tree-walking interpreter is
+// the semantic reference; the compiled engine is the fast path that
+// R1/R2/R3 measure. This file pins them together: for every corpus
+// program, under every execution mode — serial real, simulated with
+// both static schedules and several PE counts, and goroutine-parallel
+// under every scheduling policy at PEs {2, 4, 8} — results, printed
+// output, and execution statistics (simulated cycle counts included)
+// must be bit-identical. CI runs this under -race, so the compiled
+// engine's parallel frame handling is also exercised for data races.
+package repro
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/interp"
+	"repro/internal/lang"
+	"repro/internal/nbody"
+	"repro/internal/parexec"
+)
+
+// eqProgram is one corpus entry: a program, the driver to execute,
+// and (when a loop is provably parallel) the strip-mining target that
+// produces the forall version for the parallel cells.
+type eqProgram struct {
+	name string
+	src  string
+	fn   string
+	args []interp.Value
+	seed uint64
+	// stripFn/stripLoop select the loop for the parallel cells
+	// (stripFn == "" keeps the program serial-only).
+	stripFn   string
+	stripLoop int
+}
+
+func equivalenceCorpus(t *testing.T) []eqProgram {
+	t.Helper()
+	read := func(name string) string {
+		src, err := os.ReadFile(filepath.Join("testdata", name))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(src)
+	}
+	return []eqProgram{
+		{name: "polyscale.psl", src: read("polyscale.psl"), fn: "main",
+			stripFn: "scale", stripLoop: 0},
+		{name: "violations.psl", src: read("violations.psl"), fn: "main"},
+		{name: "orthlist.psl", src: read("orthlist.psl"), fn: "main",
+			stripFn: "scale_row", stripLoop: 0},
+		{name: "poly-normalize", src: parexec.PolyNormalizePSL, fn: "run",
+			args:    []interp.Value{interp.IntVal(400), interp.RealVal(1.001)},
+			stripFn: parexec.NormalizeFunc, stripLoop: parexec.NormalizeLoop},
+		{name: "barnes-hut-force", src: nbody.BarnesHutForcePSL, fn: nbody.ForceFunc,
+			args: []interp.Value{interp.IntVal(48), interp.RealVal(0.5)}, seed: 7,
+			stripFn: nbody.ForceFunc, stripLoop: nbody.ForceLoop},
+	}
+}
+
+// runEngine executes one configuration and returns value, stats, and
+// captured output.
+func runEngine(t *testing.T, prog *lang.Program, cfg interp.Config, fn string, args []interp.Value) (interp.Value, interp.Stats, string) {
+	t.Helper()
+	var out bytes.Buffer
+	cfg.Output = &out
+	v, st, err := interp.Run(prog, cfg, fn, args...)
+	if err != nil {
+		t.Fatalf("%s [engine %s]: %v", fn, cfg.Engine, err)
+	}
+	return v, st, out.String()
+}
+
+// TestEngineEquivalence is the corpus × engines × modes grid.
+func TestEngineEquivalence(t *testing.T) {
+	for _, p := range equivalenceCorpus(t) {
+		p := p
+		t.Run(p.name, func(t *testing.T) {
+			c, err := core.Compile(p.src)
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			// Serial real mode: the reference cell.
+			wv, wst, wout := runEngine(t, c.Program,
+				interp.Config{Engine: interp.EngineWalk, Seed: p.seed}, p.fn, p.args)
+			cv, cst, cout := runEngine(t, c.Program,
+				interp.Config{Engine: interp.EngineCompiled, Seed: p.seed}, p.fn, p.args)
+			if wv.String() != cv.String() || wout != cout || wst != cst {
+				t.Fatalf("serial real divergence:\nwalk     %s %+v %q\ncompiled %s %+v %q",
+					wv, wst, wout, cv, cst, cout)
+			}
+
+			// Simulated mode: cycle accounting must agree bit-for-bit,
+			// across PE counts and both static schedules.
+			programs := []*lang.Program{c.Program}
+			if p.stripFn != "" {
+				par, err := c.StripMine(p.stripFn, p.stripLoop, 8)
+				if err != nil {
+					t.Fatal(err)
+				}
+				programs = append(programs, par.Program)
+			}
+			for pi, prog := range programs {
+				for _, pes := range []int{1, 4} {
+					for _, sched := range []interp.Scheduling{interp.Cyclic, interp.Block} {
+						base := interp.Config{Mode: interp.Simulated, PEs: pes, Sched: sched, Seed: p.seed}
+						wcfg, ccfg := base, base
+						wcfg.Engine = interp.EngineWalk
+						ccfg.Engine = interp.EngineCompiled
+						wv, wst, wout := runEngine(t, prog, wcfg, p.fn, p.args)
+						cv, cst, cout := runEngine(t, prog, ccfg, p.fn, p.args)
+						if wv.String() != cv.String() || wout != cout || wst != cst {
+							t.Fatalf("simulated divergence (stripped=%v pes=%d sched=%d):\nwalk     %s %+v\ncompiled %s %+v",
+								pi == 1, pes, sched, wv, wst, cv, cst)
+						}
+					}
+				}
+			}
+
+			// Goroutine-parallel mode: every scheduling policy × PEs
+			// {2,4,8} × both engines must reproduce the serial walk
+			// reference (value, output, and the shared counters).
+			if p.stripFn == "" {
+				return
+			}
+			par, err := c.StripMine(p.stripFn, p.stripLoop, 8)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, pol := range []parexec.Policy{parexec.StaticBlock, parexec.StaticCyclic, parexec.Dynamic(2)} {
+				for _, pes := range []int{2, 4, 8} {
+					stats := map[interp.Engine]interp.Stats{}
+					for _, eng := range []interp.Engine{interp.EngineWalk, interp.EngineCompiled} {
+						var out bytes.Buffer
+						v, st, err := parexec.Run(par.Program, parexec.Options{
+							Interp: eng, PEs: pes, Sched: pol, Seed: p.seed, Output: &out,
+						}, p.fn, p.args...)
+						if err != nil {
+							t.Fatalf("%s/%s pes=%d engine=%s: %v", p.name, pol.Name(), pes, eng, err)
+						}
+						// Value and output reproduce the serial run of
+						// the *untransformed* program bit-for-bit.
+						if v.String() != wv.String() {
+							t.Errorf("%s/%s pes=%d engine=%s: value %s != serial %s",
+								p.name, pol.Name(), pes, eng, v, wv)
+						}
+						if out.String() != wout {
+							t.Errorf("%s/%s pes=%d engine=%s: output diverged from serial run",
+								p.name, pol.Name(), pes, eng)
+						}
+						stats[eng] = st
+					}
+					// The strip-mined program executes more statements
+					// than the original (forall machinery), so counters
+					// are compared engine-vs-engine per cell.
+					if stats[interp.EngineWalk] != stats[interp.EngineCompiled] {
+						t.Errorf("%s/%s pes=%d: stats diverged: walk %+v, compiled %+v",
+							p.name, pol.Name(), pes, stats[interp.EngineWalk], stats[interp.EngineCompiled])
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestCompiledSpeedupFloor pins the point of the compiled engine: the
+// R2 force workload, run serially, must be several times faster than
+// the tree-walker. The floor is loose (the honest ratio on an idle
+// host is ~5-6×, see BENCH_interp.json and `cmd/experiments -real`'s
+// R3 table) so scheduler noise cannot flake CI; under the race
+// detector, whose instrumentation compresses the gap, it is looser
+// still. Best of 3 runs per engine, up to 3 attempts.
+func TestCompiledSpeedupFloor(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing test")
+	}
+	prog := lang.MustParse(nbody.BarnesHutForcePSL)
+	args := []interp.Value{interp.IntVal(96), interp.RealVal(0.5)}
+	measure := func(eng interp.Engine) time.Duration {
+		best := time.Duration(0)
+		for i := 0; i < 3; i++ {
+			t0 := time.Now()
+			if _, _, err := interp.Run(prog, interp.Config{Engine: eng, Seed: 7}, nbody.ForceFunc, args...); err != nil {
+				t.Fatal(err)
+			}
+			if d := time.Since(t0); best == 0 || d < best {
+				best = d
+			}
+		}
+		return best
+	}
+	floor := 3.0
+	if raceEnabled {
+		floor = 1.5
+	}
+	var ratio float64
+	for attempt := 0; attempt < 3; attempt++ {
+		walk := measure(interp.EngineWalk)
+		compiled := measure(interp.EngineCompiled)
+		ratio = float64(walk) / float64(compiled)
+		t.Logf("attempt %d: walk %v, compiled %v, ratio %.2f (floor %.1f)", attempt+1, walk, compiled, ratio, floor)
+		if ratio >= floor {
+			return
+		}
+	}
+	t.Errorf("compiled engine only %.2f× faster than the walker on the force workload (floor %.1f)", ratio, floor)
+}

@@ -1,0 +1,178 @@
+package compile
+
+import (
+	"testing"
+
+	"repro/internal/lang"
+)
+
+const listSrc = `
+type OneWayList [X]
+{ int data, aux;
+  real weight;
+  OneWayList *next is uniquely forward along X;
+};
+
+function int sum(OneWayList *head) {
+  var OneWayList *p = head;
+  var int s = 0;
+  while p != NULL {
+    s = s + p->data;
+    p = p->next;
+  }
+  return s;
+}
+
+procedure touch(OneWayList *p) {
+  p->weight = 1.5;
+  p->next = NULL;
+}
+`
+
+func mustCompile(t *testing.T, src string) *Program {
+	t.Helper()
+	prog, err := lang.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cp, err := Compile(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cp
+}
+
+// TestSlotAssignment: parameters take the first slots, each declaration
+// gets its own slot, and the frame size counts every declaration.
+func TestSlotAssignment(t *testing.T) {
+	cp := mustCompile(t, listSrc)
+	f := cp.Func("sum")
+	if f == nil {
+		t.Fatal("sum not compiled")
+	}
+	if len(f.Params) != 1 || f.Params[0].Slot != 0 || f.Params[0].Name != "head" {
+		t.Fatalf("params = %+v", f.Params)
+	}
+	// head, p, s — no temporaries needed for this body.
+	if f.Slots != 3 {
+		t.Errorf("sum frame has %d slots, want 3", f.Slots)
+	}
+	if got := cp.FuncIndex("touch"); got != 1 {
+		t.Errorf("FuncIndex(touch) = %d", got)
+	}
+	if cp.Func("nope") != nil || cp.FuncIndex("nope") != -1 {
+		t.Error("unknown function must resolve to nil / -1")
+	}
+}
+
+// TestFieldOffsets: offsets index the declaration's Data/Pointers
+// slices in source order.
+func TestFieldOffsets(t *testing.T) {
+	cp := mustCompile(t, listSrc)
+	f := cp.Func("touch")
+	if len(f.Body) != 2 {
+		t.Fatalf("touch body has %d statements", len(f.Body))
+	}
+	st0, ok := f.Body[0].(*StoreField)
+	if !ok {
+		t.Fatalf("stmt 0 is %T", f.Body[0])
+	}
+	// weight is the third data field (data, aux, weight).
+	if st0.IsPtr || st0.Off != 2 || st0.Field != "weight" || st0.TypeName != "OneWayList" {
+		t.Errorf("weight store = %+v", st0)
+	}
+	st1, ok := f.Body[1].(*StoreField)
+	if !ok {
+		t.Fatalf("stmt 1 is %T", f.Body[1])
+	}
+	if !st1.IsPtr || st1.Off != 0 || st1.Field != "next" {
+		t.Errorf("next store = %+v", st1)
+	}
+}
+
+// TestShadowing: an inner declaration gets a fresh slot and inner
+// references resolve to it, while the initializer still sees the outer
+// binding (the checker's scoping rules).
+func TestShadowing(t *testing.T) {
+	cp := mustCompile(t, `
+function int f(int x) {
+  var int y = x;
+  if x > 0 {
+    var int x = y + 1;
+    y = x;
+  }
+  return y;
+}
+`)
+	f := cp.Func("f")
+	// x, y, inner x.
+	if f.Slots != 3 {
+		t.Fatalf("frame has %d slots, want 3", f.Slots)
+	}
+	ifs := f.Body[1].(*If)
+	inner := ifs.Then[0].(*VarSet)
+	if inner.Slot == f.Params[0].Slot {
+		t.Error("inner x must shadow with a fresh slot")
+	}
+	// The initializer "y + 1" resolves y to the outer slot.
+	init := inner.Init.(*Bin)
+	if ref := init.X.(*SlotRef); ref.Name != "y" {
+		t.Errorf("init references %q", ref.Name)
+	}
+	asgn := ifs.Then[1].(*AssignSlot)
+	if rhs := asgn.RHS.(*SlotRef); rhs.Slot != inner.Slot {
+		t.Errorf("y = x resolves x to slot %d, want inner slot %d", rhs.Slot, inner.Slot)
+	}
+}
+
+// TestBuiltinResolution: builtins compile to their kind, user calls to
+// a function index.
+func TestBuiltinResolution(t *testing.T) {
+	cp := mustCompile(t, `
+function real g(real x) { return sqrt(abs(x)) + rand(); }
+function real h(real x) { print("x", x); return g(x); }
+`)
+	h := cp.Func("h")
+	ps := h.Body[0].(*CallStmt)
+	if ps.Call.Builtin != BuiltinPrint {
+		t.Errorf("print resolved to %v", ps.Call.Builtin)
+	}
+	ret := h.Body[1].(*Return)
+	call := ret.Value.(*Call)
+	if call.Builtin != NotBuiltin || call.FuncIdx != cp.FuncIndex("g") {
+		t.Errorf("g call = %+v", call)
+	}
+}
+
+// TestCompileRejectsUnchecked: compiling a raw (untyped) program
+// reports an error instead of panicking.
+func TestCompileRejectsUnchecked(t *testing.T) {
+	prog, err := lang.ParseRaw(listSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Compile(prog); err == nil {
+		t.Fatal("Compile accepted an unchecked program")
+	}
+}
+
+// TestForallLowering: loop variables get slots and the Parallel flag
+// survives lowering.
+func TestForallLowering(t *testing.T) {
+	cp := mustCompile(t, `
+procedure loops() {
+  var int s = 0;
+  for i = 0 to 7 { s = s + i; }
+  forall i = 0 to 7 { print(i); }
+}
+`)
+	f := cp.Func("loops")
+	ser := f.Body[1].(*For)
+	par := f.Body[2].(*For)
+	if ser.Parallel || !par.Parallel {
+		t.Errorf("Parallel flags: serial=%v parallel=%v", ser.Parallel, par.Parallel)
+	}
+	if ser.Slot == par.Slot {
+		t.Error("sibling loop variables should still get distinct slots")
+	}
+}

@@ -130,6 +130,11 @@ func (c *Compilation) Unroll(fn string, loopIndex, factor int) (*Compilation, er
 
 // RunConfig selects the execution mode for Run.
 type RunConfig struct {
+	// Engine selects the interpreter engine (default
+	// interp.EngineCompiled, the slot-resolved closure code;
+	// interp.EngineWalk is the tree-walking oracle). The engines are
+	// bit-identical in results, output, and simulated cycle counts.
+	Engine interp.Engine
 	// Simulate runs on the deterministic machine model instead of
 	// real goroutines.
 	Simulate bool
@@ -151,6 +156,7 @@ func (c *Compilation) Run(cfg RunConfig, fn string, args ...interp.Value) (inter
 		mode = interp.Simulated
 	}
 	return interp.Run(c.Program, interp.Config{
+		Engine: cfg.Engine,
 		Mode:   mode,
 		PEs:    cfg.PEs,
 		Seed:   cfg.Seed,
@@ -167,6 +173,7 @@ func (c *Compilation) Run(cfg RunConfig, fn string, args ...interp.Value) (inter
 // shared stream in scheduling order (see package parexec).
 func (c *Compilation) RunParallel(cfg RunConfig, pes int, fn string, args ...interp.Value) (interp.Value, interp.Stats, error) {
 	return parexec.Run(c.Program, parexec.Options{
+		Interp: cfg.Engine,
 		PEs:    pes,
 		Sched:  cfg.Sched,
 		Seed:   cfg.Seed,
@@ -184,6 +191,7 @@ func (c *Compilation) RunChecked(cfg RunConfig, fn string, args ...interp.Value)
 		mode = interp.Simulated
 	}
 	ip := interp.New(c.Program, interp.Config{
+		Engine:      cfg.Engine,
 		Mode:        mode,
 		PEs:         cfg.PEs,
 		Seed:        cfg.Seed,

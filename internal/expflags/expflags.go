@@ -13,6 +13,7 @@ import (
 	"strconv"
 	"strings"
 
+	"repro/internal/interp"
 	"repro/internal/parexec"
 )
 
@@ -29,6 +30,7 @@ type Flags struct {
 	PEs     string // -pes: comma-separated pool sizes for R1/R2
 	Sched   string // -sched: R2 scheduling policy ("all" sweeps every policy)
 	Chunk   int    // -chunk: R2 dynamic self-scheduling chunk size
+	Engine  string // -engine: interpreter engine for R1/R2 ("compiled" or "walk")
 }
 
 // Register installs the cmd/experiments flag set on fs and returns the
@@ -46,7 +48,15 @@ func Register(fs *flag.FlagSet) *Flags {
 	fs.StringVar(&f.Sched, "sched", "all",
 		"scheduling policy for the R2 table: block, cyclic, dynamic, or all")
 	fs.IntVar(&f.Chunk, "chunk", 1, "chunk size for R2's dynamic self-scheduling")
+	fs.StringVar(&f.Engine, "engine", "compiled",
+		fmt.Sprintf("interpreter engine for the R1/R2 measured tables: %s (R3 always measures both)",
+			strings.Join(interp.EngineNames(), " or ")))
 	return f
+}
+
+// EngineKind resolves the -engine flag.
+func (f *Flags) EngineKind() (interp.Engine, error) {
+	return interp.ParseEngine(strings.ToLower(strings.TrimSpace(f.Engine)))
 }
 
 // PEList parses the -pes flag into pool sizes.

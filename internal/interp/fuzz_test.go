@@ -1,0 +1,272 @@
+// FuzzCompileVsWalk: differential fuzzing of the two execution
+// engines. Any program the front end accepts must behave identically
+// under the tree-walking oracle and the compiled closure engine —
+// same value, same printed output, same error/no-error outcome, and
+// (in simulated mode) the same cycle/step/allocation counters. This
+// is the property that lets later PRs refactor the execution core
+// freely: the walker defines the semantics, the fuzzer hunts for
+// programs where the fast path disagrees.
+package interp_test
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/interp"
+	"repro/internal/lang"
+)
+
+// fuzzMaxSteps bounds each engine run. Runaway programs hit the limit
+// in both engines; the limit is detected at slightly different
+// instants (the compiled engine batches step accounting), so
+// limit-hit runs only compare error-ness, not counters.
+const fuzzMaxSteps = 100_000
+
+func seedPrograms(f *testing.F) {
+	f.Helper()
+	for _, name := range []string{"polyscale.psl", "violations.psl", "orthlist.psl"} {
+		src, err := os.ReadFile(filepath.Join("..", "..", "testdata", name))
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(string(src))
+	}
+	f.Add(`
+type L [X] { int v; L *next is uniquely forward along X; };
+function int main() {
+  var L *h = NULL;
+  var int i = 0;
+  while i < 5 {
+    var L *t = new L;
+    t->v = i * i;
+    t->next = h;
+    h = t;
+    i = i + 1;
+  }
+  var int s = 0;
+  var L *p = h;
+  while p != NULL { s = s + p->v; p = p->next; }
+  print("sum", s, 1.5 / 2.0, true);
+  return s % 7;
+}`)
+	f.Add(`
+function real main() {
+  var real s = 0.0;
+  for i = 1 to 6 { s = s + sqrt(i) + rand(); }
+  if s > 3.0 || !(s == 0.0) { s = -s; }
+  return abs(s);
+}`)
+}
+
+// pickEntry chooses a function to drive: main if present, otherwise
+// the first function whose parameters are all scalars (pointers get
+// NULL semantics we'd rather not guess arguments for).
+func pickEntry(prog *lang.Program) (string, []interp.Value, bool) {
+	if f := prog.Func("main"); f != nil && len(f.Params) == 0 {
+		return "main", nil, true
+	}
+	for _, f := range prog.Funcs {
+		args := make([]interp.Value, 0, len(f.Params))
+		ok := true
+		for _, prm := range f.Params {
+			switch t := prm.Type.(type) {
+			case *lang.Scalar:
+				switch t.Kind {
+				case lang.KindInt:
+					args = append(args, interp.IntVal(3))
+				case lang.KindReal:
+					args = append(args, interp.RealVal(1.25))
+				case lang.KindBool:
+					args = append(args, interp.BoolVal(true))
+				default:
+					args = append(args, interp.StrVal("s"))
+				}
+			case *lang.Pointer:
+				args = append(args, interp.NullVal())
+			default:
+				ok = false
+			}
+		}
+		if ok {
+			return f.Name, args, true
+		}
+	}
+	return "", nil, false
+}
+
+// hasParallelLoop reports whether any function contains a forall; the
+// fuzzer skips real-mode runs for those (an attacker-sized forall
+// would spawn a goroutine per iteration before the step limit bites).
+func hasParallelLoop(prog *lang.Program) bool {
+	for _, f := range prog.Funcs {
+		found := false
+		lang.Walk(f.Body, func(s lang.Stmt) bool {
+			if fs, ok := s.(*lang.ForStmt); ok && fs.Parallel {
+				found = true
+				return false
+			}
+			return true
+		})
+		if found {
+			return true
+		}
+	}
+	return false
+}
+
+type engineOutcome struct {
+	v     interp.Value
+	stats interp.Stats
+	out   string
+	err   error
+}
+
+func runOne(prog *lang.Program, eng interp.Engine, mode interp.Mode, fn string, args []interp.Value) engineOutcome {
+	var out bytes.Buffer
+	v, st, err := interp.Run(prog, interp.Config{
+		Engine:   eng,
+		Mode:     mode,
+		PEs:      3,
+		Seed:     11,
+		Output:   &out,
+		MaxSteps: fuzzMaxSteps,
+		MaxDepth: 256,
+	}, fn, args...)
+	return engineOutcome{v: v, stats: st, out: out.String(), err: err}
+}
+
+func isLimitErr(err error) bool {
+	return err != nil && (strings.Contains(err.Error(), "step limit") ||
+		strings.Contains(err.Error(), "recursion depth"))
+}
+
+func compareOutcomes(t *testing.T, label string, w, c engineOutcome) {
+	t.Helper()
+	// Resource-limit errors fire at engine-specific instants; only
+	// agreement on "some limit was hit" is required.
+	if isLimitErr(w.err) || isLimitErr(c.err) {
+		if !isLimitErr(w.err) || !isLimitErr(c.err) {
+			t.Fatalf("%s: limit asymmetry: walk err=%v, compiled err=%v", label, w.err, c.err)
+		}
+		return
+	}
+	if (w.err != nil) != (c.err != nil) {
+		t.Fatalf("%s: error asymmetry: walk err=%v, compiled err=%v", label, w.err, c.err)
+	}
+	if w.err != nil {
+		return
+	}
+	if w.v.String() != c.v.String() {
+		t.Fatalf("%s: value divergence: walk %s, compiled %s", label, w.v, c.v)
+	}
+	if w.out != c.out {
+		t.Fatalf("%s: output divergence:\nwalk     %q\ncompiled %q", label, w.out, c.out)
+	}
+	if w.stats != c.stats {
+		t.Fatalf("%s: stats divergence: walk %+v, compiled %+v", label, w.stats, c.stats)
+	}
+}
+
+func fuzzBody(t *testing.T, src string) {
+	prog, err := lang.Parse(src)
+	if err != nil {
+		return
+	}
+	fn, args, ok := pickEntry(prog)
+	if !ok {
+		return
+	}
+	// Simulated mode exercises the full cost accounting (including
+	// simulatedForall's rewind) and is safe for any forall size.
+	w := runOne(prog, interp.EngineWalk, interp.Simulated, fn, args)
+	c := runOne(prog, interp.EngineCompiled, interp.Simulated, fn, args)
+	compareOutcomes(t, "simulated", w, c)
+
+	if hasParallelLoop(prog) {
+		return
+	}
+	w = runOne(prog, interp.EngineWalk, interp.Real, fn, args)
+	c = runOne(prog, interp.EngineCompiled, interp.Real, fn, args)
+	compareOutcomes(t, "real", w, c)
+}
+
+func FuzzCompileVsWalk(f *testing.F) {
+	seedPrograms(f)
+	f.Fuzz(fuzzBody)
+}
+
+// TestForallDepthParity: a forall body's recursion budget is the
+// enclosing call chain's remaining depth in BOTH engines (the
+// compiled engine once reset workers to depth 0, silently granting
+// forall bodies the full MaxDepth the walker would refuse). Sweeping
+// MaxDepth across the boundary must flip both engines at the same
+// value.
+func TestForallDepthParity(t *testing.T) {
+	prog, err := lang.Parse(`
+function int rec(int n) {
+  if n <= 0 { return 0; }
+  return rec(n - 1);
+}
+procedure p() {
+  forall i = 0 to 1 {
+    var int x = rec(6);
+    x = x;
+  }
+}
+function int main() {
+  p();
+  return 1;
+}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sawOK, sawErr := false, false
+	for maxDepth := 2; maxDepth <= 16; maxDepth++ {
+		var outcome [2]error
+		for i, eng := range []interp.Engine{interp.EngineWalk, interp.EngineCompiled} {
+			_, _, err := interp.Run(prog, interp.Config{Engine: eng, MaxDepth: maxDepth}, "main")
+			outcome[i] = err
+		}
+		if (outcome[0] != nil) != (outcome[1] != nil) {
+			t.Errorf("MaxDepth=%d: walk err=%v, compiled err=%v", maxDepth, outcome[0], outcome[1])
+		}
+		if outcome[0] == nil {
+			sawOK = true
+		} else {
+			sawErr = true
+		}
+	}
+	if !sawOK || !sawErr {
+		t.Fatalf("sweep never crossed the depth boundary (ok=%v err=%v) — widen the range", sawOK, sawErr)
+	}
+}
+
+// TestStringComparison: string == / != compares contents in both
+// engines (a fuzz-era fix: both used to fall through to the integer
+// branch and compare the always-zero I fields).
+func TestStringComparison(t *testing.T) {
+	prog, err := lang.Parse(`
+function int main() {
+  var int s = 0;
+  if "a" == "b" { s = s + 1; }
+  if "a" == "a" { s = s + 10; }
+  if "a" != "b" { s = s + 100; }
+  if "" == "" { s = s + 1000; }
+  return s;
+}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, eng := range []interp.Engine{interp.EngineWalk, interp.EngineCompiled} {
+		v, _, err := interp.Run(prog, interp.Config{Engine: eng}, "main")
+		if err != nil {
+			t.Fatalf("engine %s: %v", eng, err)
+		}
+		if v.I != 1110 {
+			t.Errorf("engine %s: main = %d, want 1110", eng, v.I)
+		}
+	}
+}

@@ -4,6 +4,13 @@
 // package sequent replays runs on the 1992 machine model through
 // Simulated mode.
 //
+// Execution has two engines behind Config.Engine: the default
+// compiled engine (closures over internal/compile's slot-resolved IR;
+// see compiled.go) and the tree-walking oracle in this file. They are
+// bit-identical in results, output, and simulated cycle accounting —
+// the equivalence suite and FuzzCompileVsWalk enforce it — and differ
+// only in speed.
+//
 // Paper provenance: speculative traversability — loading a pointer
 // field through NULL yields NULL — is §3.2 (the transformed code's
 // unguarded FOR1/FOR2 advances rely on it; StrictNull disables it for
@@ -21,8 +28,49 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"repro/internal/adds"
 	"repro/internal/lang"
 )
+
+// Engine selects the execution engine behind Run and Interp.Call.
+type Engine int
+
+// Execution engines. EngineCompiled is the zero value, so it is the
+// default everywhere an empty Config is used.
+const (
+	// EngineCompiled executes the slot-resolved closure code built from
+	// internal/compile's IR: flat slot frames instead of scope maps,
+	// field offsets instead of field-name hashing, pre-resolved calls.
+	// Results, printed output, and simulated cycle counts are
+	// bit-identical to the tree-walker's (asserted by the engine
+	// equivalence suite); it is just faster.
+	EngineCompiled Engine = iota
+	// EngineWalk executes the AST directly — the original tree-walking
+	// interpreter, kept as the differential-testing oracle.
+	EngineWalk
+)
+
+// String names the engine ("compiled", "walk").
+func (e Engine) String() string {
+	if e == EngineWalk {
+		return "walk"
+	}
+	return "compiled"
+}
+
+// EngineNames lists the accepted ParseEngine names in display order.
+func EngineNames() []string { return []string{"compiled", "walk"} }
+
+// ParseEngine resolves an engine name from the command line.
+func ParseEngine(name string) (Engine, error) {
+	switch name {
+	case "compiled", "":
+		return EngineCompiled, nil
+	case "walk":
+		return EngineWalk, nil
+	}
+	return 0, fmt.Errorf("interp: unknown engine %q (want compiled, walk)", name)
+}
 
 // Mode selects how forall loops execute.
 type Mode int
@@ -81,6 +129,9 @@ func DefaultCosts() CostModel {
 
 // Config configures an interpreter.
 type Config struct {
+	// Engine selects the execution engine (default EngineCompiled; the
+	// tree-walker remains available as the differential oracle).
+	Engine     Engine
 	Mode       Mode
 	Sched      Scheduling
 	PEs        int // simulated PE count (0: one PE per iteration)
@@ -144,6 +195,43 @@ type Interp struct {
 
 	maxSteps int64
 	maxDepth int
+
+	// code is the closure program when cfg.Engine == EngineCompiled;
+	// compileErr records why compilation failed (surfaced at Call).
+	code       *compiledProg
+	compileErr error
+	// stepsLocal batches the compiled engine's statement count between
+	// flushes to the shared atomic (each Interp executes on one
+	// goroutine at a time, so the field needs no synchronization).
+	stepsLocal int64
+	// cdepth is the compiled engine's live call depth.
+	cdepth int
+	// framePool recycles call frames (slot slices). Frames never
+	// escape their call — parallel iterations copy, never retain — so
+	// a per-Interp free list is safe and keeps the recursive hot path
+	// (compute_force) off the allocator.
+	framePool [][]Value
+}
+
+// getFrame returns a frame of n slots, reusing the top pooled frame
+// when it is large enough (a too-small top frame is left in place for
+// smaller calls rather than discarded). Reused slots may hold stale
+// values; every slot is written before it is read (the checker
+// enforces declare-before-use and VarSet re-initializes on every
+// scope entry).
+func (ip *Interp) getFrame(n int) []Value {
+	if l := len(ip.framePool); l > 0 && cap(ip.framePool[l-1]) >= n {
+		fr := ip.framePool[l-1]
+		ip.framePool = ip.framePool[:l-1]
+		return fr[:n]
+	}
+	return make([]Value, n)
+}
+
+func (ip *Interp) putFrame(fr []Value) {
+	if len(ip.framePool) < 64 {
+		ip.framePool = append(ip.framePool, fr)
+	}
 }
 
 // state holds the counters an interpreter shares with its forks.
@@ -172,7 +260,7 @@ func New(prog *lang.Program, cfg Config) *Interp {
 	if cfg.Costs == (CostModel{}) {
 		cfg.Costs = DefaultCosts()
 	}
-	return &Interp{
+	ip := &Interp{
 		prog:     prog,
 		cfg:      cfg,
 		out:      cfg.Output,
@@ -181,6 +269,10 @@ func New(prog *lang.Program, cfg Config) *Interp {
 		maxSteps: cfg.MaxSteps,
 		maxDepth: cfg.MaxDepth,
 	}
+	if cfg.Engine == EngineCompiled {
+		ip.code, ip.compileErr = compiledFor(prog)
+	}
+	return ip
 }
 
 // Fork returns a worker interpreter over the same program, sharing the
@@ -193,13 +285,15 @@ func New(prog *lang.Program, cfg Config) *Interp {
 // call at a time.
 func (ip *Interp) Fork(out io.Writer) *Interp {
 	nf := &Interp{
-		prog:     ip.prog,
-		cfg:      ip.cfg,
-		out:      ip.out,
-		outMu:    ip.outMu,
-		sh:       ip.sh,
-		maxSteps: ip.maxSteps,
-		maxDepth: ip.maxDepth,
+		prog:       ip.prog,
+		cfg:        ip.cfg,
+		out:        ip.out,
+		outMu:      ip.outMu,
+		sh:         ip.sh,
+		maxSteps:   ip.maxSteps,
+		maxDepth:   ip.maxDepth,
+		code:       ip.code,
+		compileErr: ip.compileErr,
 	}
 	nf.cfg.Forall = nil
 	if out != nil {
@@ -240,6 +334,16 @@ func (ip *Interp) Call(fn string, args ...Value) (Value, error) {
 	if len(args) != len(f.Params) {
 		return Value{}, fmt.Errorf("interp: %s expects %d args, got %d", fn, len(f.Params), len(args))
 	}
+	if ip.cfg.Engine == EngineCompiled {
+		if ip.compileErr != nil {
+			return Value{}, fmt.Errorf("interp: compiled engine: %w", ip.compileErr)
+		}
+		v, err := ip.callCompiled(ip.code.byName[fn], args)
+		if ferr := ip.flushSteps(f.Pos()); err == nil && ferr != nil {
+			err = ferr
+		}
+		return v, err
+	}
 	return ip.callFunc(f, args, 0)
 }
 
@@ -260,6 +364,37 @@ func (ip *Interp) charge(c int64) {
 
 func (ip *Interp) step(pos lang.Pos) error {
 	if ip.sh.steps.Add(1) > ip.maxSteps {
+		return fmt.Errorf("%s: interp: step limit exceeded (%d)", pos, ip.maxSteps)
+	}
+	return nil
+}
+
+// stepFlushChunk is how many compiled-engine statements run between
+// flushes of the local step count to the shared atomic. Batching keeps
+// the hot loop off the shared cache line (which parallel workers would
+// otherwise contend on every statement); the step limit is still
+// enforced, at chunk granularity.
+const stepFlushChunk = 256
+
+// stepC is the compiled engine's per-statement accounting.
+func (ip *Interp) stepC(pos lang.Pos) error {
+	ip.stepsLocal++
+	if ip.stepsLocal >= stepFlushChunk {
+		return ip.flushSteps(pos)
+	}
+	return nil
+}
+
+// flushSteps publishes the batched statement count. The shared total
+// is exact whenever an Interp is quiescent (Call returned, or a
+// parallel iteration completed), which is when Stats is read.
+func (ip *Interp) flushSteps(pos lang.Pos) error {
+	if ip.stepsLocal == 0 {
+		return nil
+	}
+	n := ip.stepsLocal
+	ip.stepsLocal = 0
+	if ip.sh.steps.Add(n) > ip.maxSteps {
 		return fmt.Errorf("%s: interp: step limit exceeded (%d)", pos, ip.maxSteps)
 	}
 	return nil
@@ -310,6 +445,13 @@ func (fr *frame) lookup(name string) (*Value, bool) {
 // parallel iterations get independent frames so concurrent variable
 // writes cannot race (heap writes are the program's responsibility —
 // the dependence test guarantees transformed code is race-free).
+//
+// Cost note: this rebuilds every scope map of the live frame on every
+// forall iteration fork — the dominant allocation source of walker
+// parallel runs (~330k allocs per R2 force run vs ~1.5k for the
+// compiled engine, whose slot-frame fork is one slice copy; see
+// DESIGN.md's R3 section and BENCH_interp.json). Kept as-is: the
+// walker is the oracle, and oracles should stay simple.
 func (fr *frame) snapshot() *frame {
 	nf := &frame{fn: fr.fn}
 	for _, sc := range fr.scopes {
@@ -532,6 +674,11 @@ func (ip *Interp) execFor(s *lang.ForStmt, fr *frame, depth int) (ctrl, Value, e
 				return c, rv, nil
 			}
 			ip.charge(ip.cfg.Costs.Branch + ip.cfg.Costs.IntOp)
+			// One step per trip, like while: without it an empty loop
+			// body evades the MaxSteps runaway guard entirely.
+			if err := ip.step(s.Pos()); err != nil {
+				return ctrlNext, Value{}, err
+			}
 		}
 		return ctrlNext, Value{}, nil
 	}
@@ -584,9 +731,27 @@ func (ip *Interp) execFor(s *lang.ForStmt, fr *frame, depth int) (ctrl, Value, e
 	return ctrlNext, Value{}, nil
 }
 
-// simulatedForall executes iterations sequentially, assigning them to
-// PEs and charging elapsed = max(PE busy time) + barrier.
+// simulatedForall is the walker's entry to the shared simForall
+// skeleton: push a scope per iteration and execute the AST body.
 func (ip *Interp) simulatedForall(s *lang.ForStmt, fr *frame, depth int, from, to int64) error {
+	return ip.simForall(from, to, s.Pos(), ip.step, func(k int64) (ctrl, error) {
+		fr.push()
+		fr.declare(s.Var, IntVal(k))
+		c, _, err := ip.execBlock(s.Body, fr, depth)
+		fr.pop()
+		return c, err
+	})
+}
+
+// simForall executes a simulated parallel loop's iterations
+// sequentially, assigning them to PEs and charging elapsed =
+// max(PE busy time) + barrier. It is the single copy of the Sequent
+// model's forall accounting (PE mapping, per-iteration cycle rewind,
+// barrier charge), shared by both engines so the bit-identical-cycles
+// contract cannot drift: each engine supplies only its iteration body
+// (runIter) and its step-guard flavor (the walker counts steps on the
+// shared atomic immediately; the compiled engine batches).
+func (ip *Interp) simForall(from, to int64, pos lang.Pos, step func(lang.Pos) error, runIter func(k int64) (ctrl, error)) error {
 	n := int(to - from + 1)
 	pes := ip.cfg.PEs
 	if pes <= 0 {
@@ -608,18 +773,19 @@ func (ip *Interp) simulatedForall(s *lang.ForStmt, fr *frame, depth int, from, t
 		}
 		// Run the iteration, measuring its cycle delta.
 		start := ip.cycles
-		fr.push()
-		fr.declare(s.Var, IntVal(k))
-		c, _, err := ip.execBlock(s.Body, fr, depth)
-		fr.pop()
+		c, err := runIter(k)
 		if err != nil {
 			return err
 		}
 		if c == ctrlReturn {
-			return fmt.Errorf("%s: interp: return inside forall is not allowed", s.Pos())
+			return fmt.Errorf("%s: interp: return inside forall is not allowed", pos)
 		}
 		busy[pe] += ip.cycles - start
 		ip.cycles = start // rewind; we charge max at the end
+		// One step per iteration (the MaxSteps guard, as in serial for).
+		if err := step(pos); err != nil {
+			return err
+		}
 	}
 	maxBusy := int64(0)
 	for _, b := range busy {
@@ -695,30 +861,39 @@ func (ip *Interp) alloc(typeName string) (Value, error) {
 	if decl == nil {
 		return Value{}, fmt.Errorf("interp: new of unknown type %q", typeName)
 	}
+	return ip.allocNode(decl, typeName), nil
+}
+
+// allocNode builds a fresh record with both addressing views (name
+// maps for the walker and inspectors, positional slices for the
+// compiled engine) over one backing store.
+func (ip *Interp) allocNode(decl *adds.Decl, typeName string) Value {
 	ip.charge(ip.cfg.Costs.Alloc)
 	ip.sh.allocs.Add(1)
 	n := &Node{
 		Type: typeName,
 		Data: make(map[string]*Value, len(decl.Data)),
 		Ptrs: make(map[string][]*Node, len(decl.Pointers)),
+		vals: make([]Value, len(decl.Data)),
+		parr: make([][]*Node, len(decl.Pointers)),
 		id:   ip.sh.nextID.Add(1),
 	}
-	for _, df := range decl.Data {
-		v := new(Value)
+	for i, df := range decl.Data {
 		switch df.Type {
 		case "real":
-			*v = RealVal(0)
+			n.vals[i] = RealVal(0)
 		case "bool":
-			*v = BoolVal(false)
+			n.vals[i] = BoolVal(false)
 		default:
-			*v = IntVal(0)
+			n.vals[i] = IntVal(0)
 		}
-		n.Data[df.Name] = v
+		n.Data[df.Name] = &n.vals[i]
 	}
-	for _, pf := range decl.Pointers {
-		n.Ptrs[pf.Name] = make([]*Node, pf.Count)
+	for i, pf := range decl.Pointers {
+		n.parr[i] = make([]*Node, pf.Count)
+		n.Ptrs[pf.Name] = n.parr[i]
 	}
-	return PtrVal(n), nil
+	return PtrVal(n)
 }
 
 func (ip *Interp) evalField(e *lang.FieldExpr, fr *frame, depth int) (Value, error) {
@@ -830,6 +1005,20 @@ func (ip *Interp) evalBin(e *lang.BinExpr, fr *frame, depth int) (Value, error) 
 			return BoolVal(eq), nil
 		}
 		return BoolVal(!eq), nil
+	}
+
+	// String comparison (strings mostly exist as print arguments, but
+	// == / != between them is well-typed and must compare contents,
+	// not fall through to the always-zero integer fields).
+	if x.Kind == KindString && y.Kind == KindString {
+		ip.charge(ip.cfg.Costs.IntOp)
+		switch e.Op {
+		case lang.EQ:
+			return BoolVal(x.S == y.S), nil
+		case lang.NEQ:
+			return BoolVal(x.S != y.S), nil
+		}
+		return Value{}, fmt.Errorf("%s: interp: bad string op %s", e.Pos(), e.Op)
 	}
 
 	// Numeric / bool scalar ops.

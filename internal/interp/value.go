@@ -35,7 +35,13 @@ const (
 	KindPtr
 )
 
-// Node is a heap record instance.
+// Node is a heap record instance. Fields have two addressing modes
+// over one shared backing store: by name through the Data/Ptrs maps
+// (the tree-walker and external inspectors) and by declaration offset
+// through vals/parr (the compiled engine, whose IR pre-resolves field
+// names to indices into the record declaration). Data[decl.Data[i].Name]
+// points at vals[i] and Ptrs[decl.Pointers[i].Name] shares parr[i]'s
+// backing array, so a store through either view is seen by both.
 type Node struct {
 	Type string
 	// Data holds scalar fields. The map is fully populated at
@@ -48,6 +54,10 @@ type Node struct {
 	// Ptrs holds pointer fields; each entry has the declared Count
 	// length (1 for plain pointers).
 	Ptrs map[string][]*Node
+	// vals is the positional backing of Data, indexed like decl.Data.
+	vals []Value
+	// parr is the positional view of Ptrs, indexed like decl.Pointers.
+	parr [][]*Node
 	// id is a stable allocation number for deterministic printing.
 	id int64
 	// inEdges counts in-edges per uniquely-forward dimension when

@@ -1,0 +1,113 @@
+package lang
+
+import (
+	"strings"
+	"testing"
+)
+
+// fuzzSeeds are small but representative PSL programs: every statement
+// form, ADDS annotation shape, literal kind, and operator the grammar
+// has, so the fuzzer starts from meaningful corners of the language.
+var fuzzSeeds = []string{
+	"",
+	"function int f() { return 1; }",
+	`type OneWayList [X]
+{ int coef, exp;
+  real val;
+  OneWayList *next is uniquely forward along X;
+};
+function OneWayList * poly(int n) {
+  var OneWayList *head = NULL;
+  var int i = 0;
+  while i < n {
+    var OneWayList *t = new OneWayList;
+    t->coef = i + 1;
+    t->next = head;
+    head = t;
+    i = i + 1;
+  }
+  return head;
+}`,
+	`type Orth [X][Y] where X||Y
+{ real v;
+  Orth *across is uniquely forward along X;
+  Orth *down   is uniquely forward along Y;
+  Orth *back   is backward along X;
+};
+procedure p(Orth *o) {
+  if o != NULL && o->v >= 0.5 { o->v = -o->v / 2.0; } else { o->v = abs(o->v); }
+}`,
+	`type T { T *kids[8]; int n; };
+function real g(T *t, int k) {
+  var real s = 1.5e-3;
+  for i = 0 to 7 { s = s + t->kids[i]->n; }
+  forall i = 0 to 7 { print("k", i, s, true, NULL); }
+  while !(s > 100.0) { s = s * 2.0 + sqrt(s) + rand(); }
+  return s;
+}`,
+	"procedure q() { print(\"a\\nb\\t\\\"c\\\\\"); }",
+	"function int mod(int a, int b) { return a % b == 0 && 3 <> 4; }",
+}
+
+// FuzzLexer: the lexer never panics and either yields lexemes ending
+// in EOF or reports an error.
+func FuzzLexer(f *testing.F) {
+	for _, s := range fuzzSeeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		lexemes, err := LexAll(src)
+		if err != nil {
+			return
+		}
+		if len(lexemes) == 0 || lexemes[len(lexemes)-1].Tok != EOF {
+			t.Fatalf("LexAll succeeded without trailing EOF: %v", lexemes)
+		}
+	})
+}
+
+// FuzzParser: parsing never panics, and whatever parses (checked and
+// normalized) round-trips through the printer — print → parse → print
+// reaches a fixed point on the first print. This is the property that
+// keeps Format output usable as input (the transformed programs the
+// harness prints are real PSL).
+func FuzzParser(f *testing.F) {
+	for _, s := range fuzzSeeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		p1, err := Parse(src)
+		if err != nil {
+			return
+		}
+		s1 := Format(p1)
+		p2, err := Parse(s1)
+		if err != nil {
+			t.Fatalf("printed program no longer parses: %v\n--- printed ---\n%s", err, s1)
+		}
+		s2 := Format(p2)
+		if s1 != s2 {
+			t.Fatalf("print→parse→print not stable:\n--- first ---\n%s\n--- second ---\n%s", s1, s2)
+		}
+	})
+}
+
+// TestQuotePSL pins the printer's escape set to what the lexer accepts.
+func TestQuotePSL(t *testing.T) {
+	for _, raw := range []string{
+		"", "plain", "a\nb", "tab\there", `quote"inside`, `back\slash`,
+		"raw\x01bytes\x7f", "mixed \\ \" \n \t end",
+	} {
+		quoted := quotePSL(raw)
+		lexemes, err := LexAll(quoted)
+		if err != nil {
+			t.Fatalf("%q: quoted form %s does not lex: %v", raw, quoted, err)
+		}
+		if len(lexemes) != 2 || lexemes[0].Tok != STRING || lexemes[0].Text != raw {
+			t.Fatalf("%q: round-trip through %s gave %v", raw, quoted, lexemes)
+		}
+	}
+	if !strings.Contains(quotePSL("a\nb"), `\n`) {
+		t.Error("newline must print escaped")
+	}
+}

@@ -198,9 +198,14 @@ func (p *parser) parseFieldDecl(d *adds.Decl) error {
 			if err != nil {
 				return err
 			}
+			// maxPtrArray bounds pointer-array fields: the paper's
+			// structures top out at 8 (the octree); anything huge is a
+			// typo or an allocation bomb (every `new` materializes the
+			// whole array).
+			const maxPtrArray = 1024
 			n, convErr := strconv.Atoi(num.Text)
-			if convErr != nil || n < 1 {
-				return p.errf("bad array count %q", num.Text)
+			if convErr != nil || n < 1 || n > maxPtrArray {
+				return p.errf("bad array count %q (1..%d)", num.Text, maxPtrArray)
 			}
 			count = n
 			if _, err := p.expect(RBRACK); err != nil {

@@ -157,7 +157,7 @@ func FormatExpr(e Expr) string {
 		}
 		return s
 	case *StrLit:
-		return strconv.Quote(e.Val)
+		return quotePSL(e.Val)
 	case *BoolLit:
 		if e.Val {
 			return "true"
@@ -169,4 +169,30 @@ func FormatExpr(e Expr) string {
 		return e.Op.String() + FormatExpr(e.X)
 	}
 	return fmt.Sprintf("/* unknown expr %T */", e)
+}
+
+// quotePSL renders a string literal in PSL's own escape set — \n, \t,
+// \", \\ — leaving every other byte raw (the lexer accepts arbitrary
+// raw bytes inside a literal, including newlines). Go's strconv.Quote
+// would emit escapes like \x01 that PSL does not lex, breaking the
+// parse→print→parse round trip the fuzzer enforces.
+func quotePSL(s string) string {
+	var b strings.Builder
+	b.WriteByte('"')
+	for i := 0; i < len(s); i++ {
+		switch c := s[i]; c {
+		case '\n':
+			b.WriteString(`\n`)
+		case '\t':
+			b.WriteString(`\t`)
+		case '"':
+			b.WriteString(`\"`)
+		case '\\':
+			b.WriteString(`\\`)
+		default:
+			b.WriteByte(c)
+		}
+	}
+	b.WriteByte('"')
+	return b.String()
 }

@@ -46,6 +46,11 @@ import (
 
 // Options configures an Engine.
 type Options struct {
+	// Interp selects the interpreter engine the pool runs on
+	// (default interp.EngineCompiled; interp.EngineWalk is the
+	// tree-walking oracle). Results are bit-identical either way —
+	// the engines differ only in speed.
+	Interp interp.Engine
 	// PEs is the number of worker goroutines (0 = GOMAXPROCS).
 	PEs int
 	// Sched maps forall iterations to PEs (nil = Dynamic(1),
@@ -104,6 +109,7 @@ func (e *Engine) Run(fn string, args ...interp.Value) (interp.Value, interp.Stat
 		rs.tasks[i] = make(chan task)
 	}
 	root := interp.New(e.prog, interp.Config{
+		Engine:   e.opt.Interp,
 		Mode:     interp.Real,
 		Seed:     e.opt.Seed,
 		Output:   out,
