@@ -1,0 +1,59 @@
+// Command pslserved serves PSL execution over HTTP: the long-lived
+// front of internal/serve. POST /run executes a program (compiled
+// programs are cached by content hash, requests are sandboxed by
+// wall-clock, step, allocation, and output budgets), GET /stats
+// exposes the cache/queue/latency counters, GET /healthz answers
+// liveness. SIGINT/SIGTERM drain gracefully: the listener stops, then
+// queued and in-flight requests finish.
+//
+//	go run ./cmd/pslserved -addr 127.0.0.1:8080
+//	curl -s localhost:8080/run -d '{"source":"function int main() { return 42; }"}'
+//	go run ./cmd/loadgen -addr http://127.0.0.1:8080
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/expflags"
+	"repro/internal/serve"
+)
+
+func main() {
+	fs := flag.NewFlagSet("pslserved", flag.ExitOnError)
+	f := expflags.RegisterServe(fs)
+	fs.Parse(os.Args[1:])
+
+	s := serve.New(f.ServerConfig())
+	srv := &http.Server{Addr: f.Addr, Handler: s.Handler()}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() {
+		log.Printf("pslserved: listening on %s", f.Addr)
+		errc <- srv.ListenAndServe()
+	}()
+
+	select {
+	case err := <-errc:
+		if !errors.Is(err, http.ErrServerClosed) {
+			log.Fatalf("pslserved: %v", err)
+		}
+	case <-ctx.Done():
+		log.Printf("pslserved: draining")
+		shutCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		srv.Shutdown(shutCtx)
+		cancel()
+		s.Close()
+		log.Printf("pslserved: drained")
+	}
+}

@@ -2,9 +2,10 @@
 // to run must still exist and parse. README.md, DESIGN.md, and
 // docs/ARCHITECTURE.md quote `go run ./...` commands; this test
 // extracts them, verifies the package path exists, and — for
-// cmd/experiments, whose flag surface is defined in internal/expflags
-// precisely so it can be checked here — parses the quoted flags
-// against the real flag set. CI runs this as its own step.
+// cmd/experiments, cmd/pslserved, and cmd/loadgen, whose flag
+// surfaces are defined in internal/expflags precisely so they can be
+// checked here — parses the quoted flags against the real flag set.
+// CI runs this as its own step.
 package repro
 
 import (
@@ -32,6 +33,24 @@ func experimentsFlagSet() *flag.FlagSet {
 	return fs
 }
 
+// cmdFlagSets maps each doc-checked binary to a fresh flag set built
+// from the same expflags registration the binary itself uses.
+var cmdFlagSets = map[string]func() *flag.FlagSet{
+	"./cmd/experiments": experimentsFlagSet,
+	"./cmd/pslserved": func() *flag.FlagSet {
+		fs := flag.NewFlagSet("pslserved", flag.ContinueOnError)
+		fs.SetOutput(io.Discard)
+		expflags.RegisterServe(fs)
+		return fs
+	},
+	"./cmd/loadgen": func() *flag.FlagSet {
+		fs := flag.NewFlagSet("loadgen", flag.ContinueOnError)
+		fs.SetOutput(io.Discard)
+		expflags.RegisterLoadgen(fs)
+		return fs
+	},
+}
+
 // TestDocCommandsParse: documented `go run` targets exist, and
 // documented cmd/experiments invocations parse against the current
 // flag set.
@@ -53,10 +72,16 @@ func TestDocCommandsParse(t *testing.T) {
 				t.Errorf("%s quotes %q but %s is not a package directory", file, strings.TrimSpace(m[0]), pkg)
 				continue
 			}
-			if pkg != "./cmd/experiments" {
+			mkfs, checked := cmdFlagSets[pkg]
+			if !checked {
 				continue
 			}
-			if err := experimentsFlagSet().Parse(strings.Fields(rest)); err != nil {
+			// Shell suffixes ("&" for backgrounding) are not flags.
+			args := strings.Fields(rest)
+			for len(args) > 0 && args[len(args)-1] == "&" {
+				args = args[:len(args)-1]
+			}
+			if err := mkfs().Parse(args); err != nil {
 				t.Errorf("%s: documented command %q no longer parses: %v",
 					file, strings.TrimSpace(m[0]), err)
 			}

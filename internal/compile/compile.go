@@ -29,6 +29,19 @@
 // Compile expects the program to have passed lang.Check; it returns an
 // error (rather than panicking) on untyped or unresolvable input so
 // callers can fall back to the tree-walker.
+//
+// # Immutability
+//
+// A Program is immutable once Compile returns: neither this package
+// nor its consumers may mutate it (or the lang.Program it references)
+// afterwards. That contract is what lets one compiled program be
+// shared, without locks, by every interpreter instance and worker fork
+// executing it — interp memoizes the closure code it builds from the
+// IR per lang.Program, and the serving layer (internal/serve) keeps
+// cached programs hot across many concurrent requests. The contract is
+// enforced by interp's TestCompiledProgramSharedAcrossGoroutines,
+// which compiles once and executes the same program from 16 goroutines
+// under the race detector.
 package compile
 
 import (

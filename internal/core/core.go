@@ -14,6 +14,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"strings"
@@ -147,6 +148,17 @@ type RunConfig struct {
 	Seed uint64
 	// Output receives print() output (nil discards).
 	Output io.Writer
+	// Ctx, if non-nil, cancels the run: deadline or explicit cancel
+	// aborts execution with an error (see interp.Config.Ctx). The
+	// sandbox budgets below plus Ctx are what the serving layer
+	// (internal/serve) uses to bound untrusted programs.
+	Ctx context.Context
+	// MaxSteps bounds executed statements (0 = interpreter default).
+	MaxSteps int64
+	// MaxAllocs bounds `new` node allocations (0 = unlimited).
+	MaxAllocs int64
+	// MaxOutputBytes bounds total print() output (0 = unlimited).
+	MaxOutputBytes int64
 }
 
 // Run executes fn with the given arguments.
@@ -156,11 +168,15 @@ func (c *Compilation) Run(cfg RunConfig, fn string, args ...interp.Value) (inter
 		mode = interp.Simulated
 	}
 	return interp.Run(c.Program, interp.Config{
-		Engine: cfg.Engine,
-		Mode:   mode,
-		PEs:    cfg.PEs,
-		Seed:   cfg.Seed,
-		Output: cfg.Output,
+		Engine:         cfg.Engine,
+		Mode:           mode,
+		PEs:            cfg.PEs,
+		Seed:           cfg.Seed,
+		Output:         cfg.Output,
+		Ctx:            cfg.Ctx,
+		MaxSteps:       cfg.MaxSteps,
+		MaxAllocs:      cfg.MaxAllocs,
+		MaxOutputBytes: cfg.MaxOutputBytes,
 	}, fn, args...)
 }
 
@@ -173,11 +189,15 @@ func (c *Compilation) Run(cfg RunConfig, fn string, args ...interp.Value) (inter
 // shared stream in scheduling order (see package parexec).
 func (c *Compilation) RunParallel(cfg RunConfig, pes int, fn string, args ...interp.Value) (interp.Value, interp.Stats, error) {
 	return parexec.Run(c.Program, parexec.Options{
-		Interp: cfg.Engine,
-		PEs:    pes,
-		Sched:  cfg.Sched,
-		Seed:   cfg.Seed,
-		Output: cfg.Output,
+		Interp:         cfg.Engine,
+		PEs:            pes,
+		Sched:          cfg.Sched,
+		Seed:           cfg.Seed,
+		Output:         cfg.Output,
+		Ctx:            cfg.Ctx,
+		MaxSteps:       cfg.MaxSteps,
+		MaxAllocs:      cfg.MaxAllocs,
+		MaxOutputBytes: cfg.MaxOutputBytes,
 	}, fn, args...)
 }
 
@@ -191,12 +211,16 @@ func (c *Compilation) RunChecked(cfg RunConfig, fn string, args ...interp.Value)
 		mode = interp.Simulated
 	}
 	ip := interp.New(c.Program, interp.Config{
-		Engine:      cfg.Engine,
-		Mode:        mode,
-		PEs:         cfg.PEs,
-		Seed:        cfg.Seed,
-		Output:      cfg.Output,
-		ShapeChecks: true,
+		Engine:         cfg.Engine,
+		Mode:           mode,
+		PEs:            cfg.PEs,
+		Seed:           cfg.Seed,
+		Output:         cfg.Output,
+		Ctx:            cfg.Ctx,
+		MaxSteps:       cfg.MaxSteps,
+		MaxAllocs:      cfg.MaxAllocs,
+		MaxOutputBytes: cfg.MaxOutputBytes,
+		ShapeChecks:    true,
 	})
 	v, err := ip.Call(fn, args...)
 	return v, ip.Stats(), ip.ShapeViolations(), err

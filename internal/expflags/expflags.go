@@ -1,10 +1,10 @@
-// Package expflags defines the command-line surface of
-// cmd/experiments in one importable place, so that the doc-drift
-// check (docdrift_test.go at the repository root) can verify that
-// every `go run ./cmd/experiments ...` command quoted in README.md,
-// DESIGN.md, and docs/ARCHITECTURE.md parses against the flag set the
-// binary actually has. cmd/experiments registers exactly this set and
-// nothing else.
+// Package expflags defines the command-line surfaces of the
+// repository's binaries — cmd/experiments, cmd/pslserved, and
+// cmd/loadgen — in one importable place, so that the doc-drift check
+// (docdrift_test.go at the repository root) can verify that every
+// `go run ./cmd/... ...` command quoted in README.md, DESIGN.md, and
+// docs/ARCHITECTURE.md parses against the flag set the binary
+// actually has. Each cmd registers exactly its set and nothing else.
 package expflags
 
 import (
@@ -12,9 +12,11 @@ import (
 	"fmt"
 	"strconv"
 	"strings"
+	"time"
 
 	"repro/internal/interp"
 	"repro/internal/parexec"
+	"repro/internal/serve"
 )
 
 // Flags is the parsed flag values of cmd/experiments. See DESIGN.md's
@@ -98,4 +100,80 @@ func (f *Flags) Policies() ([]parexec.Policy, error) {
 		return nil, err
 	}
 	return []parexec.Policy{p}, nil
+}
+
+// ---------------------------------------------------------------------------
+// cmd/pslserved
+
+// ServeFlags is the parsed flag values of cmd/pslserved.
+type ServeFlags struct {
+	Addr         string        // -addr: listen address
+	Workers      int           // -workers: executing requests (0 = GOMAXPROCS)
+	Queue        int           // -queue: admission queue depth (0 = 4×workers)
+	CacheEntries int           // -cache: compiled-program cache capacity
+	CacheShards  int           // -shards: cache shard count
+	Timeout      time.Duration // -timeout: default per-request wall clock
+	MaxSteps     int64         // -max-steps: per-request statement budget
+	MaxAllocs    int64         // -max-allocs: per-request allocation budget
+	MaxOutput    int64         // -max-output: per-request print() byte budget
+}
+
+// RegisterServe installs the cmd/pslserved flag set on fs.
+func RegisterServe(fs *flag.FlagSet) *ServeFlags {
+	f := &ServeFlags{}
+	fs.StringVar(&f.Addr, "addr", "127.0.0.1:8080", "listen address")
+	fs.IntVar(&f.Workers, "workers", 0, "concurrently executing requests (0 = GOMAXPROCS)")
+	fs.IntVar(&f.Queue, "queue", 0, "admission queue depth (0 = 4×workers)")
+	fs.IntVar(&f.CacheEntries, "cache", 0, "compiled-program cache entries (0 = 128)")
+	fs.IntVar(&f.CacheShards, "shards", 0, "program cache shards (0 = 8)")
+	fs.DurationVar(&f.Timeout, "timeout", 0, "default per-request wall-clock budget (0 = 5s)")
+	fs.Int64Var(&f.MaxSteps, "max-steps", 0, "per-request statement budget (0 = 50M)")
+	fs.Int64Var(&f.MaxAllocs, "max-allocs", 0, "per-request allocation budget (0 = 1M)")
+	fs.Int64Var(&f.MaxOutput, "max-output", 0, "per-request print() byte budget (0 = 1MiB)")
+	return f
+}
+
+// ServerConfig maps the flags onto a serve.Config (zeros keep the
+// server defaults).
+func (f *ServeFlags) ServerConfig() serve.Config {
+	return serve.Config{
+		Workers:        f.Workers,
+		QueueDepth:     f.Queue,
+		CacheEntries:   f.CacheEntries,
+		CacheShards:    f.CacheShards,
+		DefaultTimeout: f.Timeout,
+		MaxSteps:       f.MaxSteps,
+		MaxAllocs:      f.MaxAllocs,
+		MaxOutputBytes: f.MaxOutput,
+	}
+}
+
+// ---------------------------------------------------------------------------
+// cmd/loadgen
+
+// LoadgenFlags is the parsed flag values of cmd/loadgen.
+type LoadgenFlags struct {
+	Addr           string        // -addr: service base URL
+	Corpus         string        // -corpus: directory of .psl programs
+	Concurrency    int           // -concurrency: closed-loop workers
+	Duration       time.Duration // -duration: hot-phase length
+	Cold           float64       // -cold: forced-miss fraction of hot requests
+	Seed           int64         // -seed: corpus-draw RNG seed
+	RequireHotRate float64       // -require-hot-rate: exit nonzero below this hit rate
+	FailOnError    bool          // -fail-on-error: exit nonzero on any request error
+}
+
+// RegisterLoadgen installs the cmd/loadgen flag set on fs.
+func RegisterLoadgen(fs *flag.FlagSet) *LoadgenFlags {
+	f := &LoadgenFlags{}
+	fs.StringVar(&f.Addr, "addr", "http://127.0.0.1:8080", "pslserved base URL")
+	fs.StringVar(&f.Corpus, "corpus", "testdata", "directory of .psl programs to serve")
+	fs.IntVar(&f.Concurrency, "concurrency", 8, "closed-loop worker count")
+	fs.DurationVar(&f.Duration, "duration", 2*time.Second, "hot-phase duration")
+	fs.Float64Var(&f.Cold, "cold", 0.02, "fraction of hot-phase requests with never-seen source")
+	fs.Int64Var(&f.Seed, "seed", 1, "RNG seed for corpus draws")
+	fs.Float64Var(&f.RequireHotRate, "require-hot-rate", 0,
+		"fail (exit 1) if the hot-phase cache-hit rate is below this")
+	fs.BoolVar(&f.FailOnError, "fail-on-error", false, "fail (exit 1) if any request errored")
+	return f
 }

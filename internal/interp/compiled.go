@@ -81,6 +81,69 @@ var (
 
 const codeCacheLimit = 512
 
+// compileBuilds counts closure-code builds (misses in the per-program
+// code cache). Observability for the serving layer's contract that a
+// cache-hit request does zero compile work: internal/serve's tests
+// assert the count stays flat across hot requests.
+var compileBuilds atomic.Int64
+
+// CompileCount reports how many times closure code has been built
+// (process-wide). Cache hits in the per-program code cache do not move
+// it.
+func CompileCount() int64 { return compileBuilds.Load() }
+
+// Precompile builds and memoizes the compiled engine's closure code
+// for prog, so that subsequent New calls with Config.Engine ==
+// EngineCompiled skip compilation entirely.
+func Precompile(prog *lang.Program) error {
+	_, err := compiledFor(prog)
+	return err
+}
+
+// CompiledProgram pins a program's closure code: unlike the bounded
+// per-program code cache (which evicts arbitrarily past
+// codeCacheLimit), a handle keeps its code alive for as long as the
+// holder does. Long-lived caches — internal/serve's program cache —
+// store one per entry, so a cache hit can never recompile no matter
+// how much cold traffic churns the code cache underneath. Immutable
+// and safe for concurrent use, like everything it references.
+type CompiledProgram struct {
+	prog *lang.Program
+	code *compiledProg
+	err  error
+}
+
+// CompileProgram builds (or reuses) the closure code for prog and
+// returns the pinning handle. Err reports a front-end failure.
+func CompileProgram(prog *lang.Program) *CompiledProgram {
+	code, err := compiledFor(prog)
+	return &CompiledProgram{prog: prog, code: code, err: err}
+}
+
+// Err reports why compilation failed (nil on success).
+func (cp *CompiledProgram) Err() error { return cp.err }
+
+// Program returns the source program the handle was built from.
+func (cp *CompiledProgram) Program() *lang.Program { return cp.prog }
+
+// NewCompiled creates an interpreter over a pinned compiled program.
+// Equivalent to New(cp.Program(), cfg) except that the closure code
+// comes from the handle, never the code cache — the serving layer's
+// hot path. The walk engine ignores the pinned code and walks the AST
+// as usual.
+func NewCompiled(cp *CompiledProgram, cfg Config) *Interp {
+	ip := newInterp(cp.prog, cfg)
+	ip.code, ip.compileErr = cp.code, cp.err
+	return ip
+}
+
+// RunCompiled is Run over a pinned compiled program.
+func RunCompiled(cp *CompiledProgram, cfg Config, fn string, args ...Value) (Value, Stats, error) {
+	ip := NewCompiled(cp, cfg)
+	v, err := ip.Call(fn, args...)
+	return v, ip.Stats(), err
+}
+
 func compiledFor(prog *lang.Program) (*compiledProg, error) {
 	if v, ok := codeCache.Load(prog); ok {
 		e := v.(*codeCacheEntry)
@@ -111,6 +174,7 @@ func compiledFor(prog *lang.Program) (*compiledProg, error) {
 }
 
 func buildCompiled(prog *lang.Program) (*compiledProg, error) {
+	compileBuilds.Add(1)
 	cp, err := compile.Compile(prog)
 	if err != nil {
 		return nil, err
@@ -604,7 +668,7 @@ func (g *codegen) expr(e compile.Expr) cExpr {
 		decl := e.Decl
 		typeName := e.TypeName
 		return func(ip *Interp, fr []Value) (Value, error) {
-			return ip.allocNode(decl, typeName), nil
+			return ip.allocNode(decl, typeName)
 		}
 
 	case *compile.Load:
@@ -779,21 +843,13 @@ func (g *codegen) callExpr(e *compile.Call) cExpr {
 			return RealVal(ip.rand()), nil
 		}
 	case compile.BuiltinPrint:
+		pos := e.Pos()
 		return func(ip *Interp, fr []Value) (Value, error) {
 			args, err := evalArgs(ip, fr)
 			if err != nil {
 				return Value{}, err
 			}
-			ip.outMu.Lock()
-			for i, a := range args {
-				if i > 0 {
-					fmt.Fprint(ip.out, " ")
-				}
-				fmt.Fprint(ip.out, a.String())
-			}
-			fmt.Fprintln(ip.out)
-			ip.outMu.Unlock()
-			return Value{}, nil
+			return Value{}, ip.printLine(pos, args)
 		}
 	}
 	// User call: evaluate arguments straight into the callee's frame

@@ -21,10 +21,12 @@
 package interp
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"math"
 	"sort"
+	"strings"
 	"sync"
 	"sync/atomic"
 
@@ -141,6 +143,21 @@ type Config struct {
 	MaxSteps   int64 // 0 = default guard
 	MaxDepth   int   // 0 = default (4096)
 	StrictNull bool  // disable speculative traversability (for tests)
+	// Ctx, if non-nil, cancels the run: a deadline or explicit cancel
+	// makes Call return an error. Both engines poll it on the step
+	// path, at stepFlushChunk granularity, so a runaway loop is cut
+	// within a few hundred statements. The sandbox budgets below plus
+	// Ctx are what the serving layer (internal/serve) relies on to run
+	// untrusted programs.
+	Ctx context.Context
+	// MaxAllocs bounds `new` node allocations across the run and all
+	// its forks (0 = unlimited). Shared, like the allocation counter,
+	// so parallel iterations draw from one budget.
+	MaxAllocs int64
+	// MaxOutputBytes bounds the total bytes print() may emit across
+	// the run and all its forks (0 = unlimited). Enforced before the
+	// write, so the cap also bounds buffered parallel output.
+	MaxOutputBytes int64
 	// ShapeChecks enables runtime validation of ADDS shape promises on
 	// every pointer store (the paper's §2.2 debugging checks).
 	ShapeChecks bool
@@ -193,8 +210,13 @@ type Interp struct {
 	work     int64
 	barriers int64
 
-	maxSteps int64
-	maxDepth int
+	maxSteps  int64
+	maxDepth  int
+	maxAllocs int64
+	maxOutput int64
+	// ctx is the optional cancellation signal (Config.Ctx), polled at
+	// stepFlushChunk granularity on both engines' step paths.
+	ctx context.Context
 
 	// code is the closure program when cfg.Engine == EngineCompiled;
 	// compileErr records why compilation failed (surfaced at Call).
@@ -238,9 +260,10 @@ func (ip *Interp) putFrame(fr []Value) {
 type state struct {
 	rngState uint64
 
-	steps  atomic.Int64
-	allocs atomic.Int64
-	nextID atomic.Int64
+	steps    atomic.Int64
+	allocs   atomic.Int64
+	nextID   atomic.Int64
+	outBytes atomic.Int64
 
 	shapeMu  sync.Mutex
 	shapeLog []ShapeViolation
@@ -248,6 +271,16 @@ type state struct {
 
 // New creates an interpreter for a checked, normalized program.
 func New(prog *lang.Program, cfg Config) *Interp {
+	ip := newInterp(prog, cfg)
+	if ip.cfg.Engine == EngineCompiled {
+		ip.code, ip.compileErr = compiledFor(prog)
+	}
+	return ip
+}
+
+// newInterp builds an interpreter without resolving closure code; New
+// attaches it from the code cache, NewCompiled from a pinned handle.
+func newInterp(prog *lang.Program, cfg Config) *Interp {
 	if cfg.Output == nil {
 		cfg.Output = io.Discard
 	}
@@ -261,16 +294,16 @@ func New(prog *lang.Program, cfg Config) *Interp {
 		cfg.Costs = DefaultCosts()
 	}
 	ip := &Interp{
-		prog:     prog,
-		cfg:      cfg,
-		out:      cfg.Output,
-		outMu:    &sync.Mutex{},
-		sh:       &state{rngState: cfg.Seed*2862933555777941757 + 3037000493},
-		maxSteps: cfg.MaxSteps,
-		maxDepth: cfg.MaxDepth,
-	}
-	if cfg.Engine == EngineCompiled {
-		ip.code, ip.compileErr = compiledFor(prog)
+		prog:      prog,
+		cfg:       cfg,
+		out:       cfg.Output,
+		outMu:     &sync.Mutex{},
+		sh:        &state{rngState: cfg.Seed*2862933555777941757 + 3037000493},
+		maxSteps:  cfg.MaxSteps,
+		maxDepth:  cfg.MaxDepth,
+		maxAllocs: cfg.MaxAllocs,
+		maxOutput: cfg.MaxOutputBytes,
+		ctx:       cfg.Ctx,
 	}
 	return ip
 }
@@ -292,6 +325,9 @@ func (ip *Interp) Fork(out io.Writer) *Interp {
 		sh:         ip.sh,
 		maxSteps:   ip.maxSteps,
 		maxDepth:   ip.maxDepth,
+		maxAllocs:  ip.maxAllocs,
+		maxOutput:  ip.maxOutput,
+		ctx:        ip.ctx,
 		code:       ip.code,
 		compileErr: ip.compileErr,
 	}
@@ -334,6 +370,13 @@ func (ip *Interp) Call(fn string, args ...Value) (Value, error) {
 	if len(args) != len(f.Params) {
 		return Value{}, fmt.Errorf("interp: %s expects %d args, got %d", fn, len(f.Params), len(args))
 	}
+	// A context that is already dead fails here, before any execution,
+	// so both engines report an identical error at an identical point.
+	if ip.ctx != nil {
+		if err := ip.ctx.Err(); err != nil {
+			return Value{}, fmt.Errorf("interp: run cancelled: %v", err)
+		}
+	}
 	if ip.cfg.Engine == EngineCompiled {
 		if ip.compileErr != nil {
 			return Value{}, fmt.Errorf("interp: compiled engine: %w", ip.compileErr)
@@ -363,8 +406,16 @@ func (ip *Interp) charge(c int64) {
 }
 
 func (ip *Interp) step(pos lang.Pos) error {
-	if ip.sh.steps.Add(1) > ip.maxSteps {
+	n := ip.sh.steps.Add(1)
+	if n > ip.maxSteps {
 		return fmt.Errorf("%s: interp: step limit exceeded (%d)", pos, ip.maxSteps)
+	}
+	// Poll cancellation at the same granularity the compiled engine
+	// does (flushSteps): every stepFlushChunk statements.
+	if ip.ctx != nil && n&(stepFlushChunk-1) == 0 {
+		if err := ip.ctx.Err(); err != nil {
+			return fmt.Errorf("%s: interp: run cancelled: %v", pos, err)
+		}
 	}
 	return nil
 }
@@ -396,6 +447,11 @@ func (ip *Interp) flushSteps(pos lang.Pos) error {
 	ip.stepsLocal = 0
 	if ip.sh.steps.Add(n) > ip.maxSteps {
 		return fmt.Errorf("%s: interp: step limit exceeded (%d)", pos, ip.maxSteps)
+	}
+	if ip.ctx != nil {
+		if err := ip.ctx.Err(); err != nil {
+			return fmt.Errorf("%s: interp: run cancelled: %v", pos, err)
+		}
 	}
 	return nil
 }
@@ -861,15 +917,19 @@ func (ip *Interp) alloc(typeName string) (Value, error) {
 	if decl == nil {
 		return Value{}, fmt.Errorf("interp: new of unknown type %q", typeName)
 	}
-	return ip.allocNode(decl, typeName), nil
+	return ip.allocNode(decl, typeName)
 }
 
 // allocNode builds a fresh record with both addressing views (name
 // maps for the walker and inspectors, positional slices for the
-// compiled engine) over one backing store.
-func (ip *Interp) allocNode(decl *adds.Decl, typeName string) Value {
+// compiled engine) over one backing store. The MaxAllocs budget is
+// checked on the shared counter, so parallel iterations draw from one
+// pool and the failing allocation is deterministic in serial runs.
+func (ip *Interp) allocNode(decl *adds.Decl, typeName string) (Value, error) {
 	ip.charge(ip.cfg.Costs.Alloc)
-	ip.sh.allocs.Add(1)
+	if n := ip.sh.allocs.Add(1); ip.maxAllocs > 0 && n > ip.maxAllocs {
+		return Value{}, fmt.Errorf("interp: allocation limit exceeded (%d)", ip.maxAllocs)
+	}
 	n := &Node{
 		Type: typeName,
 		Data: make(map[string]*Value, len(decl.Data)),
@@ -893,7 +953,32 @@ func (ip *Interp) allocNode(decl *adds.Decl, typeName string) Value {
 		n.parr[i] = make([]*Node, pf.Count)
 		n.Ptrs[pf.Name] = n.parr[i]
 	}
-	return PtrVal(n)
+	return PtrVal(n), nil
+}
+
+// printLine renders print() arguments the one way both engines must
+// (space-separated, newline-terminated) and writes the line under the
+// output lock. The MaxOutputBytes budget is charged on the shared
+// counter before writing, so a run over budget fails without emitting
+// the overflowing line; underlying writer errors are ignored, as they
+// always were — only the byte budget aborts execution.
+func (ip *Interp) printLine(pos lang.Pos, args []Value) error {
+	var b strings.Builder
+	for i, a := range args {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		b.WriteString(a.String())
+	}
+	b.WriteByte('\n')
+	line := b.String()
+	if ip.maxOutput > 0 && ip.sh.outBytes.Add(int64(len(line))) > ip.maxOutput {
+		return fmt.Errorf("%s: interp: output limit exceeded (%d bytes)", pos, ip.maxOutput)
+	}
+	ip.outMu.Lock()
+	io.WriteString(ip.out, line)
+	ip.outMu.Unlock()
+	return nil
 }
 
 func (ip *Interp) evalField(e *lang.FieldExpr, fr *frame, depth int) (Value, error) {
@@ -954,16 +1039,7 @@ func (ip *Interp) evalCall(e *lang.CallExpr, fr *frame, depth int) (Value, error
 		ip.charge(ip.cfg.Costs.RealOp)
 		return RealVal(ip.rand()), nil
 	case "print":
-		ip.outMu.Lock()
-		for i, a := range args {
-			if i > 0 {
-				fmt.Fprint(ip.out, " ")
-			}
-			fmt.Fprint(ip.out, a.String())
-		}
-		fmt.Fprintln(ip.out)
-		ip.outMu.Unlock()
-		return Value{}, nil
+		return Value{}, ip.printLine(e.Pos(), args)
 	}
 	f := ip.prog.Func(e.Func)
 	if f == nil {

@@ -1,0 +1,198 @@
+// Sandbox tests: the per-run budgets (MaxAllocs, MaxOutputBytes) and
+// Ctx cancellation that the serving layer (internal/serve) relies on
+// to run untrusted programs, asserted equivalent across both engines —
+// the new error paths stay inside the "two engines, one oracle"
+// contract. Also the compile-once/share-everywhere contract behind
+// internal/compile's immutability note: one compiled program executed
+// from 16 goroutines under the race detector.
+package interp
+
+import (
+	"bytes"
+	"context"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/lang"
+)
+
+const sandboxSrc = `
+type Cell [X]
+{ int v;
+  Cell *next is uniquely forward along X;
+};
+
+function int alloc_bomb(int n) {
+  var int i = 0;
+  while i < n {
+    var Cell *t = new Cell;
+    t->v = i;
+    i = i + 1;
+  }
+  return i;
+}
+
+function int print_bomb(int n) {
+  var int i = 0;
+  while i < n {
+    print("line", i);
+    i = i + 1;
+  }
+  return i;
+}
+
+function int spin(int n) {
+  var int i = 0;
+  while i < n {
+    i = i + 1;
+  }
+  return i;
+}
+`
+
+// runBoth executes fn under both engines with the same config and
+// returns (error string, output) per engine.
+func runBoth(t *testing.T, cfg Config, fn string, args ...Value) (errs [2]string, outs [2]string) {
+	t.Helper()
+	prog, err := lang.Parse(sandboxSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, eng := range []Engine{EngineWalk, EngineCompiled} {
+		var out bytes.Buffer
+		c := cfg
+		c.Engine = eng
+		c.Output = &out
+		ip := New(prog, c)
+		_, err := ip.Call(fn, args...)
+		if err != nil {
+			errs[i] = err.Error()
+		}
+		outs[i] = out.String()
+	}
+	return errs, outs
+}
+
+// TestMaxAllocsEquivalence: the allocation budget trips at the same
+// deterministic allocation in both engines, with the same message.
+func TestMaxAllocsEquivalence(t *testing.T) {
+	errs, _ := runBoth(t, Config{MaxAllocs: 10}, "alloc_bomb", IntVal(100))
+	for i, e := range errs {
+		if !strings.Contains(e, "allocation limit exceeded (10)") {
+			t.Errorf("engine %d: error %q, want allocation limit", i, e)
+		}
+	}
+	if errs[0] != errs[1] {
+		t.Errorf("engines disagree: walk %q vs compiled %q", errs[0], errs[1])
+	}
+	// Under the budget, the same program runs to completion.
+	errs, _ = runBoth(t, Config{MaxAllocs: 100}, "alloc_bomb", IntVal(100))
+	if errs[0] != "" || errs[1] != "" {
+		t.Errorf("within budget should succeed: %q / %q", errs[0], errs[1])
+	}
+}
+
+// TestMaxOutputBytesEquivalence: the output cap aborts both engines at
+// the same print with the same message, and the bytes emitted before
+// the cap are identical.
+func TestMaxOutputBytesEquivalence(t *testing.T) {
+	errs, outs := runBoth(t, Config{MaxOutputBytes: 20}, "print_bomb", IntVal(100))
+	for i, e := range errs {
+		if !strings.Contains(e, "output limit exceeded (20 bytes)") {
+			t.Errorf("engine %d: error %q, want output limit", i, e)
+		}
+	}
+	if errs[0] != errs[1] {
+		t.Errorf("engines disagree: walk %q vs compiled %q", errs[0], errs[1])
+	}
+	if outs[0] != outs[1] {
+		t.Errorf("partial output differs: walk %q vs compiled %q", outs[0], outs[1])
+	}
+	if len(outs[0]) > 20 {
+		t.Errorf("emitted %d bytes, cap is 20: %q", len(outs[0]), outs[0])
+	}
+}
+
+// TestCtxCancelledAtEntry: a context that is dead before Call starts
+// fails identically in both engines, before any execution.
+func TestCtxCancelledAtEntry(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	errs, outs := runBoth(t, Config{Ctx: ctx}, "spin", IntVal(10))
+	want := "interp: run cancelled: context canceled"
+	for i, e := range errs {
+		if e != want {
+			t.Errorf("engine %d: error %q, want %q", i, e, want)
+		}
+		if outs[i] != "" {
+			t.Errorf("engine %d: produced output %q before cancelled start", i, outs[i])
+		}
+	}
+}
+
+// TestCtxDeadlineMidRun: a deadline expiring mid-run cuts a long loop
+// off in both engines, well before the step limit would.
+func TestCtxDeadlineMidRun(t *testing.T) {
+	prog, err := lang.Parse(sandboxSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, eng := range []Engine{EngineWalk, EngineCompiled} {
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
+		ip := New(prog, Config{Engine: eng, Ctx: ctx})
+		start := time.Now()
+		_, err := ip.Call("spin", IntVal(4_000_000_000))
+		cancel()
+		if err == nil || !strings.Contains(err.Error(), "run cancelled") {
+			t.Fatalf("engine %s: err = %v, want mid-run cancellation", eng, err)
+		}
+		if el := time.Since(start); el > 5*time.Second {
+			t.Errorf("engine %s: cancellation took %v", eng, el)
+		}
+	}
+}
+
+// TestCompiledProgramSharedAcrossGoroutines enforces internal/compile's
+// immutability contract: closure code is built exactly once (via
+// Precompile, the serving layer's cache-insert path) and then executed
+// concurrently from 16 goroutines sharing the same program. Run under
+// -race in CI; results and output must agree across all goroutines.
+func TestCompiledProgramSharedAcrossGoroutines(t *testing.T) {
+	prog, err := lang.Parse(sandboxSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Precompile(prog); err != nil {
+		t.Fatal(err)
+	}
+	before := CompileCount()
+	const goroutines = 16
+	var wg sync.WaitGroup
+	results := make([]int64, goroutines)
+	outputs := make([]string, goroutines)
+	errs := make([]error, goroutines)
+	for i := 0; i < goroutines; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			var out bytes.Buffer
+			ip := New(prog, Config{Engine: EngineCompiled, Output: &out})
+			v, err := ip.Call("print_bomb", IntVal(50))
+			results[i], outputs[i], errs[i] = v.I, out.String(), err
+		}(i)
+	}
+	wg.Wait()
+	for i := 0; i < goroutines; i++ {
+		if errs[i] != nil {
+			t.Fatalf("goroutine %d: %v", i, errs[i])
+		}
+		if results[i] != 50 || outputs[i] != outputs[0] {
+			t.Errorf("goroutine %d: result %d output %q diverged", i, results[i], outputs[i])
+		}
+	}
+	if n := CompileCount() - before; n != 0 {
+		t.Errorf("%d extra compiles during concurrent execution; cache hits must do zero compile work", n)
+	}
+}

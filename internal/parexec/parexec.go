@@ -35,6 +35,7 @@ package parexec
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"io"
 	"runtime"
@@ -51,6 +52,12 @@ type Options struct {
 	// tree-walking oracle). Results are bit-identical either way —
 	// the engines differ only in speed.
 	Interp interp.Engine
+	// Compiled, if non-nil, supplies the program's pinned closure code
+	// (interp.CompileProgram) instead of the per-program code cache —
+	// the serving layer's guarantee that cached programs never
+	// recompile. Must have been built from the same program the Engine
+	// was created with.
+	Compiled *interp.CompiledProgram
 	// PEs is the number of worker goroutines (0 = GOMAXPROCS).
 	PEs int
 	// Sched maps forall iterations to PEs (nil = Dynamic(1),
@@ -63,6 +70,15 @@ type Options struct {
 	Output io.Writer
 	// MaxSteps bounds execution (0 = interpreter default).
 	MaxSteps int64
+	// Ctx, if non-nil, cancels the run (deadline or explicit cancel);
+	// root and workers all poll it. See interp.Config.Ctx.
+	Ctx context.Context
+	// MaxAllocs bounds `new` allocations across the run (0 = unlimited).
+	MaxAllocs int64
+	// MaxOutputBytes bounds total print() bytes (0 = unlimited). The
+	// budget is charged when an iteration prints into its buffer, so it
+	// also caps memory held by the deterministic output merge.
+	MaxOutputBytes int64
 }
 
 // Engine runs programs with a goroutine-backed worker pool. An Engine
@@ -108,14 +124,23 @@ func (e *Engine) Run(fn string, args ...interp.Value) (interp.Value, interp.Stat
 	for i := range rs.tasks {
 		rs.tasks[i] = make(chan task)
 	}
-	root := interp.New(e.prog, interp.Config{
-		Engine:   e.opt.Interp,
-		Mode:     interp.Real,
-		Seed:     e.opt.Seed,
-		Output:   out,
-		MaxSteps: e.opt.MaxSteps,
-		Forall:   rs.forall,
-	})
+	icfg := interp.Config{
+		Engine:         e.opt.Interp,
+		Mode:           interp.Real,
+		Seed:           e.opt.Seed,
+		Output:         out,
+		MaxSteps:       e.opt.MaxSteps,
+		Ctx:            e.opt.Ctx,
+		MaxAllocs:      e.opt.MaxAllocs,
+		MaxOutputBytes: e.opt.MaxOutputBytes,
+		Forall:         rs.forall,
+	}
+	var root *interp.Interp
+	if e.opt.Compiled != nil {
+		root = interp.NewCompiled(e.opt.Compiled, icfg)
+	} else {
+		root = interp.New(e.prog, icfg)
+	}
 
 	// One channel per worker, so PE p's assignment stream always runs
 	// on worker p: two streams can never collapse onto one goroutine

@@ -1,0 +1,159 @@
+// The compiled-program cache: sharded, content-hash-keyed, LRU per
+// shard, singleflight on cold misses. Keys are the SHA-256 of the
+// request source, so byte-identical programs share one checked AST and
+// one set of compiled closures regardless of which client sent them;
+// the shard is picked from the hash's first byte, so hot keys spread
+// across locks instead of serializing on one.
+package serve
+
+import (
+	"context"
+	"crypto/sha256"
+	"sync"
+
+	"repro/internal/interp"
+)
+
+// centry is one cache slot. ready is closed by the goroutine that won
+// the insert race once cp/err are final; every other goroutine —
+// concurrent cold requests for the same source included — blocks on
+// ready instead of compiling again (the singleflight). The entry owns
+// a pinned interp.CompiledProgram, not just the AST: interp's own
+// per-program code cache is bounded and evicts arbitrarily under
+// churn, so holding the handle is what guarantees a hit here never
+// recompiles. The prev/next links are the shard's intrusive LRU list.
+type centry struct {
+	key   [32]byte
+	ready chan struct{}
+	cp    *interp.CompiledProgram
+	err   error
+
+	prev, next *centry
+}
+
+// cacheShard is one lock's worth of the cache: a key→entry map plus an
+// LRU list threaded through the entries (front = most recent). The
+// counters are guarded by mu and aggregated by cacheStats.
+type cacheShard struct {
+	mu      sync.Mutex
+	entries map[[32]byte]*centry
+	// head/tail of the LRU list (head = most recently used).
+	head, tail *centry
+
+	hits, misses, evictions, compiles int64
+}
+
+func (sh *cacheShard) unlink(e *centry) {
+	if e.prev != nil {
+		e.prev.next = e.next
+	} else {
+		sh.head = e.next
+	}
+	if e.next != nil {
+		e.next.prev = e.prev
+	} else {
+		sh.tail = e.prev
+	}
+	e.prev, e.next = nil, nil
+}
+
+func (sh *cacheShard) pushFront(e *centry) {
+	e.prev, e.next = nil, sh.head
+	if sh.head != nil {
+		sh.head.prev = e
+	}
+	sh.head = e
+	if sh.tail == nil {
+		sh.tail = e
+	}
+}
+
+type cache struct {
+	shards   []*cacheShard
+	perShard int
+}
+
+func newCache(entries, shards int) *cache {
+	perShard := (entries + shards - 1) / shards
+	if perShard < 1 {
+		perShard = 1
+	}
+	c := &cache{shards: make([]*cacheShard, shards), perShard: perShard}
+	for i := range c.shards {
+		c.shards[i] = &cacheShard{entries: make(map[[32]byte]*centry)}
+	}
+	return c
+}
+
+// get returns the pinned compiled program for source, building it
+// with build on a cold miss. cached reports whether the program was
+// already resident (including joining an in-flight build — the caller
+// did no compile work either way). Build errors are cached too: a
+// client retrying a broken program in a loop stays on the hot path.
+func (c *cache) get(ctx context.Context, source string, build func() (*interp.CompiledProgram, error)) (cp *interp.CompiledProgram, cached bool, err error) {
+	key := sha256.Sum256([]byte(source))
+	sh := c.shards[int(key[0])%len(c.shards)]
+
+	sh.mu.Lock()
+	if e, ok := sh.entries[key]; ok {
+		sh.unlink(e)
+		sh.pushFront(e)
+		sh.hits++
+		sh.mu.Unlock()
+		select {
+		case <-e.ready:
+			return e.cp, true, e.err
+		case <-ctx.Done():
+			return nil, true, ctx.Err()
+		}
+	}
+	e := &centry{key: key, ready: make(chan struct{})}
+	sh.entries[key] = e
+	sh.pushFront(e)
+	sh.misses++
+	sh.compiles++
+	// Evict beyond capacity, least-recently-used first. The entry just
+	// inserted is at the front, so it can never evict itself; evicting
+	// another in-flight entry is safe — its waiters hold the pointer
+	// and its builder closes ready regardless of cache membership.
+	for len(sh.entries) > c.perShard {
+		old := sh.tail
+		sh.unlink(old)
+		delete(sh.entries, old.key)
+		sh.evictions++
+	}
+	sh.mu.Unlock()
+
+	e.cp, e.err = build()
+	close(e.ready)
+	return e.cp, false, e.err
+}
+
+// CacheStats is the cache section of Stats.
+type CacheStats struct {
+	Hits      int64 `json:"hits"`
+	Misses    int64 `json:"misses"`
+	Evictions int64 `json:"evictions"`
+	// Compiles counts front-end builds (parse + check + closure
+	// codegen). The hot-path contract is that it tracks misses, never
+	// hits: TestHotPathZeroCompileWork pins it together with
+	// interp.CompileCount.
+	Compiles int64 `json:"compiles"`
+	Entries  int   `json:"entries"`
+	Shards   int   `json:"shards"`
+	Capacity int   `json:"capacity"`
+}
+
+func (c *cache) stats() CacheStats {
+	st := CacheStats{Shards: len(c.shards), Capacity: c.perShard * len(c.shards)}
+	for _, sh := range c.shards {
+		sh.mu.Lock()
+		st.Hits += sh.hits
+		st.Misses += sh.misses
+		st.Evictions += sh.evictions
+		st.Compiles += sh.compiles
+		st.Entries += len(sh.entries)
+		sh.mu.Unlock()
+	}
+	return st
+}

@@ -1,0 +1,81 @@
+// The HTTP surface of the service, served by cmd/pslserved:
+//
+//	POST /run     — execute a Request (JSON body), returns a Response
+//	GET  /stats   — the Stats snapshot
+//	GET  /healthz — 200 while serving, 503 once draining
+//
+// Error mapping: malformed requests are 400, admission rejections 503
+// with Retry-After (back-pressure the load generator understands), and
+// everything that actually executed is 200 — including failed programs,
+// whose Response carries ok=false and the error string. A failed
+// program is a successful service interaction.
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"net/http"
+)
+
+// Handler returns the service's HTTP mux.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/run", s.handleRun)
+	mux.HandleFunc("/stats", s.handleStats)
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v)
+}
+
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeJSON(w, http.StatusMethodNotAllowed, errorBody{Error: "POST only"})
+		return
+	}
+	// Bound the body before the decoder sees it. JSON escaping expands
+	// a source byte to at most 6 bytes (\uXXXX), so 6× the source cap
+	// plus envelope slack admits every request Run itself would accept
+	// while still hard-bounding memory.
+	r.Body = http.MaxBytesReader(w, r.Body, 6*int64(s.cfg.MaxSourceBytes)+64*1024)
+	var req Request
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			writeJSON(w, http.StatusRequestEntityTooLarge, errorBody{Error: err.Error()})
+			return
+		}
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: "bad request body: " + err.Error()})
+		return
+	}
+	resp, err := s.Run(r.Context(), req)
+	switch {
+	case err == nil:
+		writeJSON(w, http.StatusOK, resp)
+	case err == ErrBusy || err == ErrDraining:
+		w.Header().Set("Retry-After", "1")
+		writeJSON(w, http.StatusServiceUnavailable, errorBody{Error: err.Error()})
+	default:
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: err.Error()})
+	}
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.Stats())
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}

@@ -1,0 +1,99 @@
+// The admission-controlled worker pool: a fixed set of worker
+// goroutines behind a bounded queue. Admission is non-blocking — a
+// request that finds the queue full is rejected immediately (ErrBusy)
+// rather than buffered, which keeps latency bounded under overload
+// and makes the rejection rate a first-class stat. close() drains:
+// everything admitted runs to completion, then the workers exit.
+package serve
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+)
+
+// job is one admitted request. The worker runs fn — unless ctx died
+// while the job sat in the queue, in which case it sets skipped — and
+// closes done either way; the submitter blocks on done.
+type job struct {
+	ctx     context.Context
+	fn      func()
+	done    chan struct{}
+	skipped bool
+}
+
+type pool struct {
+	mu      sync.Mutex // guards closed + the jobs send in submit
+	closed  bool
+	jobs    chan *job
+	wg      sync.WaitGroup
+	workers int
+	running atomic.Int64
+}
+
+func newPool(workers, depth int) *pool {
+	p := &pool{jobs: make(chan *job, depth), workers: workers}
+	p.wg.Add(workers)
+	for i := 0; i < workers; i++ {
+		go p.worker()
+	}
+	return p
+}
+
+func (p *pool) worker() {
+	defer p.wg.Done()
+	for j := range p.jobs {
+		if j.ctx != nil && j.ctx.Err() != nil {
+			j.skipped = true
+		} else {
+			p.running.Add(1)
+			j.fn()
+			p.running.Add(-1)
+		}
+		close(j.done)
+	}
+}
+
+// submit admits j or rejects it without blocking.
+func (p *pool) submit(j *job) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		return ErrDraining
+	}
+	select {
+	case p.jobs <- j:
+		return nil
+	default:
+		return ErrBusy
+	}
+}
+
+// close stops admission, lets queued and running jobs finish, and
+// waits for the workers to exit.
+func (p *pool) close() {
+	p.mu.Lock()
+	if !p.closed {
+		p.closed = true
+		close(p.jobs)
+	}
+	p.mu.Unlock()
+	p.wg.Wait()
+}
+
+// QueueStats is the pool section of Stats.
+type QueueStats struct {
+	Depth    int `json:"depth"` // jobs waiting (snapshot)
+	Capacity int `json:"capacity"`
+	Running  int `json:"running"` // jobs executing (snapshot)
+	Workers  int `json:"workers"`
+}
+
+func (p *pool) stats() QueueStats {
+	return QueueStats{
+		Depth:    len(p.jobs),
+		Capacity: cap(p.jobs),
+		Running:  int(p.running.Load()),
+		Workers:  p.workers,
+	}
+}

@@ -1,0 +1,416 @@
+// Package serve is the PSL execution service: the long-lived,
+// concurrent counterpart of the one-shot cmd pipeline. Where every
+// prior layer of this repository runs one program per process
+// invocation — paying lex/parse/check/compile on every run — serve
+// amortizes the whole front end across requests and makes *throughput
+// under load* the performance story:
+//
+//   - a sharded, content-hash-keyed LRU cache of checked programs
+//     (cache.go) whose compiled closure code is pre-built at insert
+//     (interp.Precompile), so a repeat request skips lexing, parsing,
+//     checking, slot resolution, and codegen entirely — it binds a
+//     frame and runs. Concurrent cold misses for one source are
+//     singleflighted: one build, everyone waits on it.
+//   - per-request sandboxing (execute below): wall-clock deadline via
+//     context cancellation plus step, allocation, and output-byte
+//     budgets, enforced inside both execution engines so the
+//     tree-walking oracle remains a valid differential check for the
+//     served configuration too.
+//   - an admission-controlled worker pool (pool.go): a bounded queue
+//     in front of a fixed worker set, rejecting (rather than
+//     buffering) load beyond the queue, with graceful drain on Close.
+//   - a stats surface (stats.go, GET /stats): cache hit/miss/eviction
+//     and compile counts, queue depth, and a request-latency
+//     histogram — the numbers cmd/loadgen turns into BENCH_serve.json.
+//
+// cmd/pslserved exposes a Server over HTTP (http.go); cmd/loadgen
+// drives it closed-loop (loadgen.go). DESIGN.md's R4 row records the
+// resulting throughput trajectory.
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/interp"
+	"repro/internal/lang"
+	"repro/internal/parexec"
+)
+
+// Config sizes a Server. Zero values select the documented defaults.
+type Config struct {
+	// Workers is the number of concurrently executing requests
+	// (0 = GOMAXPROCS).
+	Workers int
+	// QueueDepth bounds the admission queue in front of the workers;
+	// a request arriving with the queue full is rejected with ErrBusy
+	// (0 = 4×Workers).
+	QueueDepth int
+	// CacheEntries is the compiled-program cache capacity across all
+	// shards (0 = 128 entries). Capacity is split evenly per shard and
+	// rounded up, so the effective total is
+	// ceil(CacheEntries/CacheShards)×CacheShards — Stats reports the
+	// effective number.
+	CacheEntries int
+	// CacheShards is the shard count of the program cache (0 = 8).
+	CacheShards int
+	// MaxPEs caps the worker-pool size a parallel request may ask for
+	// (0 = 32); requests beyond it are rejected as malformed. Without
+	// a cap a single request could spawn unbounded goroutines, which
+	// no other sandbox budget bounds.
+	MaxPEs int
+	// DefaultTimeout is the per-request wall-clock budget when the
+	// request does not name one (0 = 5s); MaxTimeout caps what a
+	// request may ask for (0 = 30s).
+	DefaultTimeout time.Duration
+	MaxTimeout     time.Duration
+	// MaxSourceBytes bounds request source size (0 = 1 MiB).
+	MaxSourceBytes int
+	// MaxSteps / MaxAllocs / MaxOutputBytes are the per-request
+	// sandbox budgets handed to the interpreter
+	// (0 = 50M steps / 1M allocations / 1 MiB of print output).
+	MaxSteps       int64
+	MaxAllocs      int64
+	MaxOutputBytes int64
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 4 * c.Workers
+	}
+	if c.CacheEntries <= 0 {
+		c.CacheEntries = 128
+	}
+	if c.CacheShards <= 0 {
+		c.CacheShards = 8
+	}
+	if c.MaxPEs <= 0 {
+		c.MaxPEs = 32
+	}
+	if c.DefaultTimeout <= 0 {
+		c.DefaultTimeout = 5 * time.Second
+	}
+	if c.MaxTimeout <= 0 {
+		c.MaxTimeout = 30 * time.Second
+	}
+	if c.MaxSourceBytes <= 0 {
+		c.MaxSourceBytes = 1 << 20
+	}
+	if c.MaxSteps <= 0 {
+		c.MaxSteps = 50_000_000
+	}
+	if c.MaxAllocs <= 0 {
+		c.MaxAllocs = 1_000_000
+	}
+	if c.MaxOutputBytes <= 0 {
+		c.MaxOutputBytes = 1 << 20
+	}
+	return c
+}
+
+// Request is one execution request (the POST /run body).
+type Request struct {
+	// Source is the PSL program text; its content hash is the cache
+	// key, so byte-identical sources share one compiled program.
+	Source string `json:"source"`
+	// Fn is the function to call (default "main").
+	Fn string `json:"fn,omitempty"`
+	// Args are the call arguments; integral JSON numbers become PSL
+	// ints, fractional ones reals.
+	Args []json.Number `json:"args,omitempty"`
+	// Engine selects the interpreter engine ("compiled", the default,
+	// or "walk" — the differential oracle).
+	Engine string `json:"engine,omitempty"`
+	// Parallel runs forall regions on the parexec worker pool with PEs
+	// workers (0 = GOMAXPROCS) under the Sched policy ("block",
+	// "cyclic", or "dynamic" with Chunk; default dynamic(1)).
+	Parallel bool   `json:"parallel,omitempty"`
+	PEs      int    `json:"pes,omitempty"`
+	Sched    string `json:"sched,omitempty"`
+	Chunk    int    `json:"chunk,omitempty"`
+	// Seed feeds the deterministic rand() builtin.
+	Seed uint64 `json:"seed,omitempty"`
+	// TimeoutMS requests a specific wall-clock budget instead of the
+	// server default — smaller or larger, capped at Config.MaxTimeout.
+	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+}
+
+// Response reports one execution (the POST /run reply).
+type Response struct {
+	OK bool `json:"ok"`
+	// Result is the returned value rendered like print() would
+	// ("0" for procedures); Kind names its type.
+	Result string `json:"result,omitempty"`
+	Kind   string `json:"kind,omitempty"`
+	// Output is the program's print() stream.
+	Output string `json:"output,omitempty"`
+	Error  string `json:"error,omitempty"`
+	// Cached reports whether the program came from the compiled cache
+	// (true on every hot-path request).
+	Cached    bool  `json:"cached"`
+	Steps     int64 `json:"steps"`
+	Allocs    int64 `json:"allocs"`
+	ElapsedUS int64 `json:"elapsed_us"`
+}
+
+// Admission errors (mapped to HTTP 503 by the handler).
+var (
+	// ErrBusy rejects a request that found the admission queue full.
+	ErrBusy = errors.New("serve: queue full")
+	// ErrDraining rejects requests arriving after Close began.
+	ErrDraining = errors.New("serve: draining")
+)
+
+// RequestError marks a malformed request (mapped to HTTP 400).
+type RequestError struct{ Msg string }
+
+func (e *RequestError) Error() string { return e.Msg }
+
+func badRequest(format string, args ...any) error {
+	return &RequestError{Msg: fmt.Sprintf(format, args...)}
+}
+
+// Server is the execution service. Create with New, expose over HTTP
+// with Handler, retire with Close (drains in-flight requests).
+type Server struct {
+	cfg   Config
+	cache *cache
+	pool  *pool
+
+	draining  atomic.Bool
+	requests  atomic.Int64 // every Run call
+	invalid   atomic.Int64 // rejected before admission (malformed)
+	rejected  atomic.Int64 // admission rejections (queue full / draining)
+	abandoned atomic.Int64 // admitted but cancelled by the client while queued
+	errors    atomic.Int64 // executed requests that failed
+	latency   *histogram   // executed requests only
+}
+
+// New builds a Server from cfg (zero value = all defaults).
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	return &Server{
+		cfg:     cfg,
+		cache:   newCache(cfg.CacheEntries, cfg.CacheShards),
+		pool:    newPool(cfg.Workers, cfg.QueueDepth),
+		latency: newHistogram(),
+	}
+}
+
+// Close stops admission and drains: queued and running requests finish,
+// then the workers exit. Subsequent Run calls return ErrDraining.
+func (s *Server) Close() {
+	s.draining.Store(true)
+	s.pool.close()
+}
+
+// Run validates, admits, and executes one request. The returned error
+// is nil for every request that reached execution (Response.OK
+// distinguishes success); non-nil errors are admission rejections
+// (ErrBusy, ErrDraining) or *RequestError for malformed requests.
+func (s *Server) Run(ctx context.Context, req Request) (Response, error) {
+	s.requests.Add(1)
+	if s.draining.Load() {
+		s.rejected.Add(1)
+		return Response{}, ErrDraining
+	}
+	if req.Source == "" {
+		s.invalid.Add(1)
+		return Response{}, badRequest("empty source")
+	}
+	if len(req.Source) > s.cfg.MaxSourceBytes {
+		s.invalid.Add(1)
+		return Response{}, badRequest("source is %d bytes, cap is %d", len(req.Source), s.cfg.MaxSourceBytes)
+	}
+	eng, err := interp.ParseEngine(req.Engine)
+	if err != nil {
+		s.invalid.Add(1)
+		return Response{}, badRequest("%v", err)
+	}
+	var pol parexec.Policy
+	if req.Parallel {
+		if req.PEs < 0 || req.PEs > s.cfg.MaxPEs {
+			s.invalid.Add(1)
+			return Response{}, badRequest("pes %d out of range [0, %d]", req.PEs, s.cfg.MaxPEs)
+		}
+		if req.Sched != "" {
+			if pol, err = parexec.ParsePolicy(req.Sched, req.Chunk); err != nil {
+				s.invalid.Add(1)
+				return Response{}, badRequest("%v", err)
+			}
+		}
+	}
+	args, err := convertArgs(req.Args)
+	if err != nil {
+		s.invalid.Add(1)
+		return Response{}, err
+	}
+
+	var resp Response
+	j := &job{
+		ctx:  ctx,
+		done: make(chan struct{}),
+		fn:   func() { resp = s.execute(ctx, req, eng, pol, args) },
+	}
+	if err := s.pool.submit(j); err != nil {
+		s.rejected.Add(1)
+		return Response{}, err
+	}
+	<-j.done
+	if j.skipped {
+		// The client abandoned the request while it was queued; nothing
+		// executed, so this is neither an execution error nor a latency
+		// sample — it gets its own counter.
+		s.abandoned.Add(1)
+		return Response{Error: fmt.Sprintf("serve: cancelled while queued: %v", ctx.Err())}, nil
+	}
+	return resp, nil
+}
+
+// execute runs one admitted request on the calling worker: cache
+// lookup (compiling at most once per distinct source), then a
+// sandboxed run — deadline, step, allocation, and output budgets all
+// active in whichever engine and mode the request selected.
+func (s *Server) execute(ctx context.Context, req Request, eng interp.Engine, pol parexec.Policy, args []interp.Value) Response {
+	start := time.Now()
+	done := func(resp Response) Response {
+		el := time.Since(start)
+		resp.ElapsedUS = el.Microseconds()
+		s.latency.observe(el)
+		if !resp.OK {
+			s.errors.Add(1)
+		}
+		return resp
+	}
+
+	// The wall-clock budget starts before the cache lookup, so it also
+	// bounds time spent waiting on another request's in-flight build of
+	// the same source. The build itself (parse/check/codegen) is not
+	// preemptible, but its input is bounded by MaxSourceBytes.
+	timeout := s.cfg.DefaultTimeout
+	if req.TimeoutMS > 0 {
+		if d := time.Duration(req.TimeoutMS) * time.Millisecond; d < s.cfg.MaxTimeout {
+			timeout = d
+		} else {
+			timeout = s.cfg.MaxTimeout
+		}
+	}
+	rctx, cancel := context.WithTimeout(ctx, timeout)
+	defer cancel()
+
+	cp, cached, err := s.cache.get(rctx, req.Source, func() (*interp.CompiledProgram, error) {
+		p, err := lang.Parse(req.Source)
+		if err != nil {
+			return nil, err
+		}
+		// Build and pin the closure code now, while we hold the cold
+		// path: the entry owns its code, so hits never recompile even
+		// when interp's bounded code cache churns under cold traffic.
+		pinned := interp.CompileProgram(p)
+		if pinned.Err() != nil {
+			return nil, pinned.Err()
+		}
+		return pinned, nil
+	})
+	if err != nil {
+		// Distinguish "this request's deadline expired while waiting on
+		// another request's in-flight build" from a genuine front-end
+		// failure — the program didn't fail to compile.
+		if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
+			return done(Response{Cached: cached,
+				Error: fmt.Sprintf("serve: cancelled while waiting for compile: %v", err)})
+		}
+		return done(Response{Cached: cached, Error: fmt.Sprintf("compile: %v", err)})
+	}
+
+	fn := req.Fn
+	if fn == "" {
+		fn = "main"
+	}
+	var out bytes.Buffer
+	var v interp.Value
+	var st interp.Stats
+	var rerr error
+	if req.Parallel {
+		v, st, rerr = parexec.Run(cp.Program(), parexec.Options{
+			Interp:         eng,
+			Compiled:       cp,
+			PEs:            req.PEs,
+			Sched:          pol,
+			Seed:           req.Seed,
+			Output:         &out,
+			MaxSteps:       s.cfg.MaxSteps,
+			Ctx:            rctx,
+			MaxAllocs:      s.cfg.MaxAllocs,
+			MaxOutputBytes: s.cfg.MaxOutputBytes,
+		}, fn, args...)
+	} else {
+		v, st, rerr = interp.RunCompiled(cp, interp.Config{
+			Engine:         eng,
+			Seed:           req.Seed,
+			Output:         &out,
+			MaxSteps:       s.cfg.MaxSteps,
+			Ctx:            rctx,
+			MaxAllocs:      s.cfg.MaxAllocs,
+			MaxOutputBytes: s.cfg.MaxOutputBytes,
+		}, fn, args...)
+	}
+
+	resp := Response{
+		OK:     rerr == nil,
+		Cached: cached,
+		Output: out.String(),
+		Steps:  st.Steps,
+		Allocs: st.Allocations,
+	}
+	if rerr != nil {
+		resp.Error = rerr.Error()
+	} else {
+		resp.Result = v.String()
+		resp.Kind = kindName(v)
+	}
+	return done(resp)
+}
+
+// convertArgs maps JSON numbers onto PSL values: integral → int,
+// fractional → real.
+func convertArgs(nums []json.Number) ([]interp.Value, error) {
+	args := make([]interp.Value, len(nums))
+	for i, n := range nums {
+		if iv, err := n.Int64(); err == nil {
+			args[i] = interp.IntVal(iv)
+			continue
+		}
+		fv, err := n.Float64()
+		if err != nil {
+			return nil, badRequest("arg %d: %q is not a number", i, string(n))
+		}
+		args[i] = interp.RealVal(fv)
+	}
+	return args, nil
+}
+
+func kindName(v interp.Value) string {
+	switch v.Kind {
+	case interp.KindInt:
+		return "int"
+	case interp.KindReal:
+		return "real"
+	case interp.KindBool:
+		return "bool"
+	case interp.KindString:
+		return "string"
+	case interp.KindPtr:
+		return "ptr"
+	}
+	return "?"
+}

@@ -1,0 +1,523 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/interp"
+	"repro/internal/lang"
+)
+
+const addSrc = `
+function int add(int a, int b) {
+  return a + b;
+}
+
+function int main() {
+  print("sum", add(2, 3));
+  return add(40, 2);
+}
+`
+
+const spinSrc = `
+function int spin(int n) {
+  var int i = 0;
+  while i < n {
+    i = i + 1;
+  }
+  return i;
+}
+`
+
+const allocSrc = `
+type Cell [X]
+{ int v;
+  Cell *next is uniquely forward along X;
+};
+
+function int boom(int n) {
+  var int i = 0;
+  while i < n {
+    var Cell *t = new Cell;
+    t->v = i;
+    i = i + 1;
+  }
+  return i;
+}
+`
+
+func newTestServer(t *testing.T, cfg Config) *Server {
+	t.Helper()
+	s := New(cfg)
+	t.Cleanup(s.Close)
+	return s
+}
+
+func mustRun(t *testing.T, s *Server, req Request) Response {
+	t.Helper()
+	resp, err := s.Run(context.Background(), req)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	return resp
+}
+
+func TestRunBasic(t *testing.T) {
+	s := newTestServer(t, Config{})
+	resp := mustRun(t, s, Request{Source: addSrc})
+	if !resp.OK || resp.Result != "42" || resp.Kind != "int" {
+		t.Fatalf("resp = %+v, want ok result 42", resp)
+	}
+	if resp.Output != "sum 5\n" {
+		t.Errorf("output %q", resp.Output)
+	}
+	if resp.Cached {
+		t.Errorf("first request reported cached")
+	}
+	resp = mustRun(t, s, Request{Source: addSrc, Fn: "add", Args: []json.Number{"20", "22"}})
+	if !resp.OK || resp.Result != "42" {
+		t.Fatalf("add(20,22) = %+v", resp)
+	}
+	if !resp.Cached {
+		t.Errorf("second request for the same source should hit the cache")
+	}
+	// Walk engine answers identically (the served differential check).
+	w := mustRun(t, s, Request{Source: addSrc, Engine: "walk"})
+	if w.Result != "42" || w.Output != "sum 5\n" {
+		t.Errorf("walk engine diverged: %+v", w)
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	s := newTestServer(t, Config{})
+	cases := []Request{
+		{},                                  // empty source
+		{Source: addSrc, Engine: "quantum"}, // unknown engine
+		{Source: addSrc, Parallel: true, Sched: "psychic"},
+		{Source: addSrc, Args: []json.Number{json.Number("nope")}},
+	}
+	for i, req := range cases {
+		_, err := s.Run(context.Background(), req)
+		if _, ok := err.(*RequestError); !ok {
+			t.Errorf("case %d: err = %v, want *RequestError", i, err)
+		}
+	}
+	if st := s.Stats(); st.Invalid != int64(len(cases)) {
+		t.Errorf("Invalid = %d, want %d", st.Invalid, len(cases))
+	}
+	// A program that fails to parse is an executed (error) response,
+	// not a request error — and the failure is cached.
+	resp := mustRun(t, s, Request{Source: "function int main( {"})
+	if resp.OK || !strings.Contains(resp.Error, "compile:") {
+		t.Errorf("parse failure resp = %+v", resp)
+	}
+	resp = mustRun(t, s, Request{Source: "function int main( {"})
+	if !resp.Cached {
+		t.Errorf("repeated broken program should hit the negative cache")
+	}
+}
+
+// TestCacheHitMissEviction pins the cache accounting: distinct sources
+// miss, repeats hit, and capacity overflow evicts the LRU entry so a
+// later repeat misses again.
+func TestCacheHitMissEviction(t *testing.T) {
+	s := newTestServer(t, Config{CacheEntries: 2, CacheShards: 1})
+	srcs := make([]string, 3)
+	for i := range srcs {
+		srcs[i] = fmt.Sprintf("%s\n// variant %d\n", addSrc, i)
+	}
+	mustRun(t, s, Request{Source: srcs[0]}) // miss
+	mustRun(t, s, Request{Source: srcs[0]}) // hit
+	mustRun(t, s, Request{Source: srcs[1]}) // miss (cache full now)
+	mustRun(t, s, Request{Source: srcs[2]}) // miss, evicts srcs[0]
+	st := s.Stats().Cache
+	if st.Hits != 1 || st.Misses != 3 || st.Evictions != 1 || st.Compiles != 3 {
+		t.Fatalf("after fill: %+v", st)
+	}
+	resp := mustRun(t, s, Request{Source: srcs[0]}) // miss again: was evicted
+	if resp.Cached {
+		t.Errorf("evicted program reported cached")
+	}
+	st = s.Stats().Cache
+	if st.Misses != 4 || st.Evictions != 2 || st.Entries != 2 {
+		t.Fatalf("after re-touch: %+v", st)
+	}
+}
+
+// TestSingleflight: N concurrent cold requests for one source compile
+// once — one miss, N-1 hits that wait on the in-flight build.
+func TestSingleflight(t *testing.T) {
+	s := newTestServer(t, Config{Workers: 8, QueueDepth: 64})
+	src := addSrc + "\n// singleflight variant\n"
+	before := interp.CompileCount()
+	const n = 32
+	var wg sync.WaitGroup
+	errs := make([]error, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			resp, err := s.Run(context.Background(), Request{Source: src})
+			if err == nil && !resp.OK {
+				err = fmt.Errorf("resp not ok: %s", resp.Error)
+			}
+			errs[i] = err
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("request %d: %v", i, err)
+		}
+	}
+	st := s.Stats().Cache
+	if st.Misses != 1 || st.Compiles != 1 || st.Hits != n-1 {
+		t.Fatalf("singleflight accounting: %+v", st)
+	}
+	if d := interp.CompileCount() - before; d != 1 {
+		t.Errorf("closure code built %d times, want exactly 1", d)
+	}
+}
+
+// TestCorpusCachedVsFresh: across the full testdata corpus, a cache-hit
+// run is byte-identical (result, kind, output) to the cold run and to a
+// direct interpreter reference run.
+func TestCorpusCachedVsFresh(t *testing.T) {
+	corpus, err := LoadCorpus(filepath.Join("..", "..", "testdata"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := newTestServer(t, Config{})
+	for _, p := range corpus {
+		cold := mustRun(t, s, Request{Source: p.Source})
+		hot := mustRun(t, s, Request{Source: p.Source})
+		if !cold.OK || !hot.OK {
+			t.Fatalf("%s: cold/hot errors %q / %q", p.Name, cold.Error, hot.Error)
+		}
+		if cold.Cached || !hot.Cached {
+			t.Errorf("%s: cached flags cold=%v hot=%v", p.Name, cold.Cached, hot.Cached)
+		}
+		if cold.Result != hot.Result || cold.Kind != hot.Kind || cold.Output != hot.Output {
+			t.Errorf("%s: cached run diverged from fresh: %+v vs %+v", p.Name, cold, hot)
+		}
+		// Reference: a direct interpreter run outside the service.
+		prog, err := lang.Parse(p.Source)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var out bytes.Buffer
+		v, _, err := interp.Run(prog, interp.Config{Output: &out}, "main")
+		if err != nil {
+			t.Fatalf("%s reference: %v", p.Name, err)
+		}
+		if hot.Result != v.String() || hot.Output != out.String() {
+			t.Errorf("%s: served run diverged from direct run", p.Name)
+		}
+	}
+}
+
+// TestHotPathZeroCompileWork is the acceptance guard: once a program
+// is resident, further requests do zero front-end work — no parses, no
+// checks, no closure builds — observable as flat compile counters at
+// both the serve and interp layers.
+func TestHotPathZeroCompileWork(t *testing.T) {
+	s := newTestServer(t, Config{})
+	mustRun(t, s, Request{Source: addSrc}) // warm
+	st0 := s.Stats().Cache
+	c0 := interp.CompileCount()
+	const hot = 50
+	for i := 0; i < hot; i++ {
+		resp := mustRun(t, s, Request{Source: addSrc})
+		if !resp.OK || !resp.Cached {
+			t.Fatalf("hot request %d: %+v", i, resp)
+		}
+	}
+	st := s.Stats().Cache
+	if st.Compiles != st0.Compiles || st.Misses != st0.Misses {
+		t.Errorf("hot requests compiled: %+v vs %+v", st, st0)
+	}
+	if st.Hits != st0.Hits+hot {
+		t.Errorf("hits %d, want %d", st.Hits, st0.Hits+hot)
+	}
+	if d := interp.CompileCount() - c0; d != 0 {
+		t.Errorf("closure code rebuilt %d times on the hot path", d)
+	}
+}
+
+// TestHotPathSurvivesCodeCacheChurn: serve-cache entries pin their
+// closure code, so a hit does zero compile work even after interp's
+// bounded per-program code cache has been churned past its limit by
+// cold traffic (which evicts arbitrary entries, potentially including
+// programs the serve LRU still holds).
+func TestHotPathSurvivesCodeCacheChurn(t *testing.T) {
+	s := newTestServer(t, Config{})
+	if resp := mustRun(t, s, Request{Source: addSrc}); !resp.OK {
+		t.Fatalf("warm: %+v", resp)
+	}
+	// Churn: compile 600 distinct throwaway programs straight through
+	// interp's code cache (limit 512), guaranteeing eviction pressure.
+	for i := 0; i < 600; i++ {
+		prog, err := lang.Parse(fmt.Sprintf("function int main() { return %d; }", i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := interp.Precompile(prog); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c0 := interp.CompileCount()
+	resp := mustRun(t, s, Request{Source: addSrc})
+	if !resp.OK || !resp.Cached || resp.Result != "42" {
+		t.Fatalf("post-churn hit: %+v", resp)
+	}
+	if d := interp.CompileCount() - c0; d != 0 {
+		t.Errorf("cache hit recompiled %d times after code-cache churn", d)
+	}
+}
+
+// TestParallelPEsCap: a parallel request cannot ask for an unbounded
+// worker-pool size — the one resource no other budget bounds.
+func TestParallelPEsCap(t *testing.T) {
+	s := newTestServer(t, Config{})
+	_, err := s.Run(context.Background(), Request{Source: addSrc, Parallel: true, PEs: 1 << 30})
+	if _, ok := err.(*RequestError); !ok {
+		t.Fatalf("err = %v, want *RequestError", err)
+	}
+	resp := mustRun(t, s, Request{Source: addSrc, Parallel: true, PEs: 4, Sched: "cyclic"})
+	if !resp.OK || resp.Result != "42" {
+		t.Fatalf("parallel run: %+v", resp)
+	}
+}
+
+// TestSandbox covers the per-request kill switches: wall-clock
+// deadline, step budget, allocation budget, output budget.
+func TestSandbox(t *testing.T) {
+	t.Run("deadline", func(t *testing.T) {
+		s := newTestServer(t, Config{MaxSteps: 1 << 40})
+		resp := mustRun(t, s, Request{Source: spinSrc, Fn: "spin",
+			Args: []json.Number{"4000000000"}, TimeoutMS: 50})
+		if resp.OK || !strings.Contains(resp.Error, "run cancelled") {
+			t.Errorf("deadline resp: %+v", resp)
+		}
+	})
+	t.Run("steps", func(t *testing.T) {
+		s := newTestServer(t, Config{MaxSteps: 1000})
+		resp := mustRun(t, s, Request{Source: spinSrc, Fn: "spin",
+			Args: []json.Number{"1000000"}})
+		if resp.OK || !strings.Contains(resp.Error, "step limit exceeded") {
+			t.Errorf("step resp: %+v", resp)
+		}
+	})
+	t.Run("allocs", func(t *testing.T) {
+		s := newTestServer(t, Config{MaxAllocs: 100})
+		resp := mustRun(t, s, Request{Source: allocSrc, Fn: "boom",
+			Args: []json.Number{"100000"}})
+		if resp.OK || !strings.Contains(resp.Error, "allocation limit exceeded") {
+			t.Errorf("alloc resp: %+v", resp)
+		}
+	})
+	t.Run("output", func(t *testing.T) {
+		s := newTestServer(t, Config{MaxOutputBytes: 64})
+		resp := mustRun(t, s, Request{Source: addSrc + `
+function int chatty(int n) {
+  var int i = 0;
+  while i < n {
+    print("spam line number", i);
+    i = i + 1;
+  }
+  return i;
+}
+`, Fn: "chatty", Args: []json.Number{"100000"}})
+		if resp.OK || !strings.Contains(resp.Error, "output limit exceeded") {
+			t.Errorf("output resp: %+v", resp)
+		}
+		if len(resp.Output) > 64 {
+			t.Errorf("returned %d output bytes past the cap", len(resp.Output))
+		}
+	})
+}
+
+// slowRequest keeps a worker busy until its deadline: a spin far
+// beyond the step budget with a short wall clock.
+func slowRequest(timeoutMS int64) Request {
+	return Request{Source: spinSrc, Fn: "spin",
+		Args: []json.Number{"4000000000"}, TimeoutMS: timeoutMS}
+}
+
+func waitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timeout waiting for %s", what)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestAdmissionControl: with one worker and a queue of one, a third
+// concurrent request is rejected with ErrBusy, not buffered.
+func TestAdmissionControl(t *testing.T) {
+	s := newTestServer(t, Config{Workers: 1, QueueDepth: 1, MaxSteps: 1 << 40})
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() { defer wg.Done(); s.Run(context.Background(), slowRequest(400)) }()
+	waitFor(t, "worker busy", func() bool { return s.Stats().Queue.Running == 1 })
+	go func() { defer wg.Done(); s.Run(context.Background(), slowRequest(400)) }()
+	waitFor(t, "queue depth 1", func() bool { return s.Stats().Queue.Depth == 1 })
+	_, err := s.Run(context.Background(), Request{Source: addSrc})
+	if err != ErrBusy {
+		t.Errorf("err = %v, want ErrBusy", err)
+	}
+	if st := s.Stats(); st.Rejected != 1 {
+		t.Errorf("Rejected = %d, want 1", st.Rejected)
+	}
+	wg.Wait()
+}
+
+// TestGracefulDrain: Close waits for queued and in-flight work, and
+// later requests are refused with ErrDraining.
+func TestGracefulDrain(t *testing.T) {
+	s := New(Config{Workers: 1, QueueDepth: 4, MaxSteps: 1 << 40})
+	var resp Response
+	var err error
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		resp, err = s.Run(context.Background(), slowRequest(200))
+	}()
+	waitFor(t, "worker busy", func() bool { return s.Stats().Queue.Running == 1 })
+	s.Close()
+	// When Close returns the job has executed; the submitting goroutine
+	// just needs a beat to observe its done channel.
+	select {
+	case <-done:
+	case <-time.After(time.Second):
+		t.Fatalf("Close returned while a request was still in flight")
+	}
+	if err != nil {
+		t.Fatalf("in-flight request err: %v", err)
+	}
+	if resp.OK || !strings.Contains(resp.Error, "run cancelled") {
+		t.Errorf("drained request should have hit its own deadline: %+v", resp)
+	}
+	if _, err := s.Run(context.Background(), Request{Source: addSrc}); err != ErrDraining {
+		t.Errorf("post-drain err = %v, want ErrDraining", err)
+	}
+}
+
+// TestHTTP drives the wire surface end to end.
+func TestHTTP(t *testing.T) {
+	s := newTestServer(t, Config{})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	resp, status, err := postRun(context.Background(), ts.Client(), ts.URL, Request{Source: addSrc})
+	if err != nil || status != http.StatusOK || !resp.OK || resp.Result != "42" {
+		t.Fatalf("POST /run: %v %d %+v", err, status, resp)
+	}
+
+	r, err := ts.Client().Post(ts.URL+"/run", "application/json", strings.NewReader("{"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Body.Close()
+	if r.StatusCode != http.StatusBadRequest {
+		t.Errorf("bad JSON: status %d, want 400", r.StatusCode)
+	}
+
+	r, err = ts.Client().Get(ts.URL + "/run")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Body.Close()
+	if r.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("GET /run: status %d, want 405", r.StatusCode)
+	}
+
+	st, err := fetchStats(context.Background(), ts.Client(), ts.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Requests < 1 || st.Latency.Count < 1 {
+		t.Errorf("stats: %+v", st)
+	}
+
+	r, err = ts.Client().Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Body.Close()
+	if r.StatusCode != http.StatusOK {
+		t.Errorf("healthz: status %d", r.StatusCode)
+	}
+}
+
+// TestLoadConcurrency64 is the acceptance run: the load generator
+// against the HTTP service at concurrency 64 over the testdata corpus,
+// race-clean (CI runs -race), zero errors, ≥95% hot-phase hit rate.
+func TestLoadConcurrency64(t *testing.T) {
+	corpus, err := LoadCorpus(filepath.Join("..", "..", "testdata"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := newTestServer(t, Config{Workers: 8, QueueDepth: 128})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	res, err := RunLoad(context.Background(), LoadConfig{
+		URL:         ts.URL,
+		Corpus:      corpus,
+		Concurrency: 64,
+		Duration:    400 * time.Millisecond,
+		ColdRatio:   0.02,
+		Seed:        1,
+		Client:      ts.Client(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Errors != 0 {
+		t.Errorf("load run had %d errors (of %d requests)", res.Errors, res.Requests)
+	}
+	if res.Requests == 0 {
+		t.Fatalf("load run made no requests")
+	}
+	if res.HotHitRate < 0.95 {
+		t.Errorf("hot-phase hit rate %.3f, want >= 0.95", res.HotHitRate)
+	}
+	t.Logf("concurrency 64: %d req, %.0f rps, hit rate %.3f, p50 %dµs p99 %dµs",
+		res.Requests, res.RPS, res.HotHitRate, res.P50US, res.P99US)
+}
+
+// BenchmarkServeHot measures the cache-hit request path end to end
+// (no HTTP): admission, cache lookup, sandboxed execution.
+func BenchmarkServeHot(b *testing.B) {
+	s := New(Config{})
+	defer s.Close()
+	req := Request{Source: addSrc}
+	if resp, err := s.Run(context.Background(), req); err != nil || !resp.OK {
+		b.Fatalf("warm: %v %+v", err, resp)
+	}
+	c0 := interp.CompileCount()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		resp, err := s.Run(context.Background(), req)
+		if err != nil || !resp.OK {
+			b.Fatal(err, resp.Error)
+		}
+	}
+	b.StopTimer()
+	if d := interp.CompileCount() - c0; d != 0 {
+		b.Fatalf("hot benchmark compiled %d times", d)
+	}
+}

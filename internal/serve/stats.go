@@ -1,0 +1,107 @@
+// The stats surface: request counters, cache and queue snapshots, and
+// a log-scale latency histogram. Everything is cheap enough to record
+// on the hot path (atomics; the histogram bucket scan is a dozen
+// compares) and everything is exported through GET /stats, which is
+// what cmd/loadgen diffs to compute hit rates for BENCH_serve.json.
+package serve
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// latencyBoundsUS are the histogram bucket upper bounds, in
+// microseconds; one overflow bucket follows the last bound.
+var latencyBoundsUS = []int64{
+	100, 250, 500, 1_000, 2_500, 5_000, 10_000, 25_000, 50_000,
+	100_000, 250_000, 500_000, 1_000_000, 2_500_000, 5_000_000,
+}
+
+type histogram struct {
+	buckets []atomic.Int64 // len(latencyBoundsUS)+1
+	count   atomic.Int64
+	sumUS   atomic.Int64
+}
+
+func newHistogram() *histogram {
+	return &histogram{buckets: make([]atomic.Int64, len(latencyBoundsUS)+1)}
+}
+
+func (h *histogram) observe(d time.Duration) {
+	us := d.Microseconds()
+	h.count.Add(1)
+	h.sumUS.Add(us)
+	for i, b := range latencyBoundsUS {
+		if us <= b {
+			h.buckets[i].Add(1)
+			return
+		}
+	}
+	h.buckets[len(latencyBoundsUS)].Add(1)
+}
+
+// Bucket is one histogram cell: count of requests with latency ≤ LeUS
+// microseconds (and above the previous bound); LeUS 0 marks overflow.
+type Bucket struct {
+	LeUS  int64 `json:"le_us"`
+	Count int64 `json:"count"`
+}
+
+// LatencyStats is the latency section of Stats.
+type LatencyStats struct {
+	Count   int64    `json:"count"`
+	MeanUS  int64    `json:"mean_us"`
+	Buckets []Bucket `json:"buckets"`
+}
+
+func (h *histogram) snapshot() LatencyStats {
+	st := LatencyStats{Count: h.count.Load()}
+	if st.Count > 0 {
+		st.MeanUS = h.sumUS.Load() / st.Count
+	}
+	for i := range h.buckets {
+		n := h.buckets[i].Load()
+		if n == 0 {
+			continue
+		}
+		b := Bucket{Count: n}
+		if i < len(latencyBoundsUS) {
+			b.LeUS = latencyBoundsUS[i]
+		}
+		st.Buckets = append(st.Buckets, b)
+	}
+	return st
+}
+
+// Stats is the service-wide snapshot returned by Server.Stats and
+// GET /stats.
+type Stats struct {
+	// Requests counts every Run call; Invalid the ones rejected as
+	// malformed, Rejected the admission failures (queue full or
+	// draining), Abandoned the admitted requests whose client gave up
+	// while they were queued (never executed), Errors the executed
+	// requests that failed (compile error, runtime error, or sandbox
+	// kill).
+	Requests  int64        `json:"requests"`
+	Invalid   int64        `json:"invalid"`
+	Rejected  int64        `json:"rejected"`
+	Abandoned int64        `json:"abandoned"`
+	Errors    int64        `json:"errors"`
+	Cache     CacheStats   `json:"cache"`
+	Queue     QueueStats   `json:"queue"`
+	Latency   LatencyStats `json:"latency"`
+}
+
+// Stats snapshots the service counters.
+func (s *Server) Stats() Stats {
+	return Stats{
+		Requests:  s.requests.Load(),
+		Invalid:   s.invalid.Load(),
+		Rejected:  s.rejected.Load(),
+		Abandoned: s.abandoned.Load(),
+		Errors:    s.errors.Load(),
+		Cache:     s.cache.stats(),
+		Queue:     s.pool.stats(),
+		Latency:   s.latency.snapshot(),
+	}
+}
