@@ -1,7 +1,9 @@
 // BENCH_serve.json is the checked-in serving-layer performance
 // trajectory: closed-loop throughput, latency percentiles, and
 // hot-phase cache-hit rate of the internal/serve service over the
-// testdata corpus at concurrency 1, 8, and 64 (the DESIGN.md R4 row).
+// testdata corpus at concurrency 1, 8, and 64, plus an auto-parallel
+// row (concurrency 8 with a 25% "auto": true mix, exercising the
+// planner-transformed hot path) — the DESIGN.md R4/R5 rows.
 // Like BENCH_interp.json, PRs that touch the serving or execution core
 // re-emit the file and commit it, so cache-hit throughput — the
 // service's headline metric — is visible in review diffs.
@@ -34,7 +36,16 @@ var writeBenchServe = flag.Bool("write-bench-serve", false, "re-measure and rewr
 
 const benchServePath = "BENCH_serve.json"
 
-var benchServeConcurrencies = []int{1, 8, 64}
+// benchServeRows are the measured configurations: the concurrency
+// sweep plus the auto-parallel hot-phase row.
+var benchServeRows = []struct {
+	Concurrency int
+	AutoRate    float64
+}{{1, 0}, {8, 0}, {64, 0}, {8, 0.25}}
+
+func benchRowKey(c int, autoRate float64) string {
+	return fmt.Sprintf("c%d/auto%.2f", c, autoRate)
+}
 
 // serveBenchFile is the BENCH_serve.json schema.
 type serveBenchFile struct {
@@ -57,9 +68,9 @@ func TestBenchServeJSON(t *testing.T) {
 	if err := json.Unmarshal(data, &f); err != nil {
 		t.Fatalf("%s does not parse: %v", benchServePath, err)
 	}
-	seen := map[int]bool{}
+	seen := map[string]bool{}
 	for _, r := range f.Runs {
-		seen[r.Concurrency] = true
+		seen[benchRowKey(r.Concurrency, r.AutoRate)] = true
 		if r.Requests <= 0 || r.RPS <= 0 {
 			t.Errorf("concurrency %d: non-positive throughput (%d req, %.1f rps)",
 				r.Concurrency, r.Requests, r.RPS)
@@ -70,10 +81,14 @@ func TestBenchServeJSON(t *testing.T) {
 		if r.HotHitRate < 0.9 {
 			t.Errorf("concurrency %d: hot-phase hit rate %.3f below 0.9", r.Concurrency, r.HotHitRate)
 		}
+		if r.AutoRate > 0 && r.AutoRequests == 0 {
+			t.Errorf("auto row (concurrency %d) recorded no auto requests", r.Concurrency)
+		}
 	}
-	for _, c := range benchServeConcurrencies {
-		if !seen[c] {
-			t.Errorf("%s missing the concurrency-%d run (regenerate with -write-bench-serve)", benchServePath, c)
+	for _, row := range benchServeRows {
+		if !seen[benchRowKey(row.Concurrency, row.AutoRate)] {
+			t.Errorf("%s missing the concurrency-%d auto-rate-%.2f run (regenerate with -write-bench-serve)",
+				benchServePath, row.Concurrency, row.AutoRate)
 		}
 	}
 }
@@ -90,7 +105,7 @@ func writeServeJSON(t *testing.T) {
 		GOARCH:      runtime.GOARCH,
 		CPUs:        runtime.NumCPU(),
 	}
-	for _, c := range benchServeConcurrencies {
+	for _, row := range benchServeRows {
 		// A fresh server per run: every row starts cold, so ColdMeanUS
 		// is a true first-touch measurement and the hit counters are
 		// the row's own.
@@ -99,20 +114,21 @@ func writeServeJSON(t *testing.T) {
 		res, err := serve.RunLoad(context.Background(), serve.LoadConfig{
 			URL:         ts.URL,
 			Corpus:      corpus,
-			Concurrency: c,
+			Concurrency: row.Concurrency,
 			Duration:    800 * time.Millisecond,
 			ColdRatio:   0.02,
+			AutoRate:    row.AutoRate,
 			Seed:        1,
 			Client:      ts.Client(),
 		})
 		ts.Close()
 		s.Close()
 		if err != nil {
-			t.Fatalf("concurrency %d: %v", c, err)
+			t.Fatalf("concurrency %d: %v", row.Concurrency, err)
 		}
 		f.Runs = append(f.Runs, *res)
-		t.Logf("concurrency %d: %.0f rps, hit rate %.3f, p50 %dµs p99 %dµs (cold %dµs)",
-			c, res.RPS, res.HotHitRate, res.P50US, res.P99US, res.ColdMeanUS)
+		t.Logf("concurrency %d (auto %.0f%%): %.0f rps, hit rate %.3f, p50 %dµs p99 %dµs (cold %dµs)",
+			row.Concurrency, 100*row.AutoRate, res.RPS, res.HotHitRate, res.P50US, res.P99US, res.ColdMeanUS)
 	}
 	data, err := json.MarshalIndent(f, "", "  ")
 	if err != nil {

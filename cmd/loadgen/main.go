@@ -2,8 +2,10 @@
 // corpus of PSL programs (internal/serve's generator): a sequential
 // cold phase that first-touches every program, then -concurrency
 // workers hammering the service for -duration with a hot/cold key mix
-// (-cold is the forced-miss fraction). The JSON report on stdout
-// carries throughput, client-side latency percentiles, and the
+// (-cold is the forced-miss fraction; -auto-rate sends that fraction
+// of requests with auto:true, exercising the planner-parallelized
+// execution path under load). The JSON report on stdout carries
+// throughput, client-side latency percentiles, and the
 // server-accounted hot-phase cache-hit rate.
 //
 // CI gates on it: -require-hot-rate 0.95 -fail-on-error makes the
@@ -50,6 +52,7 @@ func main() {
 		Concurrency: f.Concurrency,
 		Duration:    f.Duration,
 		ColdRatio:   f.Cold,
+		AutoRate:    f.AutoRate,
 		Seed:        f.Seed,
 	})
 	if err != nil {

@@ -6,8 +6,12 @@
 // both static schedules and several PE counts, and goroutine-parallel
 // under every scheduling policy at PEs {2, 4, 8} — results, printed
 // output, and execution statistics (simulated cycle counts included)
-// must be bit-identical. CI runs this under -race, so the compiled
-// engine's parallel frame handling is also exercised for data races.
+// must be bit-identical. The parallel cells run both the hand-strip-
+// mined program and the auto-parallelization planner's whole-program
+// transformation (core.AutoParallel), so the planner's output carries
+// the same armor as the hand-wired calls. CI runs this under -race,
+// so the compiled engine's parallel frame handling is also exercised
+// for data races.
 package repro
 
 import (
@@ -97,7 +101,9 @@ func TestEngineEquivalence(t *testing.T) {
 			}
 
 			// Simulated mode: cycle accounting must agree bit-for-bit,
-			// across PE counts and both static schedules.
+			// across PE counts and both static schedules — for the
+			// serial program, the hand-stripped one, and the planner's
+			// whole-program transformation.
 			programs := []*lang.Program{c.Program}
 			if p.stripFn != "" {
 				par, err := c.StripMine(p.stripFn, p.stripLoop, 8)
@@ -105,6 +111,13 @@ func TestEngineEquivalence(t *testing.T) {
 					t.Fatal(err)
 				}
 				programs = append(programs, par.Program)
+			}
+			auto, err := c.AutoParallel(8)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if auto.Plan.Parallelized > 0 {
+				programs = append(programs, auto.Program)
 			}
 			for pi, prog := range programs {
 				for _, pes := range []int{1, 4} {
@@ -125,43 +138,50 @@ func TestEngineEquivalence(t *testing.T) {
 
 			// Goroutine-parallel mode: every scheduling policy × PEs
 			// {2,4,8} × both engines must reproduce the serial walk
-			// reference (value, output, and the shared counters).
-			if p.stripFn == "" {
-				return
+			// reference (value, output, and the shared counters) — for
+			// the hand-stripped program and the auto-planned one.
+			variants := map[string]*lang.Program{}
+			if p.stripFn != "" {
+				par, err := c.StripMine(p.stripFn, p.stripLoop, 8)
+				if err != nil {
+					t.Fatal(err)
+				}
+				variants["hand"] = par.Program
 			}
-			par, err := c.StripMine(p.stripFn, p.stripLoop, 8)
-			if err != nil {
-				t.Fatal(err)
+			if auto.Plan.Parallelized > 0 {
+				variants["auto"] = auto.Program
 			}
-			for _, pol := range []parexec.Policy{parexec.StaticBlock, parexec.StaticCyclic, parexec.Dynamic(2)} {
-				for _, pes := range []int{2, 4, 8} {
-					stats := map[interp.Engine]interp.Stats{}
-					for _, eng := range []interp.Engine{interp.EngineWalk, interp.EngineCompiled} {
-						var out bytes.Buffer
-						v, st, err := parexec.Run(par.Program, parexec.Options{
-							Interp: eng, PEs: pes, Sched: pol, Seed: p.seed, Output: &out,
-						}, p.fn, p.args...)
-						if err != nil {
-							t.Fatalf("%s/%s pes=%d engine=%s: %v", p.name, pol.Name(), pes, eng, err)
+			for vname, prog := range variants {
+				for _, pol := range []parexec.Policy{parexec.StaticBlock, parexec.StaticCyclic, parexec.Dynamic(2)} {
+					for _, pes := range []int{2, 4, 8} {
+						stats := map[interp.Engine]interp.Stats{}
+						for _, eng := range []interp.Engine{interp.EngineWalk, interp.EngineCompiled} {
+							var out bytes.Buffer
+							v, st, err := parexec.Run(prog, parexec.Options{
+								Interp: eng, PEs: pes, Sched: pol, Seed: p.seed, Output: &out,
+							}, p.fn, p.args...)
+							if err != nil {
+								t.Fatalf("%s/%s/%s pes=%d engine=%s: %v", p.name, vname, pol.Name(), pes, eng, err)
+							}
+							// Value and output reproduce the serial run of
+							// the *untransformed* program bit-for-bit.
+							if v.String() != wv.String() {
+								t.Errorf("%s/%s/%s pes=%d engine=%s: value %s != serial %s",
+									p.name, vname, pol.Name(), pes, eng, v, wv)
+							}
+							if out.String() != wout {
+								t.Errorf("%s/%s/%s pes=%d engine=%s: output diverged from serial run",
+									p.name, vname, pol.Name(), pes, eng)
+							}
+							stats[eng] = st
 						}
-						// Value and output reproduce the serial run of
-						// the *untransformed* program bit-for-bit.
-						if v.String() != wv.String() {
-							t.Errorf("%s/%s pes=%d engine=%s: value %s != serial %s",
-								p.name, pol.Name(), pes, eng, v, wv)
+						// The strip-mined program executes more statements
+						// than the original (forall machinery), so counters
+						// are compared engine-vs-engine per cell.
+						if stats[interp.EngineWalk] != stats[interp.EngineCompiled] {
+							t.Errorf("%s/%s/%s pes=%d: stats diverged: walk %+v, compiled %+v",
+								p.name, vname, pol.Name(), pes, stats[interp.EngineWalk], stats[interp.EngineCompiled])
 						}
-						if out.String() != wout {
-							t.Errorf("%s/%s pes=%d engine=%s: output diverged from serial run",
-								p.name, pol.Name(), pes, eng)
-						}
-						stats[eng] = st
-					}
-					// The strip-mined program executes more statements
-					// than the original (forall machinery), so counters
-					// are compared engine-vs-engine per cell.
-					if stats[interp.EngineWalk] != stats[interp.EngineCompiled] {
-						t.Errorf("%s/%s pes=%d: stats diverged: walk %+v, compiled %+v",
-							p.name, pol.Name(), pes, stats[interp.EngineWalk], stats[interp.EngineCompiled])
 					}
 				}
 			}

@@ -1,0 +1,125 @@
+// Autopar: the auto-parallelization planner end to end.
+//
+// The same polynomial program is submitted twice — once over an
+// unannotated list node, once over the ADDS-declared OneWayList — and
+// the planner (core.AutoParallel) decides, with no function names or
+// loop indices from us, which loops run parallel. The unannotated
+// version is rejected wholesale (the analysis cannot prove the
+// traversal visits distinct nodes); the annotated version gets its
+// scale loop strip-mined automatically, and the plan explains every
+// verdict — the paper's pitch, push-button.
+//
+// Run with: go run ./examples/autopar
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+	"repro/internal/interp"
+)
+
+// The program body is identical in both submissions; only the type
+// declaration changes.
+const body = `
+function %[1]s * poly(int n) {
+  var %[1]s *head = NULL;
+  var int i = 0;
+  while i < n {
+    var %[1]s *t = new %[1]s;
+    t->coef = i + 1;
+    t->exp = i;
+    t->next = head;
+    head = t;
+    i = i + 1;
+  }
+  return head;
+}
+
+procedure scale(%[1]s *head, int c) {
+  var %[1]s *p = head;
+  while p != NULL {
+    p->coef = p->coef * c;
+    p = p->next;
+  }
+}
+
+function int checksum(%[1]s *head) {
+  var int s = 0;
+  var %[1]s *p = head;
+  while p != NULL {
+    s = s + p->coef * (p->exp + 1);
+    p = p->next;
+  }
+  return s;
+}
+
+function int main(int n, int c) {
+  var %[1]s *h = poly(n);
+  scale(h, c);
+  return checksum(h);
+}
+`
+
+const unannotated = `
+type ListNode
+{ int coef, exp;
+  ListNode *next;
+};
+`
+
+const annotated = `
+type OneWayList [X]
+{ int coef, exp;
+  OneWayList *next is uniquely forward along X;
+};
+`
+
+func main() {
+	plans := map[string]*core.AutoPlan{}
+	for _, sub := range []struct{ title, decl, elem string }{
+		{"unannotated ListNode", unannotated, "ListNode"},
+		{"ADDS-annotated OneWayList", annotated, "OneWayList"},
+	} {
+		fmt.Printf("== %s ==\n\n", sub.title)
+		c, err := core.Compile(sub.decl + fmt.Sprintf(body, sub.elem))
+		if err != nil {
+			log.Fatal(err)
+		}
+		auto, err := c.AutoParallel(8) // strip width 8
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println(auto.Plan)
+		fmt.Println()
+		plans[sub.title] = auto
+	}
+
+	fmt.Println("The annotation is the whole difference: same loops, same code,")
+	fmt.Println("but only the declared structure lets the analysis prove the")
+	fmt.Println("iterations independent.")
+
+	// Run the approved plan in parallel and show it agrees with the
+	// serial program bit-for-bit.
+	auto := plans["ADDS-annotated OneWayList"]
+	args := []interp.Value{interp.IntVal(1000), interp.IntVal(3)}
+	serial, err := core.Compile(annotated + fmt.Sprintf(body, "OneWayList"))
+	if err != nil {
+		log.Fatal(err)
+	}
+	want, _, err := serial.Run(core.RunConfig{}, "main", args...)
+	if err != nil {
+		log.Fatal(err)
+	}
+	got, stats, err := auto.RunParallel(core.RunConfig{}, 4, "main", args...)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nserial checksum:   %d\n", want.I)
+	fmt.Printf("parallel checksum: %d (4 PEs, %d barriers)\n", got.I, stats.Barriers)
+	if got.I != want.I {
+		log.Fatal("results diverge!")
+	}
+	fmt.Println("identical — the planner's transformation is semantics-preserving.")
+}

@@ -11,6 +11,13 @@
 //	reports, _ := c.LoopReports("timestep")
 //	par, _ := c.StripMine("timestep", 0, 4)
 //	v, stats, _ := par.Run(core.RunConfig{}, "simulate", args...)
+//
+// Or let the planner decide what is parallel (the paper's actual
+// pitch — the annotations license the compiler, not the caller):
+//
+//	auto, _ := c.AutoParallel(0)        // plan every loop, default width
+//	fmt.Println(auto.Plan)              // what ran parallel, what didn't, why
+//	v, stats, _ = auto.RunParallel(core.RunConfig{}, 4, "simulate", args...)
 package core
 
 import (
@@ -18,6 +25,7 @@ import (
 	"fmt"
 	"io"
 	"strings"
+	"sync"
 
 	"repro/internal/analysis"
 	"repro/internal/analysis/conservative"
@@ -38,6 +46,12 @@ type Compilation struct {
 	Analysis *analysis.Result
 	// Effects is the interprocedural effect analyzer.
 	Effects *effects.Analyzer
+
+	// auto caches planned variants per strip width, so repeated
+	// AutoParallel calls (the serving layer's hot path) re-plan
+	// nothing. Guarded by autoMu; lazily allocated.
+	autoMu sync.Mutex
+	auto   map[int]*AutoPlan
 }
 
 // Compile parses, checks, normalizes, and analyzes PSL source.
@@ -118,6 +132,49 @@ func (c *Compilation) StripMine(fn string, loopIndex, width int) (*Compilation, 
 		return nil, err
 	}
 	return Analyze(res.Program)
+}
+
+// AutoPlan is an auto-parallelized program: a full Compilation of the
+// transformed program plus the planner's per-loop report.
+type AutoPlan struct {
+	*Compilation
+	// Plan records which loops were strip-mined and why the rest were
+	// rejected (Plan.Program is the same program this Compilation wraps).
+	Plan *transform.Plan
+}
+
+// AutoParallel plans the whole program: every while loop of every
+// function goes through the dependence test, every approved loop is
+// strip-mined with the given width (widthHint <= 0 selects
+// transform.DefaultWidth for this host — 4 iterations per PE), and the
+// transformed program comes back as a new Compilation alongside the
+// structured plan. Planned variants are cached per resolved width on
+// this Compilation, so only the first call per width pays for planning
+// and re-analysis; the serial Compilation is untouched either way.
+func (c *Compilation) AutoParallel(widthHint int) (*AutoPlan, error) {
+	width := widthHint
+	if width <= 0 {
+		width = transform.DefaultWidth(0)
+	}
+	c.autoMu.Lock()
+	defer c.autoMu.Unlock()
+	if ap, ok := c.auto[width]; ok {
+		return ap, nil
+	}
+	plan, err := transform.AutoParallelize(c.Program, width)
+	if err != nil {
+		return nil, err
+	}
+	comp, err := Analyze(plan.Program)
+	if err != nil {
+		return nil, err
+	}
+	ap := &AutoPlan{Compilation: comp, Plan: plan}
+	if c.auto == nil {
+		c.auto = make(map[int]*AutoPlan)
+	}
+	c.auto[width] = ap
+	return ap, nil
 }
 
 // Unroll applies the [HG92] unrolling transformation.

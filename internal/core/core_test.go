@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/adds"
 	"repro/internal/interp"
+	"repro/internal/lang"
 	"repro/internal/nbody"
 )
 
@@ -145,6 +146,81 @@ func TestUnrollViaCore(t *testing.T) {
 	}
 	if got.I != 17*18 { // sum(1..17)*2
 		t.Errorf("unrolled result %d", got.I)
+	}
+	// The unrolled body repeats; the original compilation is untouched.
+	if n := strings.Count(lang.FormatFunc(un.Program.Func("scale")), "p = p->next;"); n != 3 {
+		t.Errorf("unrolled scale has %d advances, want 3", n)
+	}
+	if strings.Count(lang.FormatFunc(c.Program.Func("scale")), "p = p->next;") != 1 {
+		t.Error("Unroll mutated the original")
+	}
+	// Error paths: bad factor, unapprovable loop, unknown function.
+	if _, err := c.Unroll("scale", 0, 1); err == nil {
+		t.Error("factor < 2 must fail")
+	}
+	if _, err := c.Unroll("total", 0, 2); err == nil {
+		t.Error("reduction loop must be refused")
+	}
+	if _, err := c.Unroll("nosuch", 0, 2); err == nil {
+		t.Error("unknown function must fail")
+	}
+}
+
+// TestAutoParallelViaCore: the planner through the pipeline API — plan
+// report, per-width caching, and bit-identical execution.
+func TestAutoParallelViaCore(t *testing.T) {
+	c, err := Compile(scaleSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	auto, err := c.AutoParallel(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if auto.Plan.Parallelized != 1 || auto.Plan.Width != 8 {
+		t.Fatalf("plan: %s", auto.Plan)
+	}
+	if !strings.Contains(auto.Source(), "forall") {
+		t.Error("planned source lacks forall")
+	}
+	if strings.Contains(c.Source(), "forall") {
+		t.Error("AutoParallel mutated the original")
+	}
+	// The planned variant equals the hand-tuned transformation.
+	hand, err := c.StripMine("scale", 0, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if auto.Source() != hand.Source() {
+		t.Errorf("auto variant diverged from hand-tuned StripMine:\n%s", auto.Source())
+	}
+	// Same width is cached (same handle); a new width plans anew.
+	again, err := c.AutoParallel(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again != auto {
+		t.Error("repeated AutoParallel(8) should return the cached plan")
+	}
+	wider, err := c.AutoParallel(16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wider == auto || wider.Plan.Width != 16 {
+		t.Errorf("AutoParallel(16) returned width %d", wider.Plan.Width)
+	}
+	// Parallel execution of the planned program reproduces the serial run.
+	var wantOut, gotOut bytes.Buffer
+	want, _, err := c.Run(RunConfig{Output: &wantOut}, "main", interp.IntVal(23), interp.IntVal(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _, err := auto.RunParallel(RunConfig{Output: &gotOut}, 4, "main", interp.IntVal(23), interp.IntVal(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.I != want.I || gotOut.String() != wantOut.String() {
+		t.Errorf("auto parallel run diverged: %d %q vs %d %q", got.I, gotOut.String(), want.I, wantOut.String())
 	}
 }
 

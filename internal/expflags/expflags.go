@@ -116,6 +116,7 @@ type ServeFlags struct {
 	MaxSteps     int64         // -max-steps: per-request statement budget
 	MaxAllocs    int64         // -max-allocs: per-request allocation budget
 	MaxOutput    int64         // -max-output: per-request print() byte budget
+	MaxWidth     int           // -max-width: auto-parallelize strip-width cap
 }
 
 // RegisterServe installs the cmd/pslserved flag set on fs.
@@ -130,6 +131,7 @@ func RegisterServe(fs *flag.FlagSet) *ServeFlags {
 	fs.Int64Var(&f.MaxSteps, "max-steps", 0, "per-request statement budget (0 = 50M)")
 	fs.Int64Var(&f.MaxAllocs, "max-allocs", 0, "per-request allocation budget (0 = 1M)")
 	fs.Int64Var(&f.MaxOutput, "max-output", 0, "per-request print() byte budget (0 = 1MiB)")
+	fs.IntVar(&f.MaxWidth, "max-width", 0, "strip-width cap for auto-parallelized requests (0 = 256)")
 	return f
 }
 
@@ -145,6 +147,7 @@ func (f *ServeFlags) ServerConfig() serve.Config {
 		MaxSteps:       f.MaxSteps,
 		MaxAllocs:      f.MaxAllocs,
 		MaxOutputBytes: f.MaxOutput,
+		MaxStripWidth:  f.MaxWidth,
 	}
 }
 
@@ -158,6 +161,7 @@ type LoadgenFlags struct {
 	Concurrency    int           // -concurrency: closed-loop workers
 	Duration       time.Duration // -duration: hot-phase length
 	Cold           float64       // -cold: forced-miss fraction of hot requests
+	AutoRate       float64       // -auto-rate: fraction of hot requests sent with auto:true
 	Seed           int64         // -seed: corpus-draw RNG seed
 	RequireHotRate float64       // -require-hot-rate: exit nonzero below this hit rate
 	FailOnError    bool          // -fail-on-error: exit nonzero on any request error
@@ -171,6 +175,8 @@ func RegisterLoadgen(fs *flag.FlagSet) *LoadgenFlags {
 	fs.IntVar(&f.Concurrency, "concurrency", 8, "closed-loop worker count")
 	fs.DurationVar(&f.Duration, "duration", 2*time.Second, "hot-phase duration")
 	fs.Float64Var(&f.Cold, "cold", 0.02, "fraction of hot-phase requests with never-seen source")
+	fs.Float64Var(&f.AutoRate, "auto-rate", 0,
+		"fraction of hot-phase requests sent with auto:true (planner-parallelized execution)")
 	fs.Int64Var(&f.Seed, "seed", 1, "RNG seed for corpus draws")
 	fs.Float64Var(&f.RequireHotRate, "require-hot-rate", 0,
 		"fail (exit 1) if the hot-phase cache-hit rate is below this")

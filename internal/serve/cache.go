@@ -1,17 +1,22 @@
 // The compiled-program cache: sharded, content-hash-keyed, LRU per
 // shard, singleflight on cold misses. Keys are the SHA-256 of the
-// request source, so byte-identical programs share one checked AST and
-// one set of compiled closures regardless of which client sent them;
-// the shard is picked from the hash's first byte, so hot keys spread
-// across locks instead of serializing on one.
+// request source (plus a variant tag for auto-parallelized entries:
+// the serial program and each planned (auto, width) variant are
+// separate entries with separate compiled code), so byte-identical
+// programs share one checked AST and one set of compiled closures
+// regardless of which client sent them; the shard is picked from the
+// hash's first byte, so hot keys spread across locks instead of
+// serializing on one.
 package serve
 
 import (
 	"context"
 	"crypto/sha256"
+	"fmt"
 	"sync"
 
 	"repro/internal/interp"
+	"repro/internal/transform"
 )
 
 // centry is one cache slot. ready is closed by the goroutine that won
@@ -26,7 +31,11 @@ type centry struct {
 	key   [32]byte
 	ready chan struct{}
 	cp    *interp.CompiledProgram
-	err   error
+	// plan is the auto-parallelization report for (auto, width)
+	// variant entries — hot auto requests return it without
+	// re-planning. nil for serial entries.
+	plan *transform.Plan
+	err  error
 
 	prev, next *centry
 }
@@ -85,13 +94,39 @@ func newCache(entries, shards int) *cache {
 	return c
 }
 
-// get returns the pinned compiled program for source, building it
-// with build on a cold miss. cached reports whether the program was
-// already resident (including joining an in-flight build — the caller
-// did no compile work either way). Build errors are cached too: a
-// client retrying a broken program in a loop stays on the hot path.
-func (c *cache) get(ctx context.Context, source string, build func() (*interp.CompiledProgram, error)) (cp *interp.CompiledProgram, cached bool, err error) {
-	key := sha256.Sum256([]byte(source))
+// serialKey is the cache key of a source's untransformed program.
+// Both key families hash a variant tag before the source bytes: with
+// an untagged serial key, a request whose *source text* began with
+// another key family's tag would collide with that family's slot
+// (e.g. a serial POST of "auto:16\x00" + P poisoning P's auto
+// variant, negative cache included).
+func serialKey(source string) [32]byte {
+	return variantKey("serial", source)
+}
+
+// autoKey is the cache key of a source's auto-parallelized variant at
+// one strip width: each (auto, width) pair is its own slot.
+func autoKey(source string, width int) [32]byte {
+	return variantKey(fmt.Sprintf("auto:%d", width), source)
+}
+
+func variantKey(tag, source string) [32]byte {
+	h := sha256.New()
+	fmt.Fprintf(h, "%s\x00%d\x00", tag, len(source))
+	h.Write([]byte(source))
+	var key [32]byte
+	h.Sum(key[:0])
+	return key
+}
+
+// get returns the pinned compiled program under key, building it with
+// build on a cold miss. cached reports whether the program was already
+// resident (including joining an in-flight build — the caller did no
+// compile work either way). Build errors are cached too: a client
+// retrying a broken program in a loop stays on the hot path. The plan
+// is whatever the build returned (the auto-parallelization report for
+// auto variants, nil for serial entries).
+func (c *cache) get(ctx context.Context, key [32]byte, build func() (*interp.CompiledProgram, *transform.Plan, error)) (cp *interp.CompiledProgram, plan *transform.Plan, cached bool, err error) {
 	sh := c.shards[int(key[0])%len(c.shards)]
 
 	sh.mu.Lock()
@@ -102,9 +137,9 @@ func (c *cache) get(ctx context.Context, source string, build func() (*interp.Co
 		sh.mu.Unlock()
 		select {
 		case <-e.ready:
-			return e.cp, true, e.err
+			return e.cp, e.plan, true, e.err
 		case <-ctx.Done():
-			return nil, true, ctx.Err()
+			return nil, nil, true, ctx.Err()
 		}
 	}
 	e := &centry{key: key, ready: make(chan struct{})}
@@ -124,9 +159,9 @@ func (c *cache) get(ctx context.Context, source string, build func() (*interp.Co
 	}
 	sh.mu.Unlock()
 
-	e.cp, e.err = build()
+	e.cp, e.plan, e.err = build()
 	close(e.ready)
-	return e.cp, false, e.err
+	return e.cp, e.plan, false, e.err
 }
 
 // CacheStats is the cache section of Stats.

@@ -8,7 +8,9 @@
 //     programs at random; a ColdRatio fraction of requests mutates the
 //     source with a unique comment, forcing a content-hash miss, so
 //     the hot phase exercises the hot/cold mix rather than a pure
-//     cache residency test.
+//     cache residency test. An AutoRate fraction is sent with
+//     "auto": true (planner-parallelized execution), so the parallel
+//     path carries load too, not just the serial one.
 //
 // Hit rates come from diffing the server's /stats around the hot
 // phase; latencies are measured client-side per request.
@@ -71,6 +73,16 @@ type LoadConfig struct {
 	// ColdRatio is the fraction of hot-phase requests sent with a
 	// never-seen source (forced cache miss).
 	ColdRatio float64
+	// AutoRate is the fraction of hot-phase requests sent with
+	// "auto": true — planner-parallelized execution on AutoPEs workers
+	// — so the parallel path is load-tested alongside the serial one.
+	// When set, the cold phase also first-touches each program's auto
+	// variant, so hot auto requests hit the cache like serial ones.
+	AutoRate float64
+	// AutoPEs is the worker-pool size auto requests ask for (0 = 2 —
+	// deliberately small: with Concurrency closed-loop workers in
+	// flight, per-request pools multiply).
+	AutoPEs int
 	// Seed makes the workers' corpus draws reproducible.
 	Seed int64
 	// Client overrides the HTTP client (nil = a pooled default).
@@ -81,6 +93,10 @@ type LoadConfig struct {
 type LoadResult struct {
 	Concurrency int     `json:"concurrency"`
 	ColdRatio   float64 `json:"cold_ratio"`
+	// AutoRate echoes the configured auto mix; AutoRequests counts the
+	// hot-phase requests actually sent with "auto": true.
+	AutoRate     float64 `json:"auto_rate"`
+	AutoRequests int64   `json:"auto_requests"`
 	// Requests/Errors cover the hot phase; an error is any non-200,
 	// non-503 status or a Response with ok=false. 503s are the pool's
 	// admission back-pressure — the worker backs off and retries, and
@@ -129,22 +145,40 @@ func RunLoad(ctx context.Context, cfg LoadConfig) (*LoadResult, error) {
 		}
 	}
 
-	res := &LoadResult{Concurrency: cfg.Concurrency, ColdRatio: cfg.ColdRatio}
+	if cfg.AutoPEs <= 0 {
+		cfg.AutoPEs = 2
+	}
+	res := &LoadResult{Concurrency: cfg.Concurrency, ColdRatio: cfg.ColdRatio, AutoRate: cfg.AutoRate}
 
-	// Cold phase: first touch of every corpus program.
-	var coldSum int64
+	// Cold phase: first touch of every corpus program — and, when the
+	// hot phase will send auto requests, of every program's planned
+	// variant, so the auto mix measures the hot path rather than
+	// repeated first-touch planning.
+	type coldReq struct {
+		name string
+		req  Request
+	}
+	coldReqs := make([]coldReq, 0, 2*len(cfg.Corpus))
 	for _, p := range cfg.Corpus {
+		coldReqs = append(coldReqs, coldReq{p.Name, Request{Source: p.Source, Fn: p.Fn}})
+		if cfg.AutoRate > 0 {
+			coldReqs = append(coldReqs, coldReq{p.Name + " (auto)",
+				Request{Source: p.Source, Fn: p.Fn, Auto: true, PEs: cfg.AutoPEs}})
+		}
+	}
+	var coldSum int64
+	for _, c := range coldReqs {
 		start := time.Now()
-		resp, status, err := postRun(ctx, client, cfg.URL, Request{Source: p.Source, Fn: p.Fn})
+		resp, status, err := postRun(ctx, client, cfg.URL, c.req)
 		if err != nil {
-			return nil, fmt.Errorf("cold %s: %w", p.Name, err)
+			return nil, fmt.Errorf("cold %s: %w", c.name, err)
 		}
 		if status != http.StatusOK || !resp.OK {
-			return nil, fmt.Errorf("cold %s: status %d, error %q", p.Name, status, resp.Error)
+			return nil, fmt.Errorf("cold %s: status %d, error %q", c.name, status, resp.Error)
 		}
 		coldSum += time.Since(start).Microseconds()
 	}
-	res.ColdMeanUS = coldSum / int64(len(cfg.Corpus))
+	res.ColdMeanUS = coldSum / int64(len(coldReqs))
 
 	before, err := fetchStats(ctx, client, cfg.URL)
 	if err != nil {
@@ -157,7 +191,7 @@ func RunLoad(ctx context.Context, cfg LoadConfig) (*LoadResult, error) {
 	start := time.Now()
 	var wg sync.WaitGroup
 	latencies := make([][]int64, cfg.Concurrency)
-	var requests, errors, rejected atomic.Int64
+	var requests, errors, rejected, autoReqs atomic.Int64
 	for w := 0; w < cfg.Concurrency; w++ {
 		wg.Add(1)
 		go func(w int) {
@@ -169,8 +203,13 @@ func RunLoad(ctx context.Context, cfg LoadConfig) (*LoadResult, error) {
 				if cfg.ColdRatio > 0 && rng.Float64() < cfg.ColdRatio {
 					src += fmt.Sprintf("\n// cold-miss %d\n", coldSeq.Add(1))
 				}
+				req := Request{Source: src, Fn: p.Fn}
+				if cfg.AutoRate > 0 && rng.Float64() < cfg.AutoRate {
+					req.Auto = true
+					req.PEs = cfg.AutoPEs
+				}
 				t0 := time.Now()
-				resp, status, err := postRun(hctx, client, cfg.URL, Request{Source: src, Fn: p.Fn})
+				resp, status, err := postRun(hctx, client, cfg.URL, req)
 				if hctx.Err() != nil && err != nil {
 					break // the phase deadline cut this request off mid-flight
 				}
@@ -183,6 +222,9 @@ func RunLoad(ctx context.Context, cfg LoadConfig) (*LoadResult, error) {
 					continue
 				}
 				requests.Add(1)
+				if req.Auto {
+					autoReqs.Add(1)
+				}
 				latencies[w] = append(latencies[w], time.Since(t0).Microseconds())
 				if err != nil || status != http.StatusOK || !resp.OK {
 					errors.Add(1)
@@ -201,6 +243,7 @@ func RunLoad(ctx context.Context, cfg LoadConfig) (*LoadResult, error) {
 	res.Requests = requests.Load()
 	res.Errors = errors.Load()
 	res.Rejected = rejected.Load()
+	res.AutoRequests = autoReqs.Load()
 	res.DurationMS = elapsed.Milliseconds()
 	if elapsed > 0 {
 		res.RPS = float64(res.Requests) / elapsed.Seconds()

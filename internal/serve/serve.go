@@ -22,6 +22,14 @@
 //   - a stats surface (stats.go, GET /stats): cache hit/miss/eviction
 //     and compile counts, queue depth, and a request-latency
 //     histogram — the numbers cmd/loadgen turns into BENCH_serve.json.
+//   - auto-parallelized execution ("auto": true): the planner
+//     (transform.AutoParallelize) runs the dependence test on every
+//     loop of the submitted program and strip-mines the approved ones;
+//     the planned variant is cached as its own entry keyed by
+//     (source, width), so hot auto requests skip analysis, planning,
+//     and compilation exactly like hot serial requests skip the front
+//     end. The Response carries the plan: which loops run parallel,
+//     and why the rest were rejected.
 //
 // cmd/pslserved exposes a Server over HTTP (http.go); cmd/loadgen
 // drives it closed-loop (loadgen.go). DESIGN.md's R4 row records the
@@ -35,12 +43,14 @@ import (
 	"errors"
 	"fmt"
 	"runtime"
+	"strings"
 	"sync/atomic"
 	"time"
 
 	"repro/internal/interp"
 	"repro/internal/lang"
 	"repro/internal/parexec"
+	"repro/internal/transform"
 )
 
 // Config sizes a Server. Zero values select the documented defaults.
@@ -65,6 +75,12 @@ type Config struct {
 	// a cap a single request could spawn unbounded goroutines, which
 	// no other sandbox budget bounds.
 	MaxPEs int
+	// MaxStripWidth caps the strip width an auto request may ask for
+	// (0 = 256). Width only sets loop constants — runtime stays
+	// bounded by the sandbox budgets — but each distinct width is a
+	// separate cache variant, so the cap also bounds how many variants
+	// one source can pin.
+	MaxStripWidth int
 	// DefaultTimeout is the per-request wall-clock budget when the
 	// request does not name one (0 = 5s); MaxTimeout caps what a
 	// request may ask for (0 = 30s).
@@ -95,6 +111,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.MaxPEs <= 0 {
 		c.MaxPEs = 32
+	}
+	if c.MaxStripWidth <= 0 {
+		c.MaxStripWidth = 256
 	}
 	if c.DefaultTimeout <= 0 {
 		c.DefaultTimeout = 5 * time.Second
@@ -137,6 +156,17 @@ type Request struct {
 	PEs      int    `json:"pes,omitempty"`
 	Sched    string `json:"sched,omitempty"`
 	Chunk    int    `json:"chunk,omitempty"`
+	// Auto asks the planner to decide what is parallel: every while
+	// loop of the program goes through the dependence test, approved
+	// loops are strip-mined, and the transformed program runs on the
+	// parexec pool (PEs/Sched/Chunk as with Parallel). The Response
+	// carries the plan. The planned variant is cached like any other
+	// program — keyed by (source, width) — so hot auto requests do no
+	// analysis, planning, or compilation.
+	Auto bool `json:"auto,omitempty"`
+	// Width overrides the strip width for Auto (0 = 4× the effective
+	// PE count, capped by the server's MaxStripWidth).
+	Width int `json:"width,omitempty"`
 	// Seed feeds the deterministic rand() builtin.
 	Seed uint64 `json:"seed,omitempty"`
 	// TimeoutMS requests a specific wall-clock budget instead of the
@@ -160,6 +190,53 @@ type Response struct {
 	Steps     int64 `json:"steps"`
 	Allocs    int64 `json:"allocs"`
 	ElapsedUS int64 `json:"elapsed_us"`
+	// Plan reports what the auto-parallelization planner did (Auto
+	// requests only).
+	Plan *PlanSummary `json:"plan,omitempty"`
+}
+
+// PlanSummary is the wire form of the planner's report: which loops
+// run parallel and why the rest do not.
+type PlanSummary struct {
+	Width        int        `json:"width"`
+	Parallelized []PlanLoop `json:"parallelized"`
+	Rejected     []PlanLoop `json:"rejected"`
+}
+
+// PlanLoop is one while loop's verdict. Fn/Loop/Line locate it in the
+// submitted source; Helper names the generated iteration procedure
+// (parallelized loops), Reason says why the loop stays serial
+// (rejected loops — the dependence test's verdict, or absorption into
+// an enclosing parallelized loop).
+type PlanLoop struct {
+	Fn     string `json:"fn"`
+	Loop   int    `json:"loop"`
+	Line   int    `json:"line"`
+	Helper string `json:"helper,omitempty"`
+	Reason string `json:"reason,omitempty"`
+}
+
+// planSummary converts the planner's report to the wire form.
+func planSummary(p *transform.Plan) *PlanSummary {
+	ps := &PlanSummary{Width: p.Width}
+	for _, lp := range p.Loops {
+		pl := PlanLoop{Fn: lp.Func, Loop: lp.Index, Line: lp.Pos.Line}
+		switch {
+		case lp.Parallelized:
+			pl.Helper = lp.Helper
+			ps.Parallelized = append(ps.Parallelized, pl)
+		case lp.Absorbed:
+			pl.Reason = "runs serially inside the parallel iterations of " + lp.AbsorbedInto
+			ps.Rejected = append(ps.Rejected, pl)
+		default:
+			pl.Reason = "loop not analyzable"
+			if lp.Report != nil && len(lp.Report.Reasons) > 0 {
+				pl.Reason = strings.Join(lp.Report.Reasons, "; ")
+			}
+			ps.Rejected = append(ps.Rejected, pl)
+		}
+	}
+	return ps
 }
 
 // Admission errors (mapped to HTTP 503 by the handler).
@@ -237,7 +314,7 @@ func (s *Server) Run(ctx context.Context, req Request) (Response, error) {
 		return Response{}, badRequest("%v", err)
 	}
 	var pol parexec.Policy
-	if req.Parallel {
+	if req.Parallel || req.Auto {
 		if req.PEs < 0 || req.PEs > s.cfg.MaxPEs {
 			s.invalid.Add(1)
 			return Response{}, badRequest("pes %d out of range [0, %d]", req.PEs, s.cfg.MaxPEs)
@@ -246,6 +323,30 @@ func (s *Server) Run(ctx context.Context, req Request) (Response, error) {
 			if pol, err = parexec.ParsePolicy(req.Sched, req.Chunk); err != nil {
 				s.invalid.Add(1)
 				return Response{}, badRequest("%v", err)
+			}
+		}
+	}
+	// Resolve the auto strip width up front: the resolved width is part
+	// of the cache key, so two requests that mean the same width share
+	// one planned variant.
+	width := 0
+	if req.Auto {
+		if req.Width < 0 || req.Width > s.cfg.MaxStripWidth {
+			s.invalid.Add(1)
+			return Response{}, badRequest("width %d out of range [0, %d]", req.Width, s.cfg.MaxStripWidth)
+		}
+		width = req.Width
+		if width == 0 {
+			pes := req.PEs
+			if pes <= 0 {
+				pes = runtime.GOMAXPROCS(0)
+				if pes > s.cfg.MaxPEs {
+					pes = s.cfg.MaxPEs
+				}
+			}
+			width = transform.DefaultWidth(pes)
+			if width > s.cfg.MaxStripWidth {
+				width = s.cfg.MaxStripWidth
 			}
 		}
 	}
@@ -259,7 +360,7 @@ func (s *Server) Run(ctx context.Context, req Request) (Response, error) {
 	j := &job{
 		ctx:  ctx,
 		done: make(chan struct{}),
-		fn:   func() { resp = s.execute(ctx, req, eng, pol, args) },
+		fn:   func() { resp = s.execute(ctx, req, eng, pol, width, args) },
 	}
 	if err := s.pool.submit(j); err != nil {
 		s.rejected.Add(1)
@@ -277,10 +378,11 @@ func (s *Server) Run(ctx context.Context, req Request) (Response, error) {
 }
 
 // execute runs one admitted request on the calling worker: cache
-// lookup (compiling at most once per distinct source), then a
-// sandboxed run — deadline, step, allocation, and output budgets all
-// active in whichever engine and mode the request selected.
-func (s *Server) execute(ctx context.Context, req Request, eng interp.Engine, pol parexec.Policy, args []interp.Value) Response {
+// lookup (compiling — and for auto requests, planning — at most once
+// per distinct variant), then a sandboxed run — deadline, step,
+// allocation, and output budgets all active in whichever engine and
+// mode the request selected.
+func (s *Server) execute(ctx context.Context, req Request, eng interp.Engine, pol parexec.Policy, width int, args []interp.Value) Response {
 	start := time.Now()
 	done := func(resp Response) Response {
 		el := time.Since(start)
@@ -307,19 +409,35 @@ func (s *Server) execute(ctx context.Context, req Request, eng interp.Engine, po
 	rctx, cancel := context.WithTimeout(ctx, timeout)
 	defer cancel()
 
-	cp, cached, err := s.cache.get(rctx, req.Source, func() (*interp.CompiledProgram, error) {
+	key := serialKey(req.Source)
+	if req.Auto {
+		key = autoKey(req.Source, width)
+	}
+	cp, plan, cached, err := s.cache.get(rctx, key, func() (*interp.CompiledProgram, *transform.Plan, error) {
 		p, err := lang.Parse(req.Source)
 		if err != nil {
-			return nil, err
+			return nil, nil, err
+		}
+		var plan *transform.Plan
+		if req.Auto {
+			// The whole front half of the paper runs here, once per
+			// (source, width): path-matrix analysis, dependence tests on
+			// every loop, strip-mining of the approved ones. The entry
+			// pins the plan next to the code, so hot auto requests get
+			// their report for free.
+			if plan, err = transform.AutoParallelize(p, width); err != nil {
+				return nil, nil, err
+			}
+			p = plan.Program
 		}
 		// Build and pin the closure code now, while we hold the cold
 		// path: the entry owns its code, so hits never recompile even
 		// when interp's bounded code cache churns under cold traffic.
 		pinned := interp.CompileProgram(p)
 		if pinned.Err() != nil {
-			return nil, pinned.Err()
+			return nil, nil, pinned.Err()
 		}
-		return pinned, nil
+		return pinned, plan, nil
 	})
 	if err != nil {
 		// Distinguish "this request's deadline expired while waiting on
@@ -340,7 +458,7 @@ func (s *Server) execute(ctx context.Context, req Request, eng interp.Engine, po
 	var v interp.Value
 	var st interp.Stats
 	var rerr error
-	if req.Parallel {
+	if req.Parallel || req.Auto {
 		v, st, rerr = parexec.Run(cp.Program(), parexec.Options{
 			Interp:         eng,
 			Compiled:       cp,
@@ -371,6 +489,9 @@ func (s *Server) execute(ctx context.Context, req Request, eng interp.Engine, po
 		Output: out.String(),
 		Steps:  st.Steps,
 		Allocs: st.Allocations,
+	}
+	if plan != nil {
+		resp.Plan = planSummary(plan)
 	}
 	if rerr != nil {
 		resp.Error = rerr.Error()

@@ -284,6 +284,150 @@ func TestHotPathSurvivesCodeCacheChurn(t *testing.T) {
 	}
 }
 
+// scalePar is an auto-parallelizable program: the scale loop is
+// approved by the dependence test, the reduction in total is not.
+const scalePar = `
+type OneWayList [X]
+{ int data;
+  OneWayList *next is uniquely forward along X;
+};
+
+function OneWayList * build(int n) {
+  var OneWayList *head = NULL;
+  var int i = n;
+  while i > 0 {
+    var OneWayList *node = new OneWayList;
+    node->data = i;
+    node->next = head;
+    head = node;
+    i = i - 1;
+  }
+  return head;
+}
+
+procedure scale(OneWayList *head, int c) {
+  var OneWayList *p = head;
+  while p != NULL {
+    p->data = p->data * c;
+    p = p->next;
+  }
+}
+
+function int total(OneWayList *head) {
+  var int s = 0;
+  var OneWayList *p = head;
+  while p != NULL {
+    s = s + p->data;
+    p = p->next;
+  }
+  return s;
+}
+
+function int main() {
+  var OneWayList *h = build(20);
+  scale(h, 3);
+  return total(h);
+}
+`
+
+// TestAutoRun: an auto request runs the planner-transformed program,
+// reproduces the serial result, and reports the plan — which loops
+// were parallelized and why the rest were rejected.
+func TestAutoRun(t *testing.T) {
+	s := newTestServer(t, Config{})
+	serial := mustRun(t, s, Request{Source: scalePar})
+	if !serial.OK || serial.Result != "630" { // sum(1..20)*3
+		t.Fatalf("serial: %+v", serial)
+	}
+	auto := mustRun(t, s, Request{Source: scalePar, Auto: true, PEs: 4, Width: 16})
+	if !auto.OK || auto.Result != serial.Result || auto.Output != serial.Output {
+		t.Fatalf("auto run diverged from serial: %+v", auto)
+	}
+	if auto.Cached {
+		t.Errorf("first auto request reported cached")
+	}
+	if auto.Plan == nil {
+		t.Fatalf("auto response lacks a plan")
+	}
+	if auto.Plan.Width != 16 || len(auto.Plan.Parallelized) != 1 {
+		t.Fatalf("plan: %+v", auto.Plan)
+	}
+	if got := auto.Plan.Parallelized[0]; got.Fn != "scale" || got.Loop != 0 || got.Helper == "" {
+		t.Errorf("parallelized entry: %+v", got)
+	}
+	var sawReduction bool
+	for _, r := range auto.Plan.Rejected {
+		if r.Fn == "total" && strings.Contains(r.Reason, "loop-carried") {
+			sawReduction = true
+		}
+		if r.Reason == "" {
+			t.Errorf("rejected loop without a reason: %+v", r)
+		}
+	}
+	if !sawReduction {
+		t.Errorf("plan does not explain the rejected reduction: %+v", auto.Plan.Rejected)
+	}
+	// The serial entry is still its own cache slot: a repeat serial
+	// request hits, and a repeat auto request hits with the plan intact.
+	if resp := mustRun(t, s, Request{Source: scalePar}); !resp.Cached || resp.Plan != nil {
+		t.Errorf("serial repeat: cached=%v plan=%v", resp.Cached, resp.Plan)
+	}
+	again := mustRun(t, s, Request{Source: scalePar, Auto: true, PEs: 4, Width: 16})
+	if !again.Cached || again.Plan == nil || again.Result != serial.Result {
+		t.Errorf("auto repeat: %+v", again)
+	}
+}
+
+// TestAutoValidation: width out of range and PEs beyond the cap are
+// malformed, not executed.
+func TestAutoValidation(t *testing.T) {
+	s := newTestServer(t, Config{})
+	for i, req := range []Request{
+		{Source: scalePar, Auto: true, Width: -1},
+		{Source: scalePar, Auto: true, Width: 1 << 20},
+		{Source: scalePar, Auto: true, PEs: 1 << 30},
+		{Source: scalePar, Auto: true, Sched: "psychic"},
+	} {
+		if _, err := s.Run(context.Background(), req); err == nil {
+			t.Errorf("case %d: accepted", i)
+		} else if _, ok := err.(*RequestError); !ok {
+			t.Errorf("case %d: err = %v, want *RequestError", i, err)
+		}
+	}
+}
+
+// TestAutoHotPathZeroCompileWork is the planner's acceptance guard:
+// once an (auto, width) variant is resident, further auto requests do
+// zero front-end work — no parses, no analysis, no planning, no
+// closure builds — observable as flat compile counters at both the
+// serve and interp layers.
+func TestAutoHotPathZeroCompileWork(t *testing.T) {
+	s := newTestServer(t, Config{})
+	warm := mustRun(t, s, Request{Source: scalePar, Auto: true, PEs: 2})
+	if !warm.OK || warm.Plan == nil {
+		t.Fatalf("warm: %+v", warm)
+	}
+	st0 := s.Stats().Cache
+	c0 := interp.CompileCount()
+	const hot = 50
+	for i := 0; i < hot; i++ {
+		resp := mustRun(t, s, Request{Source: scalePar, Auto: true, PEs: 2})
+		if !resp.OK || !resp.Cached || resp.Plan == nil {
+			t.Fatalf("hot auto request %d: %+v", i, resp)
+		}
+	}
+	st := s.Stats().Cache
+	if st.Compiles != st0.Compiles || st.Misses != st0.Misses {
+		t.Errorf("hot auto requests compiled: %+v vs %+v", st, st0)
+	}
+	if st.Hits != st0.Hits+hot {
+		t.Errorf("hits %d, want %d", st.Hits, st0.Hits+hot)
+	}
+	if d := interp.CompileCount() - c0; d != 0 {
+		t.Errorf("closure code rebuilt %d times on the auto hot path", d)
+	}
+}
+
 // TestParallelPEsCap: a parallel request cannot ask for an unbounded
 // worker-pool size — the one resource no other budget bounds.
 func TestParallelPEsCap(t *testing.T) {
@@ -497,6 +641,45 @@ func TestLoadConcurrency64(t *testing.T) {
 	}
 	t.Logf("concurrency 64: %d req, %.0f rps, hit rate %.3f, p50 %dµs p99 %dµs",
 		res.Requests, res.RPS, res.HotHitRate, res.P50US, res.P99US)
+}
+
+// TestLoadAutoMix: the generator's auto-rate mix against the HTTP
+// service — parallel planner-transformed execution under concurrent
+// load, zero errors, and the hot-path guarantee intact (the cold phase
+// first-touches the auto variants, so hot auto requests hit).
+func TestLoadAutoMix(t *testing.T) {
+	corpus, err := LoadCorpus(filepath.Join("..", "..", "testdata"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := newTestServer(t, Config{Workers: 8, QueueDepth: 128})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	res, err := RunLoad(context.Background(), LoadConfig{
+		URL:         ts.URL,
+		Corpus:      corpus,
+		Concurrency: 16,
+		Duration:    400 * time.Millisecond,
+		ColdRatio:   0.02,
+		AutoRate:    0.3,
+		Seed:        1,
+		Client:      ts.Client(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Errors != 0 {
+		t.Errorf("auto-mix load run had %d errors (of %d requests)", res.Errors, res.Requests)
+	}
+	if res.AutoRequests == 0 {
+		t.Errorf("auto mix sent no auto requests (of %d)", res.Requests)
+	}
+	if res.HotHitRate < 0.95 {
+		t.Errorf("hot-phase hit rate %.3f, want >= 0.95", res.HotHitRate)
+	}
+	t.Logf("auto mix: %d req (%d auto), %.0f rps, hit rate %.3f",
+		res.Requests, res.AutoRequests, res.RPS, res.HotHitRate)
 }
 
 // BenchmarkServeHot measures the cache-hit request path end to end

@@ -1,0 +1,288 @@
+// The auto-parallelization planner: the layer that turns the paper's
+// per-loop machinery into a push-button whole-program transformation.
+// Everywhere else in this repository a caller hand-picks a function
+// name, a loop index, and a strip width and calls StripMine;
+// AutoParallelize instead walks every function of a checked program,
+// runs the dependence test on every while loop, strip-mines each
+// approved loop, and returns a Plan that says what it did and — the
+// paper's real deliverable — *why* every other loop was rejected.
+//
+// Mechanics worth knowing:
+//
+//   - Loops are identified by their source position, not their index.
+//     Strip-mining loop k of a function moves any while loops nested
+//     in its body into the generated helper procedure, shifting the
+//     indices of every later loop in that function; positions survive
+//     both the program clone and the move, so the planner's bookkeeping
+//     does not.
+//   - After each rewrite the whole program is re-analyzed and the scan
+//     restarts: a verdict computed against the pre-rewrite program is
+//     never trusted to license a transformation of the post-rewrite
+//     one. The scan converges because a strip-mined loop can never be
+//     approved again (its body no longer ends with the advance) and no
+//     rewrite creates new while loops.
+//   - Helper procedures synthesized by the rewrites are not re-planned:
+//     their loops already run inside parallel iterations, and nesting
+//     foralls would only oversubscribe the worker pool. A loop that
+//     moves into a helper is reported as absorbed, not rejected.
+package transform
+
+import (
+	"fmt"
+	"runtime"
+	"strings"
+
+	"repro/internal/analysis"
+	"repro/internal/depend"
+	"repro/internal/effects"
+	"repro/internal/lang"
+)
+
+// DefaultWidth is the planner's width policy when the caller has no
+// opinion: 4 forall iterations per PE per barrier — wide enough that
+// the scheduling policy owns the iteration→PE map (the R2 convention),
+// narrow enough that the FOR2 skip-ahead (quadratic in width) stays
+// modest. pes <= 0 means "this host": runtime.GOMAXPROCS.
+func DefaultWidth(pes int) int {
+	if pes <= 0 {
+		pes = runtime.GOMAXPROCS(0)
+	}
+	return 4 * pes
+}
+
+// LoopPlan is one while loop's entry in a Plan: where the loop was
+// when planning started, the dependence verdict, and what the planner
+// did about it.
+type LoopPlan struct {
+	// Func and Index locate the loop in the *input* program (Index
+	// counts while loops in lang.Walk order, the LoopReports/StripMine
+	// convention — so the coordinates are valid against the caller's
+	// own source even after sibling rewrites shifted the working
+	// program's indices); Pos is its source position.
+	Func  string
+	Index int
+	Pos   lang.Pos
+	// Parallelized marks an approved, strip-mined loop; Helper is its
+	// generated iteration procedure and Width its strip width.
+	Parallelized bool
+	Helper       string
+	Width        int
+	// Absorbed marks a loop nested in the body of an approved loop: it
+	// moved into AbsorbedInto's body and runs serially inside the
+	// parallel iterations — neither approved nor rejected on its own.
+	Absorbed     bool
+	AbsorbedInto string
+	// Report is the dependence verdict (nil for absorbed loops that
+	// moved before the scan reached them).
+	Report *depend.Report
+}
+
+// String renders one plan line.
+func (lp *LoopPlan) String() string {
+	at := fmt.Sprintf("%s#%d (line %d)", lp.Func, lp.Index, lp.Pos.Line)
+	switch {
+	case lp.Parallelized:
+		return fmt.Sprintf("PARALLELIZED %-28s -> %s, width %d", at, lp.Helper, lp.Width)
+	case lp.Absorbed:
+		return fmt.Sprintf("absorbed     %-28s runs serially inside %s", at, lp.AbsorbedInto)
+	default:
+		why := "loop not analyzable"
+		if lp.Report != nil && len(lp.Report.Reasons) > 0 {
+			why = lp.Report.Reasons[0]
+		}
+		return fmt.Sprintf("rejected     %-28s %s", at, why)
+	}
+}
+
+// Plan is the planner's report: the transformed program plus one entry
+// per while loop saying what happened to it and why.
+type Plan struct {
+	// Program is the fully transformed program (the input program when
+	// nothing was approved; the input is never modified).
+	Program *lang.Program
+	// Width is the strip width applied to every approved loop.
+	Width int
+	// Loops lists every while loop of the planned functions in program
+	// order.
+	Loops []*LoopPlan
+	// Parallelized counts the approved (strip-mined) loops.
+	Parallelized int
+}
+
+// Summary is the one-line form: "parallelized 2/7 loops (width 16):
+// timestep#0, timestep#1".
+func (p *Plan) Summary() string {
+	var done []string
+	for _, lp := range p.Loops {
+		if lp.Parallelized {
+			done = append(done, fmt.Sprintf("%s#%d", lp.Func, lp.Index))
+		}
+	}
+	if len(done) == 0 {
+		return fmt.Sprintf("parallelized 0/%d loops (width %d)", len(p.Loops), p.Width)
+	}
+	return fmt.Sprintf("parallelized %d/%d loops (width %d): %s",
+		p.Parallelized, len(p.Loops), p.Width, strings.Join(done, ", "))
+}
+
+// String renders the full per-loop report, rejection reasons included.
+func (p *Plan) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "auto-parallelization plan — %s\n", p.Summary())
+	for _, lp := range p.Loops {
+		fmt.Fprintf(&b, "  %s\n", lp)
+	}
+	return strings.TrimRight(b.String(), "\n")
+}
+
+// AutoParallelize plans and transforms a whole checked program: every
+// while loop of every function is put through the dependence test, and
+// every approved loop is strip-mined with the given width (width <= 0
+// selects DefaultWidth for this host). The input program is not
+// modified. The scan restarts after each rewrite, so multiple approved
+// loops in one function (the paper's BHL1/BHL2 pair) and approved
+// loops nested inside rejected ones are both handled; the resulting
+// program is exactly what the equivalent sequence of hand-written
+// StripMine calls would produce, in program order.
+func AutoParallelize(prog *lang.Program, width int) (*Plan, error) {
+	if width <= 0 {
+		width = DefaultWidth(0)
+	}
+	plan := &Plan{Width: width}
+
+	// The functions to plan: a snapshot of what exists before any
+	// rewrite. Helpers synthesized below are appended after these and
+	// never revisited. origIndex remembers every loop's (function,
+	// index) in the *input* program — rewrites shift indices (nested
+	// loops move into helpers), and plan entries must report the
+	// coordinates the caller's own program uses.
+	names := make([]string, 0, len(prog.Funcs))
+	type loopAt struct {
+		fn    string
+		index int
+	}
+	origIndex := map[lang.Pos]loopAt{}
+	for _, f := range prog.Funcs {
+		names = append(names, f.Name)
+		for i, loop := range whileLoops(f.Body) {
+			origIndex[loop.Pos()] = loopAt{fn: f.Name, index: i}
+		}
+	}
+	newLoopPlan := func(pos lang.Pos, fn string, index int) *LoopPlan {
+		if at, ok := origIndex[pos]; ok {
+			fn, index = at.fn, at.index
+		}
+		return &LoopPlan{Func: fn, Index: index, Pos: pos}
+	}
+
+	// seen keys loop identity by source position (stable across clones
+	// and across the move into a helper). Programs built by lang.Parse
+	// give every loop a distinct position; a hand-built AST with
+	// all-zero positions would conflate its loops here.
+	seen := map[lang.Pos]*LoopPlan{}
+	cur := prog
+	for {
+		res, err := analysis.New(cur).AnalyzeAll()
+		if err != nil {
+			return nil, err
+		}
+		eff := effects.NewAnalyzer(cur)
+		transformed := false
+	scan:
+		for _, name := range names {
+			fn := cur.Func(name)
+			loops := whileLoops(fn.Body)
+			for i, loop := range loops {
+				lp := seen[loop.Pos()]
+				if lp != nil && (lp.Parallelized || lp.Absorbed) {
+					continue
+				}
+				var rep *depend.Report
+				if containsForall(loop.Body) {
+					// Never nest parallel regions: a loop whose body
+					// already holds a forall (an inner loop this planner
+					// approved on an earlier pass, or surface-syntax
+					// forall) stays serial — the pool is already busy
+					// inside it.
+					rep = &depend.Report{Func: name, Loop: loop,
+						Reasons: []string{"body already contains a parallel forall (the planner does not nest parallelism)"}}
+				} else if rep, err = depend.AnalyzeLoop(cur, res.Funcs[name], eff, name, i); err != nil {
+					return nil, err
+				}
+				if lp == nil {
+					lp = newLoopPlan(loop.Pos(), name, i)
+					seen[loop.Pos()] = lp
+					plan.Loops = append(plan.Loops, lp)
+				}
+				lp.Report = rep
+				if !rep.Parallelizable {
+					continue
+				}
+				sm, err := stripMine(cur, rep, name, i, width)
+				if err != nil {
+					return nil, err
+				}
+				lp.Parallelized = true
+				lp.Helper = sm.Helper
+				lp.Width = width
+				plan.Parallelized++
+				// Loops nested in the approved body move into the helper
+				// and run serially inside the parallel iterations; record
+				// them so the plan accounts for every loop of the input.
+				for _, inner := range whileLoops(loop.Body) {
+					ilp := seen[inner.Pos()]
+					if ilp == nil {
+						ilp = newLoopPlan(inner.Pos(), name, indexOfLoop(loops, inner))
+						seen[inner.Pos()] = ilp
+						plan.Loops = append(plan.Loops, ilp)
+					}
+					ilp.Absorbed = true
+					ilp.AbsorbedInto = sm.Helper
+				}
+				cur = sm.Program
+				transformed = true
+				break scan
+			}
+		}
+		if !transformed {
+			break
+		}
+	}
+	plan.Program = cur
+	return plan, nil
+}
+
+// whileLoops enumerates the while loops under a block in lang.Walk
+// order — the same order LoopReports and FindLoop count by.
+func whileLoops(body *lang.Block) []*lang.WhileStmt {
+	var loops []*lang.WhileStmt
+	lang.Walk(body, func(s lang.Stmt) bool {
+		if w, ok := s.(*lang.WhileStmt); ok {
+			loops = append(loops, w)
+		}
+		return true
+	})
+	return loops
+}
+
+func indexOfLoop(loops []*lang.WhileStmt, w *lang.WhileStmt) int {
+	for i, l := range loops {
+		if l == w {
+			return i
+		}
+	}
+	return -1
+}
+
+// containsForall reports whether any statement under body is a
+// parallel for (a forall region).
+func containsForall(body *lang.Block) bool {
+	found := false
+	lang.Walk(body, func(s lang.Stmt) bool {
+		if f, ok := s.(*lang.ForStmt); ok && f.Parallel {
+			found = true
+		}
+		return !found
+	})
+	return found
+}

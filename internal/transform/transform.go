@@ -17,7 +17,12 @@
 //     speculative traversability to avoid per-copy NULL checks on the
 //     advances.
 //
-// Both refuse to run unless package depend approves the loop.
+//   - AutoParallelize (autopar.go): the planner that closes the
+//     paper's loop — run the dependence test on every while loop of a
+//     whole program and strip-mine each approved one, no hand-picked
+//     function names or loop indices.
+//
+// All of them refuse to run unless package depend approves the loop.
 package transform
 
 import (
@@ -49,20 +54,35 @@ type StripMineResult struct {
 // input is not modified) and fails if the dependence test rejects the
 // loop.
 func StripMine(prog *lang.Program, fnName string, loopIndex, width int) (*StripMineResult, error) {
-	if width < 1 {
-		return nil, fmt.Errorf("transform: strip width must be >= 1, got %d", width)
-	}
-	fr, err := analysis.Analyze(prog, fnName)
-	if err != nil {
-		return nil, err
-	}
-	eff := effects.NewAnalyzer(prog)
-	rep, err := depend.AnalyzeLoop(prog, fr, eff, fnName, loopIndex)
+	rep, err := approveLoop(prog, fnName, loopIndex)
 	if err != nil {
 		return nil, err
 	}
 	if !rep.Parallelizable {
 		return nil, fmt.Errorf("transform: loop #%d of %s is not parallelizable:\n%s", loopIndex, fnName, rep)
+	}
+	return stripMine(prog, rep, fnName, loopIndex, width)
+}
+
+// approveLoop runs the full front half of every transformation in this
+// package — path-matrix analysis, effect summaries, the dependence
+// test — on one loop. The planner (AutoParallelize) reuses the verdict
+// it computed during its scan instead of calling this again per loop.
+func approveLoop(prog *lang.Program, fnName string, loopIndex int) (*depend.Report, error) {
+	fr, err := analysis.Analyze(prog, fnName)
+	if err != nil {
+		return nil, err
+	}
+	eff := effects.NewAnalyzer(prog)
+	return depend.AnalyzeLoop(prog, fr, eff, fnName, loopIndex)
+}
+
+// stripMine is the rewrite half of StripMine: it trusts rep (the
+// dependence report licensing loop loopIndex of fnName on this exact
+// program) and performs the §4.3.3 transformation on a clone.
+func stripMine(prog *lang.Program, rep *depend.Report, fnName string, loopIndex, width int) (*StripMineResult, error) {
+	if width < 1 {
+		return nil, fmt.Errorf("transform: strip width must be >= 1, got %d", width)
 	}
 
 	clone := prog.Clone()
@@ -244,12 +264,7 @@ func Unroll(prog *lang.Program, fnName string, loopIndex, factor int) (*lang.Pro
 	if factor < 2 {
 		return nil, fmt.Errorf("transform: unroll factor must be >= 2, got %d", factor)
 	}
-	fr, err := analysis.Analyze(prog, fnName)
-	if err != nil {
-		return nil, err
-	}
-	eff := effects.NewAnalyzer(prog)
-	rep, err := depend.AnalyzeLoop(prog, fr, eff, fnName, loopIndex)
+	rep, err := approveLoop(prog, fnName, loopIndex)
 	if err != nil {
 		return nil, err
 	}
