@@ -236,6 +236,73 @@ func BenchmarkR3WalkForceParallel4(b *testing.B)     { benchR3ForceParallel(b, i
 func BenchmarkR3CompiledForceParallel4(b *testing.B) { benchR3ForceParallel(b, interp.EngineCompiled) }
 
 // ---------------------------------------------------------------------------
+// R6 — the flat bytecode VM (interp.EngineBytecode) on the same R3
+// workloads: the third engine's rows in BENCH_interp.json.
+// TestBytecodeSpeedupFloor asserts the serial force-workload ratio
+// over the closure engine; allocs/op is reported because the VM's
+// selling point is an allocation-free hot loop over typed register
+// banks (TestR6BytecodeSerialAllocs pins that).
+
+func BenchmarkR6BytecodePolySerial(b *testing.B) {
+	b.ReportAllocs()
+	src, fn, seed, args := r3PolyArgs()
+	benchR3Serial(b, interp.EngineBytecode, src, fn, seed, args...)
+}
+
+func BenchmarkR6BytecodeForceSerial(b *testing.B) {
+	b.ReportAllocs()
+	src, fn, seed, args := r3ForceArgs()
+	benchR3Serial(b, interp.EngineBytecode, src, fn, seed, args...)
+}
+
+func BenchmarkR6BytecodeForceParallel4(b *testing.B) {
+	b.ReportAllocs()
+	benchR3ForceParallel(b, interp.EngineBytecode)
+}
+
+// TestR6BytecodeSerialAllocs pins the VM's allocation discipline: a
+// hot serial run (arithmetic, comparisons, calls — no `new`, no
+// print) must allocate only a small constant number of objects per
+// Call (argument boxing; frames and register banks come from the
+// pool after the warm-up run), independent of iteration count.
+func TestR6BytecodeSerialAllocs(t *testing.T) {
+	prog := lang.MustParse(`
+function real inner(real x, int e) {
+  var real v = 1.0;
+  var int i = 0;
+  while i < e {
+    v = v * x;
+    i = i + 1;
+  }
+  return v;
+}
+function real hot(int n) {
+  var real s = 0.0;
+  for k = 1 to n {
+    s = s + inner(1.0001, 50) + sqrt(abs(s)) * 0.5;
+    if s > 1000000.0 { s = s / 2.0; }
+  }
+  return s;
+}`)
+	ip := interp.New(prog, interp.Config{Engine: interp.EngineBytecode})
+	args := []interp.Value{interp.IntVal(2000)}
+	if _, err := ip.Call("hot", args...); err != nil { // warm the frame pool
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(10, func() {
+		if _, err := ip.Call("hot", args...); err != nil {
+			t.Fatal(err)
+		}
+	})
+	// 2000 outer iterations × (a user call + builtins) execute with
+	// zero per-iteration allocations; the per-Call budget covers only
+	// entry-side boxing.
+	if allocs > 8 {
+		t.Errorf("bytecode serial run allocates %.0f objects/run, want ≤ 8 (hot loop must not allocate)", allocs)
+	}
+}
+
+// ---------------------------------------------------------------------------
 // F1 — validation distinguishing the Figure 1 shapes.
 
 func BenchmarkFig1ValidationVerdict(b *testing.B) {

@@ -1,11 +1,12 @@
 // BENCH_interp.json is the checked-in interpreter performance
-// trajectory: ns/op for the tree-walking oracle vs the compiled
-// engine on the R1 (polynomial) and R2 (Barnes-Hut force) workloads,
-// regenerated via testing.Benchmark from the same BenchmarkR3*
-// configurations CI compiles. Future PRs that touch the execution
-// core re-emit the file and commit it, so the walk/compiled gap — and
-// any regression of the compiled hot path — is visible in review
-// diffs rather than lost to whoever happens to run the benchmarks.
+// trajectory: ns/op for the tree-walking oracle, the compiled closure
+// engine, and the flat bytecode VM on the R1 (polynomial) and R2
+// (Barnes-Hut force) workloads, regenerated via testing.Benchmark
+// from the same BenchmarkR3*/BenchmarkR6* configurations CI compiles.
+// Future PRs that touch the execution core re-emit the file and
+// commit it, so the walk/compiled/bytecode gaps — and any regression
+// of either fast path — are visible in review diffs rather than lost
+// to whoever happens to run the benchmarks.
 //
 // Regenerate (takes ~30 s) with:
 //
@@ -51,6 +52,9 @@ type benchFile struct {
 	// SpeedupSerialForce is walk/compiled ns on the serial force
 	// workload — the ratio TestCompiledSpeedupFloor guards.
 	SpeedupSerialForce float64 `json:"speedup_serial_force"`
+	// SpeedupSerialForceBytecode is compiled/bytecode ns on the same
+	// workload — the ratio TestBytecodeSpeedupFloor guards.
+	SpeedupSerialForceBytecode float64 `json:"speedup_serial_force_bytecode"`
 }
 
 // benchConfigs maps trajectory entries to the BenchmarkR3* bodies.
@@ -61,10 +65,13 @@ var benchConfigs = []struct {
 }{
 	{"R1-poly/serial", interp.EngineWalk, BenchmarkR3WalkPolySerial},
 	{"R1-poly/serial", interp.EngineCompiled, BenchmarkR3CompiledPolySerial},
+	{"R1-poly/serial", interp.EngineBytecode, BenchmarkR6BytecodePolySerial},
 	{"R2-force/serial", interp.EngineWalk, BenchmarkR3WalkForceSerial},
 	{"R2-force/serial", interp.EngineCompiled, BenchmarkR3CompiledForceSerial},
+	{"R2-force/serial", interp.EngineBytecode, BenchmarkR6BytecodeForceSerial},
 	{"R2-force/par4", interp.EngineWalk, BenchmarkR3WalkForceParallel4},
 	{"R2-force/par4", interp.EngineCompiled, BenchmarkR3CompiledForceParallel4},
+	{"R2-force/par4", interp.EngineBytecode, BenchmarkR6BytecodeForceParallel4},
 }
 
 func TestBenchInterpJSON(t *testing.T) {
@@ -95,6 +102,10 @@ func TestBenchInterpJSON(t *testing.T) {
 		t.Errorf("recorded serial-force speedup %.2f should exceed 1 (compiled faster than walk)",
 			f.SpeedupSerialForce)
 	}
+	if f.SpeedupSerialForceBytecode <= 1 {
+		t.Errorf("recorded serial-force bytecode speedup %.2f should exceed 1 (bytecode faster than compiled)",
+			f.SpeedupSerialForceBytecode)
+	}
 }
 
 func writeBenchJSON(t *testing.T) {
@@ -105,7 +116,7 @@ func writeBenchJSON(t *testing.T) {
 		GOARCH:      runtime.GOARCH,
 		CPUs:        runtime.NumCPU(),
 	}
-	var walkForce, compiledForce float64
+	var walkForce, compiledForce, bytecodeForce float64
 	for _, c := range benchConfigs {
 		r := testing.Benchmark(c.run)
 		ns := float64(r.T.Nanoseconds()) / float64(r.N)
@@ -117,16 +128,22 @@ func writeBenchJSON(t *testing.T) {
 			N:           r.N,
 		})
 		if c.name == "R2-force/serial" {
-			if c.engine == interp.EngineWalk {
+			switch c.engine {
+			case interp.EngineWalk:
 				walkForce = ns
-			} else {
+			case interp.EngineCompiled:
 				compiledForce = ns
+			case interp.EngineBytecode:
+				bytecodeForce = ns
 			}
 		}
 		t.Logf("%s/%s: %.0f ns/op (N=%d)", c.name, c.engine, ns, r.N)
 	}
 	if compiledForce > 0 {
 		f.SpeedupSerialForce = walkForce / compiledForce
+	}
+	if bytecodeForce > 0 {
+		f.SpeedupSerialForceBytecode = compiledForce / bytecodeForce
 	}
 	data, err := json.MarshalIndent(f, "", "  ")
 	if err != nil {

@@ -355,14 +355,17 @@ func runR2(peList []int, policies []parexec.Policy, eng interp.Engine) {
 }
 
 // runR3 measures the execution-engine comparison: the same programs
-// under the tree-walking oracle and the slot-resolved compiled engine,
-// serial and strip-mined parallel, with checksums asserted identical
-// across every engine × mode cell. It exists because R1/R2 speedups
-// are only as honest as their serial baseline: the compiled engine is
-// that baseline made fast (no scope-map lookups, no field-name
-// hashing, slice-copy frame forks instead of map rebuilds).
+// under the tree-walking oracle, the slot-resolved compiled engine,
+// and the flat bytecode VM (R6), serial and strip-mined parallel,
+// with checksums asserted identical across every engine × mode cell.
+// It exists because R1/R2 speedups are only as honest as their serial
+// baseline: the compiled engine is that baseline made fast (no
+// scope-map lookups, no field-name hashing, slice-copy frame forks
+// instead of map rebuilds), and the bytecode VM is the same baseline
+// flattened further (typed register banks, no closure dispatch, no
+// interface values in the hot loop).
 func runR3(peList []int) {
-	header("R3 — compiled engine vs tree-walker (same results, fewer cycles of ours)")
+	header("R3 — execution engines compared (same results, fewer cycles of ours)")
 	fmt.Printf("host: GOMAXPROCS=%d, NumCPU=%d; best of 3 runs per cell;\n",
 		runtime.GOMAXPROCS(0), runtime.NumCPU())
 	fmt.Println("par rows: strip width 4×PEs, static cyclic, parexec pool.")
@@ -389,7 +392,8 @@ func runR3(peList []int) {
 		{"force N=128", nbody.BarnesHutForcePSL, nbody.ForceFunc, nbody.ForceLoop, nbody.ForceFunc, 7,
 			[]interp.Value{interp.IntVal(128), interp.RealVal(0.5)}},
 	}
-	fmt.Printf("%-14s %-9s %10s %12s %8s\n", "workload", "config", "walk ms", "compiled ms", "ratio")
+	fmt.Printf("%-14s %-9s %10s %12s %12s %8s %8s\n",
+		"workload", "config", "walk ms", "compiled ms", "bytecode ms", "w/c", "c/b")
 	for _, w := range workloads {
 		c, err := core.Compile(w.src)
 		if err != nil {
@@ -433,11 +437,14 @@ func runR3(peList []int) {
 			}
 			wms := cell(interp.EngineWalk, parallel)
 			cms := cell(interp.EngineCompiled, parallel)
-			fmt.Printf("%-14s %-9s %10.1f %12.1f %7.1fx\n", w.label, cfgLabel, wms, cms, wms/cms)
+			bms := cell(interp.EngineBytecode, parallel)
+			fmt.Printf("%-14s %-9s %10.1f %12.1f %12.1f %7.1fx %7.1fx\n",
+				w.label, cfgLabel, wms, cms, bms, wms/cms, cms/bms)
 		}
 	}
 	fmt.Println("\nEvery engine × mode cell reproduced the same checksum bit-for-bit;")
-	fmt.Println("TestCompiledSpeedupFloor pins the serial force-workload ratio in CI.")
+	fmt.Println("TestCompiledSpeedupFloor and TestBytecodeSpeedupFloor pin the serial")
+	fmt.Println("force-workload ratios in CI.")
 }
 
 // runR5 measures the auto-parallelization planner against the

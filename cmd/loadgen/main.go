@@ -4,7 +4,9 @@
 // workers hammering the service for -duration with a hot/cold key mix
 // (-cold is the forced-miss fraction; -auto-rate sends that fraction
 // of requests with auto:true, exercising the planner-parallelized
-// execution path under load). The JSON report on stdout carries
+// execution path under load; -bytecode-rate sends that fraction with
+// engine:bytecode, exercising the flat VM). The JSON report on stdout
+// carries
 // throughput, client-side latency percentiles, and the
 // server-accounted hot-phase cache-hit rate.
 //
@@ -47,13 +49,14 @@ func main() {
 	}
 
 	res, err := serve.RunLoad(ctx, serve.LoadConfig{
-		URL:         f.Addr,
-		Corpus:      corpus,
-		Concurrency: f.Concurrency,
-		Duration:    f.Duration,
-		ColdRatio:   f.Cold,
-		AutoRate:    f.AutoRate,
-		Seed:        f.Seed,
+		URL:          f.Addr,
+		Corpus:       corpus,
+		Concurrency:  f.Concurrency,
+		Duration:     f.Duration,
+		ColdRatio:    f.Cold,
+		AutoRate:     f.AutoRate,
+		BytecodeRate: f.BytecodeRate,
+		Seed:         f.Seed,
 	})
 	if err != nil {
 		log.Fatalf("loadgen: %v", err)

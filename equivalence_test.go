@@ -1,17 +1,20 @@
-// Engine equivalence: the differential suite behind the "two engines,
-// one oracle" contract (DESIGN.md). The tree-walking interpreter is
-// the semantic reference; the compiled engine is the fast path that
-// R1/R2/R3 measure. This file pins them together: for every corpus
-// program, under every execution mode — serial real, simulated with
-// both static schedules and several PE counts, and goroutine-parallel
-// under every scheduling policy at PEs {2, 4, 8} — results, printed
-// output, and execution statistics (simulated cycle counts included)
-// must be bit-identical. The parallel cells run both the hand-strip-
-// mined program and the auto-parallelization planner's whole-program
-// transformation (core.AutoParallel), so the planner's output carries
-// the same armor as the hand-wired calls. CI runs this under -race,
-// so the compiled engine's parallel frame handling is also exercised
-// for data races.
+// Engine equivalence: the differential suite behind the "three
+// engines, two oracles" contract (DESIGN.md). The tree-walking
+// interpreter is the semantic reference; the compiled closure engine
+// is the fast path that R1/R2/R3 measure; the flat bytecode VM (R6)
+// is the third engine, lowered from the same slot-resolved IR onto
+// typed register banks. This file pins all three together: for every
+// corpus program, under every execution mode — serial real, simulated
+// with both static schedules and several PE counts, and
+// goroutine-parallel under every scheduling policy at PEs {2, 4, 8} —
+// results, printed output, and execution statistics (simulated cycle
+// counts included) must be bit-identical across the full engine
+// matrix, compared pairwise against the walker. The parallel cells
+// run both the hand-strip-mined program and the auto-parallelization
+// planner's whole-program transformation (core.AutoParallel), so the
+// planner's output carries the same armor as the hand-wired calls.
+// CI runs this under -race, so both fast engines' parallel frame
+// handling is also exercised for data races.
 package repro
 
 import (
@@ -27,6 +30,10 @@ import (
 	"repro/internal/nbody"
 	"repro/internal/parexec"
 )
+
+// eqEngines is the full engine matrix. The walker (first entry) is
+// the oracle every other engine is compared against.
+var eqEngines = []interp.Engine{interp.EngineWalk, interp.EngineCompiled, interp.EngineBytecode}
 
 // eqProgram is one corpus entry: a program, the driver to execute,
 // and (when a loop is provably parallel) the strip-mining target that
@@ -90,14 +97,17 @@ func TestEngineEquivalence(t *testing.T) {
 				t.Fatal(err)
 			}
 
-			// Serial real mode: the reference cell.
+			// Serial real mode: the reference cell. Each fast engine
+			// is compared against the walker.
 			wv, wst, wout := runEngine(t, c.Program,
 				interp.Config{Engine: interp.EngineWalk, Seed: p.seed}, p.fn, p.args)
-			cv, cst, cout := runEngine(t, c.Program,
-				interp.Config{Engine: interp.EngineCompiled, Seed: p.seed}, p.fn, p.args)
-			if wv.String() != cv.String() || wout != cout || wst != cst {
-				t.Fatalf("serial real divergence:\nwalk     %s %+v %q\ncompiled %s %+v %q",
-					wv, wst, wout, cv, cst, cout)
+			for _, eng := range eqEngines[1:] {
+				ev, est, eout := runEngine(t, c.Program,
+					interp.Config{Engine: eng, Seed: p.seed}, p.fn, p.args)
+				if wv.String() != ev.String() || wout != eout || wst != est {
+					t.Fatalf("serial real divergence:\nwalk %s %+v %q\n%s %s %+v %q",
+						wv, wst, wout, eng, ev, est, eout)
+				}
 			}
 
 			// Simulated mode: cycle accounting must agree bit-for-bit,
@@ -123,23 +133,26 @@ func TestEngineEquivalence(t *testing.T) {
 				for _, pes := range []int{1, 4} {
 					for _, sched := range []interp.Scheduling{interp.Cyclic, interp.Block} {
 						base := interp.Config{Mode: interp.Simulated, PEs: pes, Sched: sched, Seed: p.seed}
-						wcfg, ccfg := base, base
+						wcfg := base
 						wcfg.Engine = interp.EngineWalk
-						ccfg.Engine = interp.EngineCompiled
 						wv, wst, wout := runEngine(t, prog, wcfg, p.fn, p.args)
-						cv, cst, cout := runEngine(t, prog, ccfg, p.fn, p.args)
-						if wv.String() != cv.String() || wout != cout || wst != cst {
-							t.Fatalf("simulated divergence (stripped=%v pes=%d sched=%d):\nwalk     %s %+v\ncompiled %s %+v",
-								pi == 1, pes, sched, wv, wst, cv, cst)
+						for _, eng := range eqEngines[1:] {
+							ecfg := base
+							ecfg.Engine = eng
+							ev, est, eout := runEngine(t, prog, ecfg, p.fn, p.args)
+							if wv.String() != ev.String() || wout != eout || wst != est {
+								t.Fatalf("simulated divergence (variant=%d pes=%d sched=%d):\nwalk %s %+v\n%s %s %+v",
+									pi, pes, sched, wv, wst, eng, ev, est)
+							}
 						}
 					}
 				}
 			}
 
 			// Goroutine-parallel mode: every scheduling policy × PEs
-			// {2,4,8} × both engines must reproduce the serial walk
-			// reference (value, output, and the shared counters) — for
-			// the hand-stripped program and the auto-planned one.
+			// {2,4,8} × all three engines must reproduce the serial
+			// walk reference (value, output, and the shared counters)
+			// — for the hand-stripped program and the auto-planned one.
 			variants := map[string]*lang.Program{}
 			if p.stripFn != "" {
 				par, err := c.StripMine(p.stripFn, p.stripLoop, 8)
@@ -155,7 +168,7 @@ func TestEngineEquivalence(t *testing.T) {
 				for _, pol := range []parexec.Policy{parexec.StaticBlock, parexec.StaticCyclic, parexec.Dynamic(2)} {
 					for _, pes := range []int{2, 4, 8} {
 						stats := map[interp.Engine]interp.Stats{}
-						for _, eng := range []interp.Engine{interp.EngineWalk, interp.EngineCompiled} {
+						for _, eng := range eqEngines {
 							var out bytes.Buffer
 							v, st, err := parexec.Run(prog, parexec.Options{
 								Interp: eng, PEs: pes, Sched: pol, Seed: p.seed, Output: &out,
@@ -177,10 +190,13 @@ func TestEngineEquivalence(t *testing.T) {
 						}
 						// The strip-mined program executes more statements
 						// than the original (forall machinery), so counters
-						// are compared engine-vs-engine per cell.
-						if stats[interp.EngineWalk] != stats[interp.EngineCompiled] {
-							t.Errorf("%s/%s/%s pes=%d: stats diverged: walk %+v, compiled %+v",
-								p.name, vname, pol.Name(), pes, stats[interp.EngineWalk], stats[interp.EngineCompiled])
+						// are compared engine-vs-engine per cell, pairwise
+						// against the walker.
+						for _, eng := range eqEngines[1:] {
+							if stats[interp.EngineWalk] != stats[eng] {
+								t.Errorf("%s/%s/%s pes=%d: stats diverged: walk %+v, %s %+v",
+									p.name, vname, pol.Name(), pes, stats[interp.EngineWalk], eng, stats[eng])
+							}
 						}
 					}
 				}
@@ -230,4 +246,48 @@ func TestCompiledSpeedupFloor(t *testing.T) {
 		}
 	}
 	t.Errorf("compiled engine only %.2f× faster than the walker on the force workload (floor %.1f)", ratio, floor)
+}
+
+// TestBytecodeSpeedupFloor pins the point of the R6 bytecode VM: on
+// the R2 force workload, run serially, the flat instruction loop over
+// typed register banks must beat the closure-tree compiled engine.
+// The honest ratio on an idle host is recorded in BENCH_interp.json;
+// the floor here is the acceptance bar (≥1.5×), relaxed under the
+// race detector, whose per-access instrumentation penalizes the VM's
+// tight switch loop more than it penalizes closure dispatch. Best of
+// 3 runs per engine, up to 3 attempts.
+func TestBytecodeSpeedupFloor(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing test")
+	}
+	prog := lang.MustParse(nbody.BarnesHutForcePSL)
+	args := []interp.Value{interp.IntVal(96), interp.RealVal(0.5)}
+	measure := func(eng interp.Engine) time.Duration {
+		best := time.Duration(0)
+		for i := 0; i < 3; i++ {
+			t0 := time.Now()
+			if _, _, err := interp.Run(prog, interp.Config{Engine: eng, Seed: 7}, nbody.ForceFunc, args...); err != nil {
+				t.Fatal(err)
+			}
+			if d := time.Since(t0); best == 0 || d < best {
+				best = d
+			}
+		}
+		return best
+	}
+	floor := 1.5
+	if raceEnabled {
+		floor = 0.7
+	}
+	var ratio float64
+	for attempt := 0; attempt < 3; attempt++ {
+		compiled := measure(interp.EngineCompiled)
+		bc := measure(interp.EngineBytecode)
+		ratio = float64(compiled) / float64(bc)
+		t.Logf("attempt %d: compiled %v, bytecode %v, ratio %.2f (floor %.1f)", attempt+1, compiled, bc, ratio, floor)
+		if ratio >= floor {
+			return
+		}
+	}
+	t.Errorf("bytecode VM only %.2f× faster than the compiled engine on the force workload (floor %.1f)", ratio, floor)
 }

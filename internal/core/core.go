@@ -190,8 +190,10 @@ func (c *Compilation) Unroll(fn string, loopIndex, factor int) (*Compilation, er
 type RunConfig struct {
 	// Engine selects the interpreter engine (default
 	// interp.EngineCompiled, the slot-resolved closure code;
-	// interp.EngineWalk is the tree-walking oracle). The engines are
-	// bit-identical in results, output, and simulated cycle counts.
+	// interp.EngineBytecode, the flat register-bank VM lowered from
+	// the same IR; interp.EngineWalk is the tree-walking oracle). The
+	// engines are bit-identical in results, output, and simulated
+	// cycle counts.
 	Engine interp.Engine
 	// Simulate runs on the deterministic machine model instead of
 	// real goroutines.

@@ -34,6 +34,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"repro/internal/bytecode"
 	"repro/internal/compile"
 	"repro/internal/lang"
 )
@@ -65,9 +66,16 @@ type compiledProg struct {
 // ---------------------------------------------------------------------------
 // Code cache
 
+// codeCacheEntry holds both backends' artifacts for one program,
+// built from a single compile.Compile pass: the closure code and the
+// flat bytecode. Building both eagerly keeps the serving layer's
+// zero-compile-on-hit contract engine-independent — a cached program
+// never compiles again no matter which engine a request selects.
 type codeCacheEntry struct {
-	code *compiledProg
-	err  error
+	code  *compiledProg
+	err   error
+	bc    *bytecode.Program
+	bcErr error
 }
 
 // codeCache memoizes closure code per program so that repeated
@@ -96,8 +104,7 @@ func CompileCount() int64 { return compileBuilds.Load() }
 // for prog, so that subsequent New calls with Config.Engine ==
 // EngineCompiled skip compilation entirely.
 func Precompile(prog *lang.Program) error {
-	_, err := compiledFor(prog)
-	return err
+	return compiledFor(prog).err
 }
 
 // CompiledProgram pins a program's closure code: unlike the bounded
@@ -111,13 +118,18 @@ type CompiledProgram struct {
 	prog *lang.Program
 	code *compiledProg
 	err  error
+	// bc / bcErr pin the bytecode backend's artifact alongside the
+	// closures, so the bytecode engine shares the no-recompile
+	// guarantee.
+	bc    *bytecode.Program
+	bcErr error
 }
 
 // CompileProgram builds (or reuses) the closure code for prog and
 // returns the pinning handle. Err reports a front-end failure.
 func CompileProgram(prog *lang.Program) *CompiledProgram {
-	code, err := compiledFor(prog)
-	return &CompiledProgram{prog: prog, code: code, err: err}
+	e := compiledFor(prog)
+	return &CompiledProgram{prog: prog, code: e.code, err: e.err, bc: e.bc, bcErr: e.bcErr}
 }
 
 // Err reports why compilation failed (nil on success).
@@ -134,6 +146,7 @@ func (cp *CompiledProgram) Program() *lang.Program { return cp.prog }
 func NewCompiled(cp *CompiledProgram, cfg Config) *Interp {
 	ip := newInterp(cp.prog, cfg)
 	ip.code, ip.compileErr = cp.code, cp.err
+	ip.bc, ip.bcErr = cp.bc, cp.bcErr
 	return ip
 }
 
@@ -144,17 +157,15 @@ func RunCompiled(cp *CompiledProgram, cfg Config, fn string, args ...Value) (Val
 	return v, ip.Stats(), err
 }
 
-func compiledFor(prog *lang.Program) (*compiledProg, error) {
+func compiledFor(prog *lang.Program) *codeCacheEntry {
 	if v, ok := codeCache.Load(prog); ok {
-		e := v.(*codeCacheEntry)
-		return e.code, e.err
+		return v.(*codeCacheEntry)
 	}
-	code, err := buildCompiled(prog)
-	if v, loaded := codeCache.LoadOrStore(prog, &codeCacheEntry{code: code, err: err}); loaded {
+	entry := buildCompiled(prog)
+	if v, loaded := codeCache.LoadOrStore(prog, entry); loaded {
 		// Another goroutine built the same program first; use its copy
 		// so the size counter tracks distinct entries only.
-		e := v.(*codeCacheEntry)
-		return e.code, e.err
+		return v.(*codeCacheEntry)
 	}
 	if codeCacheSize.Add(1) > codeCacheLimit {
 		// Evict one arbitrary entry — but never the one just inserted,
@@ -170,14 +181,16 @@ func compiledFor(prog *lang.Program) (*compiledProg, error) {
 			return false
 		})
 	}
-	return code, err
+	return entry
 }
 
-func buildCompiled(prog *lang.Program) (*compiledProg, error) {
+// buildCompiled lowers prog once (compile.Compile) and builds both
+// backends from the shared IR: the closure tree and the flat bytecode.
+func buildCompiled(prog *lang.Program) *codeCacheEntry {
 	compileBuilds.Add(1)
 	cp, err := compile.Compile(prog)
 	if err != nil {
-		return nil, err
+		return &codeCacheEntry{err: err, bcErr: err}
 	}
 	cc := &compiledProg{byName: make(map[string]*compiledFunc, len(cp.Funcs))}
 	for _, f := range cp.Funcs {
@@ -189,7 +202,8 @@ func buildCompiled(prog *lang.Program) (*compiledProg, error) {
 	for i, f := range cp.Funcs {
 		cc.funcs[i].body = g.seq(f.Body)
 	}
-	return cc, nil
+	bc, bcErr := bytecode.Compile(cp)
+	return &codeCacheEntry{code: cc, bc: bc, bcErr: bcErr}
 }
 
 // ---------------------------------------------------------------------------

@@ -1,11 +1,14 @@
-// FuzzCompileVsWalk: differential fuzzing of the two execution
-// engines. Any program the front end accepts must behave identically
-// under the tree-walking oracle and the compiled closure engine —
-// same value, same printed output, same error/no-error outcome, and
-// (in simulated mode) the same cycle/step/allocation counters. This
-// is the property that lets later PRs refactor the execution core
-// freely: the walker defines the semantics, the fuzzer hunts for
-// programs where the fast path disagrees.
+// FuzzCompileVsWalk / FuzzBytecodeVsCompiled: differential fuzzing of
+// the three execution engines. Any program the front end accepts must
+// behave identically under the tree-walking oracle, the compiled
+// closure engine, and the flat bytecode VM — same value, same printed
+// output, same error/no-error outcome, and (in simulated mode) the
+// same cycle/step/allocation counters. This is the property that lets
+// later PRs refactor the execution core freely: the walker defines
+// the semantics, the fuzzers hunt for programs where a fast path
+// disagrees. The two fuzzers compose: compiled is pinned to the
+// walker, bytecode is pinned to compiled, so a bytecode-vs-walker
+// divergence cannot hide.
 package interp_test
 
 import (
@@ -143,34 +146,36 @@ func isLimitErr(err error) bool {
 		strings.Contains(err.Error(), "recursion depth"))
 }
 
-func compareOutcomes(t *testing.T, label string, w, c engineOutcome) {
+func compareOutcomes(t *testing.T, label string, a, b interp.Engine, w, c engineOutcome) {
 	t.Helper()
 	// Resource-limit errors fire at engine-specific instants; only
 	// agreement on "some limit was hit" is required.
 	if isLimitErr(w.err) || isLimitErr(c.err) {
 		if !isLimitErr(w.err) || !isLimitErr(c.err) {
-			t.Fatalf("%s: limit asymmetry: walk err=%v, compiled err=%v", label, w.err, c.err)
+			t.Fatalf("%s: limit asymmetry: %s err=%v, %s err=%v", label, a, w.err, b, c.err)
 		}
 		return
 	}
 	if (w.err != nil) != (c.err != nil) {
-		t.Fatalf("%s: error asymmetry: walk err=%v, compiled err=%v", label, w.err, c.err)
+		t.Fatalf("%s: error asymmetry: %s err=%v, %s err=%v", label, a, w.err, b, c.err)
 	}
 	if w.err != nil {
 		return
 	}
 	if w.v.String() != c.v.String() {
-		t.Fatalf("%s: value divergence: walk %s, compiled %s", label, w.v, c.v)
+		t.Fatalf("%s: value divergence: %s %s, %s %s", label, a, w.v, b, c.v)
 	}
 	if w.out != c.out {
-		t.Fatalf("%s: output divergence:\nwalk     %q\ncompiled %q", label, w.out, c.out)
+		t.Fatalf("%s: output divergence:\n%s %q\n%s %q", label, a, w.out, b, c.out)
 	}
 	if w.stats != c.stats {
-		t.Fatalf("%s: stats divergence: walk %+v, compiled %+v", label, w.stats, c.stats)
+		t.Fatalf("%s: stats divergence: %s %+v, %s %+v", label, a, w.stats, b, c.stats)
 	}
 }
 
-func fuzzBody(t *testing.T, src string) {
+// fuzzDiff runs src under the engine pair (a = reference, b = engine
+// under test) and fails on any observable divergence.
+func fuzzDiff(t *testing.T, src string, a, b interp.Engine) {
 	prog, err := lang.Parse(src)
 	if err != nil {
 		return
@@ -181,21 +186,36 @@ func fuzzBody(t *testing.T, src string) {
 	}
 	// Simulated mode exercises the full cost accounting (including
 	// simulatedForall's rewind) and is safe for any forall size.
-	w := runOne(prog, interp.EngineWalk, interp.Simulated, fn, args)
-	c := runOne(prog, interp.EngineCompiled, interp.Simulated, fn, args)
-	compareOutcomes(t, "simulated", w, c)
+	w := runOne(prog, a, interp.Simulated, fn, args)
+	c := runOne(prog, b, interp.Simulated, fn, args)
+	compareOutcomes(t, "simulated", a, b, w, c)
 
 	if hasParallelLoop(prog) {
 		return
 	}
-	w = runOne(prog, interp.EngineWalk, interp.Real, fn, args)
-	c = runOne(prog, interp.EngineCompiled, interp.Real, fn, args)
-	compareOutcomes(t, "real", w, c)
+	w = runOne(prog, a, interp.Real, fn, args)
+	c = runOne(prog, b, interp.Real, fn, args)
+	compareOutcomes(t, "real", a, b, w, c)
 }
 
 func FuzzCompileVsWalk(f *testing.F) {
 	seedPrograms(f)
-	f.Fuzz(fuzzBody)
+	f.Fuzz(func(t *testing.T, src string) {
+		fuzzDiff(t, src, interp.EngineWalk, interp.EngineCompiled)
+	})
+}
+
+// FuzzBytecodeVsCompiled pins the R6 bytecode VM to the closure
+// engine the same way the closure engine is pinned to the walker.
+// Compiled is the reference here (not the walker) so a failure
+// bisects immediately: this fuzzer failing alone means the lowering
+// or the VM is wrong; both fuzzers failing means the closure engine
+// drifted from the semantics.
+func FuzzBytecodeVsCompiled(f *testing.F) {
+	seedPrograms(f)
+	f.Fuzz(func(t *testing.T, src string) {
+		fuzzDiff(t, src, interp.EngineCompiled, interp.EngineBytecode)
+	})
 }
 
 // TestForallDepthParity: a forall body's recursion budget is the
@@ -225,13 +245,13 @@ function int main() {
 	}
 	sawOK, sawErr := false, false
 	for maxDepth := 2; maxDepth <= 16; maxDepth++ {
-		var outcome [2]error
-		for i, eng := range []interp.Engine{interp.EngineWalk, interp.EngineCompiled} {
+		var outcome [3]error
+		for i, eng := range []interp.Engine{interp.EngineWalk, interp.EngineCompiled, interp.EngineBytecode} {
 			_, _, err := interp.Run(prog, interp.Config{Engine: eng, MaxDepth: maxDepth}, "main")
 			outcome[i] = err
 		}
-		if (outcome[0] != nil) != (outcome[1] != nil) {
-			t.Errorf("MaxDepth=%d: walk err=%v, compiled err=%v", maxDepth, outcome[0], outcome[1])
+		if (outcome[0] != nil) != (outcome[1] != nil) || (outcome[0] != nil) != (outcome[2] != nil) {
+			t.Errorf("MaxDepth=%d: walk err=%v, compiled err=%v, bytecode err=%v", maxDepth, outcome[0], outcome[1], outcome[2])
 		}
 		if outcome[0] == nil {
 			sawOK = true
@@ -260,7 +280,7 @@ function int main() {
 	if err != nil {
 		t.Fatal(err)
 	}
-	for _, eng := range []interp.Engine{interp.EngineWalk, interp.EngineCompiled} {
+	for _, eng := range []interp.Engine{interp.EngineWalk, interp.EngineCompiled, interp.EngineBytecode} {
 		v, _, err := interp.Run(prog, interp.Config{Engine: eng}, "main")
 		if err != nil {
 			t.Fatalf("engine %s: %v", eng, err)

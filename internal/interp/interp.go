@@ -31,6 +31,7 @@ import (
 	"sync/atomic"
 
 	"repro/internal/adds"
+	"repro/internal/bytecode"
 	"repro/internal/lang"
 )
 
@@ -50,28 +51,39 @@ const (
 	// EngineWalk executes the AST directly — the original tree-walking
 	// interpreter, kept as the differential-testing oracle.
 	EngineWalk
+	// EngineBytecode executes flat bytecode (internal/bytecode) over
+	// typed per-function register banks — no closure dispatch, no boxed
+	// intermediates. Same results, output, accounting, and error text
+	// as the other two engines (the three-way equivalence grid and
+	// FuzzBytecodeVsCompiled enforce it); it is just faster still.
+	EngineBytecode
 )
 
-// String names the engine ("compiled", "walk").
+// String names the engine ("compiled", "bytecode", "walk").
 func (e Engine) String() string {
-	if e == EngineWalk {
+	switch e {
+	case EngineWalk:
 		return "walk"
+	case EngineBytecode:
+		return "bytecode"
 	}
 	return "compiled"
 }
 
 // EngineNames lists the accepted ParseEngine names in display order.
-func EngineNames() []string { return []string{"compiled", "walk"} }
+func EngineNames() []string { return []string{"compiled", "bytecode", "walk"} }
 
 // ParseEngine resolves an engine name from the command line.
 func ParseEngine(name string) (Engine, error) {
 	switch name {
 	case "compiled", "":
 		return EngineCompiled, nil
+	case "bytecode":
+		return EngineBytecode, nil
 	case "walk":
 		return EngineWalk, nil
 	}
-	return 0, fmt.Errorf("interp: unknown engine %q (want compiled, walk)", name)
+	return 0, fmt.Errorf("interp: unknown engine %q (want compiled, bytecode, walk)", name)
 }
 
 // Mode selects how forall loops execute.
@@ -222,6 +234,13 @@ type Interp struct {
 	// compileErr records why compilation failed (surfaced at Call).
 	code       *compiledProg
 	compileErr error
+	// bc is the flat program when cfg.Engine == EngineBytecode; bcErr
+	// records why lowering failed (surfaced at Call).
+	bc    *bytecode.Program
+	bcErr error
+	// bcPool recycles bytecode register files, like framePool for the
+	// closure engine's slot frames.
+	bcPool []*bcFrame
 	// stepsLocal batches the compiled engine's statement count between
 	// flushes to the shared atomic (each Interp executes on one
 	// goroutine at a time, so the field needs no synchronization).
@@ -272,8 +291,13 @@ type state struct {
 // New creates an interpreter for a checked, normalized program.
 func New(prog *lang.Program, cfg Config) *Interp {
 	ip := newInterp(prog, cfg)
-	if ip.cfg.Engine == EngineCompiled {
-		ip.code, ip.compileErr = compiledFor(prog)
+	switch ip.cfg.Engine {
+	case EngineCompiled:
+		e := compiledFor(prog)
+		ip.code, ip.compileErr = e.code, e.err
+	case EngineBytecode:
+		e := compiledFor(prog)
+		ip.bc, ip.bcErr = e.bc, e.bcErr
 	}
 	return ip
 }
@@ -330,6 +354,8 @@ func (ip *Interp) Fork(out io.Writer) *Interp {
 		ctx:        ip.ctx,
 		code:       ip.code,
 		compileErr: ip.compileErr,
+		bc:         ip.bc,
+		bcErr:      ip.bcErr,
 	}
 	nf.cfg.Forall = nil
 	if out != nil {
@@ -377,11 +403,21 @@ func (ip *Interp) Call(fn string, args ...Value) (Value, error) {
 			return Value{}, fmt.Errorf("interp: run cancelled: %v", err)
 		}
 	}
-	if ip.cfg.Engine == EngineCompiled {
+	switch ip.cfg.Engine {
+	case EngineCompiled:
 		if ip.compileErr != nil {
 			return Value{}, fmt.Errorf("interp: compiled engine: %w", ip.compileErr)
 		}
 		v, err := ip.callCompiled(ip.code.byName[fn], args)
+		if ferr := ip.flushSteps(f.Pos()); err == nil && ferr != nil {
+			err = ferr
+		}
+		return v, err
+	case EngineBytecode:
+		if ip.bcErr != nil {
+			return Value{}, fmt.Errorf("interp: bytecode engine: %w", ip.bcErr)
+		}
+		v, err := ip.callBytecode(ip.bc.Func(fn), args)
 		if ferr := ip.flushSteps(f.Pos()); err == nil && ferr != nil {
 			err = ferr
 		}

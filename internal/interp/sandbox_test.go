@@ -1,10 +1,12 @@
-// Sandbox tests: the per-run budgets (MaxAllocs, MaxOutputBytes) and
-// Ctx cancellation that the serving layer (internal/serve) relies on
-// to run untrusted programs, asserted equivalent across both engines —
-// the new error paths stay inside the "two engines, one oracle"
-// contract. Also the compile-once/share-everywhere contract behind
-// internal/compile's immutability note: one compiled program executed
-// from 16 goroutines under the race detector.
+// Sandbox tests: the per-run budgets (MaxSteps, MaxAllocs,
+// MaxOutputBytes) and Ctx cancellation that the serving layer
+// (internal/serve) relies on to run untrusted programs, asserted
+// equivalent across all three engines — the error paths stay inside
+// the "three engines, two oracles" contract. Also the
+// compile-once/share-everywhere contract behind internal/compile's
+// immutability note: one compiled program (closure and bytecode
+// backends alike) executed from 16 goroutines under the race
+// detector.
 package interp
 
 import (
@@ -17,6 +19,10 @@ import (
 
 	"repro/internal/lang"
 )
+
+// sandboxEngines is the full engine matrix the budget trips are
+// asserted identical across.
+var sandboxEngines = []Engine{EngineWalk, EngineCompiled, EngineBytecode}
 
 const sandboxSrc = `
 type Cell [X]
@@ -52,15 +58,16 @@ function int spin(int n) {
 }
 `
 
-// runBoth executes fn under both engines with the same config and
-// returns (error string, output) per engine.
-func runBoth(t *testing.T, cfg Config, fn string, args ...Value) (errs [2]string, outs [2]string) {
+// runAll executes fn under every engine with the same config and
+// returns (error string, output) per engine, indexed like
+// sandboxEngines.
+func runAll(t *testing.T, cfg Config, fn string, args ...Value) (errs [3]string, outs [3]string) {
 	t.Helper()
 	prog, err := lang.Parse(sandboxSrc)
 	if err != nil {
 		t.Fatal(err)
 	}
-	for i, eng := range []Engine{EngineWalk, EngineCompiled} {
+	for i, eng := range sandboxEngines {
 		var out bytes.Buffer
 		c := cfg
 		c.Engine = eng
@@ -76,39 +83,65 @@ func runBoth(t *testing.T, cfg Config, fn string, args ...Value) (errs [2]string
 }
 
 // TestMaxAllocsEquivalence: the allocation budget trips at the same
-// deterministic allocation in both engines, with the same message.
+// deterministic allocation in every engine, with the same message.
 func TestMaxAllocsEquivalence(t *testing.T) {
-	errs, _ := runBoth(t, Config{MaxAllocs: 10}, "alloc_bomb", IntVal(100))
+	errs, _ := runAll(t, Config{MaxAllocs: 10}, "alloc_bomb", IntVal(100))
 	for i, e := range errs {
 		if !strings.Contains(e, "allocation limit exceeded (10)") {
-			t.Errorf("engine %d: error %q, want allocation limit", i, e)
+			t.Errorf("engine %s: error %q, want allocation limit", sandboxEngines[i], e)
+		}
+		if e != errs[0] {
+			t.Errorf("engines disagree: %s %q vs %s %q", sandboxEngines[0], errs[0], sandboxEngines[i], e)
 		}
 	}
-	if errs[0] != errs[1] {
-		t.Errorf("engines disagree: walk %q vs compiled %q", errs[0], errs[1])
-	}
 	// Under the budget, the same program runs to completion.
-	errs, _ = runBoth(t, Config{MaxAllocs: 100}, "alloc_bomb", IntVal(100))
-	if errs[0] != "" || errs[1] != "" {
-		t.Errorf("within budget should succeed: %q / %q", errs[0], errs[1])
+	errs, _ = runAll(t, Config{MaxAllocs: 100}, "alloc_bomb", IntVal(100))
+	for i, e := range errs {
+		if e != "" {
+			t.Errorf("engine %s: within budget should succeed: %q", sandboxEngines[i], e)
+		}
 	}
 }
 
-// TestMaxOutputBytesEquivalence: the output cap aborts both engines at
+// TestMaxStepsEquivalence: the step limit trips in every engine with
+// the same message. The walker may attribute the chunk flush to a
+// neighboring statement (limits fire at engine-specific instants, the
+// long-standing fuzzer carve-out), but the two lowered engines share
+// the closure engine's statement granularity exactly, so compiled and
+// bytecode must agree to the position.
+func TestMaxStepsEquivalence(t *testing.T) {
+	errs, _ := runAll(t, Config{MaxSteps: 1000}, "spin", IntVal(1_000_000))
+	for i, e := range errs {
+		if !strings.Contains(e, "step limit exceeded (1000)") {
+			t.Errorf("engine %s: error %q, want step limit", sandboxEngines[i], e)
+		}
+	}
+	if errs[1] != errs[2] {
+		t.Errorf("lowered engines disagree: compiled %q vs bytecode %q", errs[1], errs[2])
+	}
+	errs, _ = runAll(t, Config{MaxSteps: 10_000_000}, "spin", IntVal(1000))
+	for i, e := range errs {
+		if e != "" {
+			t.Errorf("engine %s: within budget should succeed: %q", sandboxEngines[i], e)
+		}
+	}
+}
+
+// TestMaxOutputBytesEquivalence: the output cap aborts every engine at
 // the same print with the same message, and the bytes emitted before
 // the cap are identical.
 func TestMaxOutputBytesEquivalence(t *testing.T) {
-	errs, outs := runBoth(t, Config{MaxOutputBytes: 20}, "print_bomb", IntVal(100))
+	errs, outs := runAll(t, Config{MaxOutputBytes: 20}, "print_bomb", IntVal(100))
 	for i, e := range errs {
 		if !strings.Contains(e, "output limit exceeded (20 bytes)") {
-			t.Errorf("engine %d: error %q, want output limit", i, e)
+			t.Errorf("engine %s: error %q, want output limit", sandboxEngines[i], e)
 		}
-	}
-	if errs[0] != errs[1] {
-		t.Errorf("engines disagree: walk %q vs compiled %q", errs[0], errs[1])
-	}
-	if outs[0] != outs[1] {
-		t.Errorf("partial output differs: walk %q vs compiled %q", outs[0], outs[1])
+		if e != errs[0] {
+			t.Errorf("engines disagree: %s %q vs %s %q", sandboxEngines[0], errs[0], sandboxEngines[i], e)
+		}
+		if outs[i] != outs[0] {
+			t.Errorf("partial output differs: %s %q vs %s %q", sandboxEngines[0], outs[0], sandboxEngines[i], outs[i])
+		}
 	}
 	if len(outs[0]) > 20 {
 		t.Errorf("emitted %d bytes, cap is 20: %q", len(outs[0]), outs[0])
@@ -116,30 +149,30 @@ func TestMaxOutputBytesEquivalence(t *testing.T) {
 }
 
 // TestCtxCancelledAtEntry: a context that is dead before Call starts
-// fails identically in both engines, before any execution.
+// fails identically in every engine, before any execution.
 func TestCtxCancelledAtEntry(t *testing.T) {
 	ctx, cancel := context.WithCancel(context.Background())
 	cancel()
-	errs, outs := runBoth(t, Config{Ctx: ctx}, "spin", IntVal(10))
+	errs, outs := runAll(t, Config{Ctx: ctx}, "spin", IntVal(10))
 	want := "interp: run cancelled: context canceled"
 	for i, e := range errs {
 		if e != want {
-			t.Errorf("engine %d: error %q, want %q", i, e, want)
+			t.Errorf("engine %s: error %q, want %q", sandboxEngines[i], e, want)
 		}
 		if outs[i] != "" {
-			t.Errorf("engine %d: produced output %q before cancelled start", i, outs[i])
+			t.Errorf("engine %s: produced output %q before cancelled start", sandboxEngines[i], outs[i])
 		}
 	}
 }
 
 // TestCtxDeadlineMidRun: a deadline expiring mid-run cuts a long loop
-// off in both engines, well before the step limit would.
+// off in every engine, well before the step limit would.
 func TestCtxDeadlineMidRun(t *testing.T) {
 	prog, err := lang.Parse(sandboxSrc)
 	if err != nil {
 		t.Fatal(err)
 	}
-	for _, eng := range []Engine{EngineWalk, EngineCompiled} {
+	for _, eng := range sandboxEngines {
 		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
 		ip := New(prog, Config{Engine: eng, Ctx: ctx})
 		start := time.Now()
@@ -154,12 +187,14 @@ func TestCtxDeadlineMidRun(t *testing.T) {
 	}
 }
 
-// TestCompiledProgramSharedAcrossGoroutines enforces internal/compile's
-// immutability contract: closure code is built exactly once (via
-// Precompile, the serving layer's cache-insert path) and then executed
-// concurrently from 16 goroutines sharing the same program. Run under
-// -race in CI; results and output must agree across all goroutines.
-func TestCompiledProgramSharedAcrossGoroutines(t *testing.T) {
+// sharedAcrossGoroutines enforces internal/compile's immutability
+// contract for one engine: code is built exactly once (via
+// Precompile, the serving layer's cache-insert path) and then
+// executed concurrently from 16 goroutines sharing the same program.
+// Run under -race in CI; results and output must agree across all
+// goroutines, with zero compile work during execution.
+func sharedAcrossGoroutines(t *testing.T, eng Engine) {
+	t.Helper()
 	prog, err := lang.Parse(sandboxSrc)
 	if err != nil {
 		t.Fatal(err)
@@ -178,7 +213,7 @@ func TestCompiledProgramSharedAcrossGoroutines(t *testing.T) {
 		go func(i int) {
 			defer wg.Done()
 			var out bytes.Buffer
-			ip := New(prog, Config{Engine: EngineCompiled, Output: &out})
+			ip := New(prog, Config{Engine: eng, Output: &out})
 			v, err := ip.Call("print_bomb", IntVal(50))
 			results[i], outputs[i], errs[i] = v.I, out.String(), err
 		}(i)
@@ -195,4 +230,15 @@ func TestCompiledProgramSharedAcrossGoroutines(t *testing.T) {
 	if n := CompileCount() - before; n != 0 {
 		t.Errorf("%d extra compiles during concurrent execution; cache hits must do zero compile work", n)
 	}
+}
+
+func TestCompiledProgramSharedAcrossGoroutines(t *testing.T) {
+	sharedAcrossGoroutines(t, EngineCompiled)
+}
+
+// TestBytecodeProgramSharedAcrossGoroutines: the bytecode Program is
+// immutable after lowering; 16 goroutines execute the same flat code
+// concurrently, each over its own register banks.
+func TestBytecodeProgramSharedAcrossGoroutines(t *testing.T) {
+	sharedAcrossGoroutines(t, EngineBytecode)
 }

@@ -48,9 +48,10 @@ import (
 // Options configures an Engine.
 type Options struct {
 	// Interp selects the interpreter engine the pool runs on
-	// (default interp.EngineCompiled; interp.EngineWalk is the
-	// tree-walking oracle). Results are bit-identical either way —
-	// the engines differ only in speed.
+	// (default interp.EngineCompiled; interp.EngineBytecode is the
+	// flat register-bank VM; interp.EngineWalk is the tree-walking
+	// oracle). Results are bit-identical across all three — the
+	// engines differ only in speed.
 	Interp interp.Engine
 	// Compiled, if non-nil, supplies the program's pinned closure code
 	// (interp.CompileProgram) instead of the per-program code cache —

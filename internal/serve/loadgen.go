@@ -10,7 +10,9 @@
 //     the hot phase exercises the hot/cold mix rather than a pure
 //     cache residency test. An AutoRate fraction is sent with
 //     "auto": true (planner-parallelized execution), so the parallel
-//     path carries load too, not just the serial one.
+//     path carries load too, not just the serial one; a BytecodeRate
+//     fraction is sent with "engine": "bytecode", so the flat VM
+//     carries load alongside the default closure engine.
 //
 // Hit rates come from diffing the server's /stats around the hot
 // phase; latencies are measured client-side per request.
@@ -83,6 +85,13 @@ type LoadConfig struct {
 	// deliberately small: with Concurrency closed-loop workers in
 	// flight, per-request pools multiply).
 	AutoPEs int
+	// BytecodeRate is the fraction of hot-phase requests sent with
+	// "engine": "bytecode", load-testing the flat VM alongside the
+	// default closure engine. No extra cold phase is needed: the
+	// compiled-program cache is engine-independent (one compile
+	// populates both backends), so bytecode requests hit the same
+	// cache entries as serial ones.
+	BytecodeRate float64
 	// Seed makes the workers' corpus draws reproducible.
 	Seed int64
 	// Client overrides the HTTP client (nil = a pooled default).
@@ -97,6 +106,11 @@ type LoadResult struct {
 	// hot-phase requests actually sent with "auto": true.
 	AutoRate     float64 `json:"auto_rate"`
 	AutoRequests int64   `json:"auto_requests"`
+	// BytecodeRate echoes the configured engine mix; BytecodeRequests
+	// counts the hot-phase requests actually sent with
+	// "engine": "bytecode".
+	BytecodeRate     float64 `json:"bytecode_rate"`
+	BytecodeRequests int64   `json:"bytecode_requests"`
 	// Requests/Errors cover the hot phase; an error is any non-200,
 	// non-503 status or a Response with ok=false. 503s are the pool's
 	// admission back-pressure — the worker backs off and retries, and
@@ -148,7 +162,8 @@ func RunLoad(ctx context.Context, cfg LoadConfig) (*LoadResult, error) {
 	if cfg.AutoPEs <= 0 {
 		cfg.AutoPEs = 2
 	}
-	res := &LoadResult{Concurrency: cfg.Concurrency, ColdRatio: cfg.ColdRatio, AutoRate: cfg.AutoRate}
+	res := &LoadResult{Concurrency: cfg.Concurrency, ColdRatio: cfg.ColdRatio,
+		AutoRate: cfg.AutoRate, BytecodeRate: cfg.BytecodeRate}
 
 	// Cold phase: first touch of every corpus program — and, when the
 	// hot phase will send auto requests, of every program's planned
@@ -191,7 +206,7 @@ func RunLoad(ctx context.Context, cfg LoadConfig) (*LoadResult, error) {
 	start := time.Now()
 	var wg sync.WaitGroup
 	latencies := make([][]int64, cfg.Concurrency)
-	var requests, errors, rejected, autoReqs atomic.Int64
+	var requests, errors, rejected, autoReqs, bcReqs atomic.Int64
 	for w := 0; w < cfg.Concurrency; w++ {
 		wg.Add(1)
 		go func(w int) {
@@ -207,6 +222,9 @@ func RunLoad(ctx context.Context, cfg LoadConfig) (*LoadResult, error) {
 				if cfg.AutoRate > 0 && rng.Float64() < cfg.AutoRate {
 					req.Auto = true
 					req.PEs = cfg.AutoPEs
+				}
+				if cfg.BytecodeRate > 0 && rng.Float64() < cfg.BytecodeRate {
+					req.Engine = "bytecode"
 				}
 				t0 := time.Now()
 				resp, status, err := postRun(hctx, client, cfg.URL, req)
@@ -224,6 +242,9 @@ func RunLoad(ctx context.Context, cfg LoadConfig) (*LoadResult, error) {
 				requests.Add(1)
 				if req.Auto {
 					autoReqs.Add(1)
+				}
+				if req.Engine == "bytecode" {
+					bcReqs.Add(1)
 				}
 				latencies[w] = append(latencies[w], time.Since(t0).Microseconds())
 				if err != nil || status != http.StatusOK || !resp.OK {
@@ -244,6 +265,7 @@ func RunLoad(ctx context.Context, cfg LoadConfig) (*LoadResult, error) {
 	res.Errors = errors.Load()
 	res.Rejected = rejected.Load()
 	res.AutoRequests = autoReqs.Load()
+	res.BytecodeRequests = bcReqs.Load()
 	res.DurationMS = elapsed.Milliseconds()
 	if elapsed > 0 {
 		res.RPS = float64(res.Requests) / elapsed.Seconds()

@@ -146,8 +146,9 @@ type Request struct {
 	// Args are the call arguments; integral JSON numbers become PSL
 	// ints, fractional ones reals.
 	Args []json.Number `json:"args,omitempty"`
-	// Engine selects the interpreter engine ("compiled", the default,
-	// or "walk" — the differential oracle).
+	// Engine selects the interpreter engine: "compiled" (the
+	// default), "bytecode" (the flat register-bank VM), or "walk"
+	// (the differential oracle).
 	Engine string `json:"engine,omitempty"`
 	// Parallel runs forall regions on the parexec worker pool with PEs
 	// workers (0 = GOMAXPROCS) under the Sched policy ("block",

@@ -95,6 +95,15 @@ func TestRunBasic(t *testing.T) {
 	if w.Result != "42" || w.Output != "sum 5\n" {
 		t.Errorf("walk engine diverged: %+v", w)
 	}
+	// So does the bytecode VM — and it hits the same cache entry (the
+	// entry holds both lowered backends).
+	bc := mustRun(t, s, Request{Source: addSrc, Engine: "bytecode"})
+	if bc.Result != "42" || bc.Output != "sum 5\n" {
+		t.Errorf("bytecode engine diverged: %+v", bc)
+	}
+	if !bc.Cached {
+		t.Errorf("bytecode request missed the engine-independent program cache")
+	}
 }
 
 func TestRunValidation(t *testing.T) {
@@ -680,6 +689,46 @@ func TestLoadAutoMix(t *testing.T) {
 	}
 	t.Logf("auto mix: %d req (%d auto), %.0f rps, hit rate %.3f",
 		res.Requests, res.AutoRequests, res.RPS, res.HotHitRate)
+}
+
+// TestLoadBytecodeMix: the generator's bytecode-rate mix against the
+// HTTP service — the flat VM under concurrent load, zero errors, and
+// the hot-path guarantee intact without any extra cold phase (the
+// program cache is engine-independent: one entry serves compiled and
+// bytecode requests alike).
+func TestLoadBytecodeMix(t *testing.T) {
+	corpus, err := LoadCorpus(filepath.Join("..", "..", "testdata"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := newTestServer(t, Config{Workers: 8, QueueDepth: 128})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	res, err := RunLoad(context.Background(), LoadConfig{
+		URL:          ts.URL,
+		Corpus:       corpus,
+		Concurrency:  16,
+		Duration:     400 * time.Millisecond,
+		ColdRatio:    0.02,
+		BytecodeRate: 0.5,
+		Seed:         1,
+		Client:       ts.Client(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Errors != 0 {
+		t.Errorf("bytecode-mix load run had %d errors (of %d requests)", res.Errors, res.Requests)
+	}
+	if res.BytecodeRequests == 0 {
+		t.Errorf("bytecode mix sent no bytecode requests (of %d)", res.Requests)
+	}
+	if res.HotHitRate < 0.95 {
+		t.Errorf("hot-phase hit rate %.3f, want >= 0.95 (bytecode requests must share cache entries)", res.HotHitRate)
+	}
+	t.Logf("bytecode mix: %d req (%d bytecode), %.0f rps, hit rate %.3f",
+		res.Requests, res.BytecodeRequests, res.RPS, res.HotHitRate)
 }
 
 // BenchmarkServeHot measures the cache-hit request path end to end
