@@ -117,6 +117,7 @@ type ServeFlags struct {
 	MaxAllocs    int64         // -max-allocs: per-request allocation budget
 	MaxOutput    int64         // -max-output: per-request print() byte budget
 	MaxWidth     int           // -max-width: auto-parallelize strip-width cap
+	TenantQueue  int           // -tenant-queue: per-tenant admission quota
 }
 
 // RegisterServe installs the cmd/pslserved flag set on fs.
@@ -132,6 +133,7 @@ func RegisterServe(fs *flag.FlagSet) *ServeFlags {
 	fs.Int64Var(&f.MaxAllocs, "max-allocs", 0, "per-request allocation budget (0 = 1M)")
 	fs.Int64Var(&f.MaxOutput, "max-output", 0, "per-request print() byte budget (0 = 1MiB)")
 	fs.IntVar(&f.MaxWidth, "max-width", 0, "strip-width cap for auto-parallelized requests (0 = 256)")
+	fs.IntVar(&f.TenantQueue, "tenant-queue", 0, "per-tenant queued-request quota (0 = whole queue)")
 	return f
 }
 
@@ -139,16 +141,83 @@ func RegisterServe(fs *flag.FlagSet) *ServeFlags {
 // server defaults).
 func (f *ServeFlags) ServerConfig() serve.Config {
 	return serve.Config{
-		Workers:        f.Workers,
-		QueueDepth:     f.Queue,
-		CacheEntries:   f.CacheEntries,
-		CacheShards:    f.CacheShards,
-		DefaultTimeout: f.Timeout,
-		MaxSteps:       f.MaxSteps,
-		MaxAllocs:      f.MaxAllocs,
-		MaxOutputBytes: f.MaxOutput,
-		MaxStripWidth:  f.MaxWidth,
+		Workers:          f.Workers,
+		QueueDepth:       f.Queue,
+		CacheEntries:     f.CacheEntries,
+		CacheShards:      f.CacheShards,
+		DefaultTimeout:   f.Timeout,
+		MaxSteps:         f.MaxSteps,
+		MaxAllocs:        f.MaxAllocs,
+		MaxOutputBytes:   f.MaxOutput,
+		MaxStripWidth:    f.MaxWidth,
+		TenantQueueDepth: f.TenantQueue,
 	}
+}
+
+// ---------------------------------------------------------------------------
+// cmd/pslrouter
+
+// RouterFlags is the parsed flag values of cmd/pslrouter.
+type RouterFlags struct {
+	Addr           string        // -addr: listen address
+	Backends       string        // -backends: comma-separated pslserved base URLs
+	Replicas       int           // -replicas: virtual nodes per backend on the hash ring
+	HealthInterval time.Duration // -health-interval: /healthz probe period
+	Retries        int           // -retries: extra backends tried after a transport failure
+	AsyncWorkers   int           // -async-workers: async job queue drainers
+	AsyncQueue     int           // -async-queue: queued async-job backlog cap
+	AsyncAttempts  int           // -async-attempts: attempts before an async job fails
+	AsyncTimeout   time.Duration // -async-timeout: per-attempt wall clock for async jobs
+}
+
+// RegisterRouter installs the cmd/pslrouter flag set on fs.
+func RegisterRouter(fs *flag.FlagSet) *RouterFlags {
+	f := &RouterFlags{}
+	fs.StringVar(&f.Addr, "addr", "127.0.0.1:8090", "listen address")
+	fs.StringVar(&f.Backends, "backends", "http://127.0.0.1:8080",
+		"comma-separated pslserved base URLs to shard across")
+	fs.IntVar(&f.Replicas, "replicas", 0, "virtual nodes per backend on the hash ring (0 = 512)")
+	fs.DurationVar(&f.HealthInterval, "health-interval", 0, "backend /healthz probe period (0 = 250ms)")
+	fs.IntVar(&f.Retries, "retries", 0,
+		"extra backends a request tries after a transport failure (0 = 2, -1 = none)")
+	fs.IntVar(&f.AsyncWorkers, "async-workers", 0, "async job queue drainers (0 = 4)")
+	fs.IntVar(&f.AsyncQueue, "async-queue", 0, "queued async-job backlog cap (0 = 256)")
+	fs.IntVar(&f.AsyncAttempts, "async-attempts", 0, "attempts before an async job is failed (0 = 3)")
+	fs.DurationVar(&f.AsyncTimeout, "async-timeout", 0, "per-attempt wall clock for async jobs (0 = 60s)")
+	return f
+}
+
+// BackendList splits the -backends flag into base URLs.
+func (f *RouterFlags) BackendList() ([]string, error) {
+	var out []string
+	for _, u := range strings.Split(f.Backends, ",") {
+		if u = strings.TrimSpace(u); u != "" {
+			out = append(out, u)
+		}
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("expflags: -backends is empty")
+	}
+	return out, nil
+}
+
+// RouterConfig maps the flags onto a serve.RouterConfig (zeros keep the
+// router defaults).
+func (f *RouterFlags) RouterConfig() (serve.RouterConfig, error) {
+	backends, err := f.BackendList()
+	if err != nil {
+		return serve.RouterConfig{}, err
+	}
+	return serve.RouterConfig{
+		Backends:        backends,
+		Replicas:        f.Replicas,
+		HealthInterval:  f.HealthInterval,
+		Retries:         f.Retries,
+		AsyncWorkers:    f.AsyncWorkers,
+		AsyncQueueDepth: f.AsyncQueue,
+		AsyncAttempts:   f.AsyncAttempts,
+		AsyncTimeout:    f.AsyncTimeout,
+	}, nil
 }
 
 // ---------------------------------------------------------------------------

@@ -5,13 +5,15 @@
 //	GET  /healthz — 200 while serving, 503 once draining
 //
 // Error mapping: malformed requests are 400, admission rejections 503
-// with Retry-After (back-pressure the load generator understands), and
-// everything that actually executed is 200 — including failed programs,
-// whose Response carries ok=false and the error string. A failed
-// program is a successful service interaction.
+// (queue full, draining) or 429 (tenant over quota) with Retry-After
+// (back-pressure the load generator honors), and everything that
+// actually executed is 200 — including failed programs, whose Response
+// carries ok=false and the error string. A failed program is a
+// successful service interaction.
 package serve
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"net/http"
@@ -56,13 +58,26 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusBadRequest, errorBody{Error: "bad request body: " + err.Error()})
 		return
 	}
-	resp, err := s.Run(r.Context(), req)
+	s.finishRun(r.Context(), w, req)
+}
+
+// finishRun executes an already-decoded Request and writes the
+// Response under the documented error mapping. It is handleRun minus
+// the decode: the Router's embedded fast path calls it directly, so a
+// routed request decodes its body exactly once — same as a direct one.
+func (s *Server) finishRun(ctx context.Context, w http.ResponseWriter, req Request) {
+	resp, err := s.Run(ctx, req)
 	switch {
 	case err == nil:
 		writeJSON(w, http.StatusOK, resp)
 	case err == ErrBusy || err == ErrDraining:
 		w.Header().Set("Retry-After", "1")
 		writeJSON(w, http.StatusServiceUnavailable, errorBody{Error: err.Error()})
+	case err == ErrTenantBusy:
+		// Over-quota is the tenant's condition, not the service's: 429,
+		// so clients can tell "slow down, you" from "the fleet is full".
+		w.Header().Set("Retry-After", "1")
+		writeJSON(w, http.StatusTooManyRequests, errorBody{Error: err.Error()})
 	default:
 		writeJSON(w, http.StatusBadRequest, errorBody{Error: err.Error()})
 	}

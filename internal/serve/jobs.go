@@ -1,0 +1,235 @@
+// The async job ledger behind the router's POST /submit API: a
+// durable in-process queue for runs that exceed the synchronous
+// request deadline. Every submitted job lives in the ledger for the
+// router's lifetime, and its state machine is strict:
+//
+//	queued → running → done            (a live backend answered)
+//	                 ↘ queued          (transport failure: requeued,
+//	                                    up to AsyncAttempts — always
+//	                                    during drain)
+//	                 ↘ failed          (attempts exhausted)
+//
+// A job completes at most once (complete/fail panic on a job that is
+// not running — double completion is a bug, not a condition to
+// tolerate), and drain loses nothing: workers' in-flight attempts
+// either complete or requeue, queued jobs stay queued. The job-id
+// ledger is therefore an audit structure, not just a result store —
+// TestRouterDrainLedger asserts over it.
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"sync"
+)
+
+// Job states as reported by GET /result/{id}.
+const (
+	JobQueued  = "queued"
+	JobRunning = "running"
+	JobDone    = "done"
+	JobFailed  = "failed"
+)
+
+// asyncJob is one submitted job. All fields past body are guarded by
+// the ledger's mutex.
+type asyncJob struct {
+	id     string
+	source string
+	body   []byte
+
+	state       string
+	attempts    int
+	status      int    // backend HTTP status, once done
+	result      []byte // backend response body, once done
+	errMsg      string // terminal error, once failed
+	completions int    // times a terminal state was recorded; must end ≤ 1
+	done        chan struct{}
+}
+
+// JobView is the wire form of one job (POST /submit and
+// GET /result/{id} replies).
+type JobView struct {
+	ID       string `json:"job_id"`
+	State    string `json:"state"`
+	Attempts int    `json:"attempts"`
+	// Status and Response carry the backend's answer once State is
+	// "done" — Response is the same JSON a synchronous /run returns.
+	Status   int             `json:"status,omitempty"`
+	Response json.RawMessage `json:"response,omitempty"`
+	Error    string          `json:"error,omitempty"`
+}
+
+// jobLedger is the queue plus the permanent id→job record.
+type jobLedger struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	closed bool
+	seq    int64
+	jobs   map[string]*asyncJob
+	fifo   []*asyncJob // queued jobs, oldest first
+	depth  int         // admission cap on len(fifo)
+
+	running  int
+	done     int64
+	failed   int64
+	requeues int64
+}
+
+func newJobLedger(depth int) *jobLedger {
+	l := &jobLedger{jobs: make(map[string]*asyncJob), depth: depth}
+	l.cond = sync.NewCond(&l.mu)
+	return l
+}
+
+// submit admits a job or rejects it without blocking (ErrDraining
+// after close, ErrBusy when the queued backlog is at capacity).
+func (l *jobLedger) submit(source string, body []byte) (string, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return "", ErrDraining
+	}
+	if len(l.fifo) >= l.depth {
+		return "", ErrBusy
+	}
+	l.seq++
+	j := &asyncJob{
+		id:     fmt.Sprintf("job-%06d", l.seq),
+		source: source,
+		body:   body,
+		state:  JobQueued,
+		done:   make(chan struct{}),
+	}
+	l.jobs[j.id] = j
+	l.fifo = append(l.fifo, j)
+	l.cond.Signal()
+	return j.id, nil
+}
+
+// take blocks for the next queued job and marks it running (one take
+// is one attempt). It returns nil once the ledger is closed — queued
+// jobs are deliberately left queued: drain completes in-flight work
+// but starts nothing new, so an undrained backlog stays visible in the
+// ledger instead of vanishing.
+func (l *jobLedger) take() *asyncJob {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	for len(l.fifo) == 0 && !l.closed {
+		l.cond.Wait()
+	}
+	if l.closed {
+		return nil
+	}
+	j := l.fifo[0]
+	l.fifo = l.fifo[1:]
+	j.state = JobRunning
+	j.attempts++
+	l.running++
+	return j
+}
+
+// requeue returns a running job to the back of the queue after a
+// failed attempt.
+func (l *jobLedger) requeue(j *asyncJob) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if j.state != JobRunning {
+		panic(fmt.Sprintf("serve: requeue of %s in state %s", j.id, j.state))
+	}
+	j.state = JobQueued
+	l.running--
+	l.requeues++
+	l.fifo = append(l.fifo, j)
+	if !l.closed {
+		l.cond.Signal()
+	}
+}
+
+// complete records a backend answer for a running job.
+func (l *jobLedger) complete(j *asyncJob, status int, result []byte) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if j.state != JobRunning {
+		panic(fmt.Sprintf("serve: completion of %s in state %s", j.id, j.state))
+	}
+	j.state = JobDone
+	j.status = status
+	j.result = result
+	j.completions++
+	l.running--
+	l.done++
+	close(j.done)
+}
+
+// fail terminates a running job whose attempts are exhausted.
+func (l *jobLedger) fail(j *asyncJob, msg string) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if j.state != JobRunning {
+		panic(fmt.Sprintf("serve: failure of %s in state %s", j.id, j.state))
+	}
+	j.state = JobFailed
+	j.errMsg = msg
+	j.completions++
+	l.running--
+	l.failed++
+	close(j.done)
+}
+
+// view snapshots one job for the wire.
+func (l *jobLedger) view(id string) (JobView, bool) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	j, ok := l.jobs[id]
+	if !ok {
+		return JobView{}, false
+	}
+	v := JobView{ID: j.id, State: j.state, Attempts: j.attempts}
+	if j.state == JobDone {
+		v.Status = j.status
+		v.Response = json.RawMessage(j.result)
+	}
+	if j.state == JobFailed {
+		v.Error = j.errMsg
+	}
+	return v, true
+}
+
+// close stops admission and dequeuing; workers observe it via take
+// returning nil.
+func (l *jobLedger) close() {
+	l.mu.Lock()
+	l.closed = true
+	l.cond.Broadcast()
+	l.mu.Unlock()
+}
+
+func (l *jobLedger) isClosed() bool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.closed
+}
+
+// JobStats is the async section of RouterStats.
+type JobStats struct {
+	Submitted int64 `json:"submitted"`
+	Queued    int   `json:"queued"`
+	Running   int   `json:"running"`
+	Done      int64 `json:"done"`
+	Failed    int64 `json:"failed"`
+	Requeues  int64 `json:"requeues"`
+}
+
+func (l *jobLedger) stats() JobStats {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return JobStats{
+		Submitted: l.seq,
+		Queued:    len(l.fifo),
+		Running:   l.running,
+		Done:      l.done,
+		Failed:    l.failed,
+		Requeues:  l.requeues,
+	}
+}

@@ -28,6 +28,7 @@ import (
 	"os"
 	"path/filepath"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -96,12 +97,20 @@ type LoadConfig struct {
 	Seed int64
 	// Client overrides the HTTP client (nil = a pooled default).
 	Client *http.Client
+	// FleetBackends annotates the result row with the backend count the
+	// target URL fronts (0 = a single pslserved, no router). Metadata
+	// only — the generator always talks to one URL; pointing it at a
+	// pslrouter is what makes the run a fleet run.
+	FleetBackends int
 }
 
 // LoadResult is one generator run's report (the BENCH_serve.json row).
 type LoadResult struct {
 	Concurrency int     `json:"concurrency"`
 	ColdRatio   float64 `json:"cold_ratio"`
+	// Backends echoes FleetBackends: the number of pslserved replicas
+	// behind the target URL (0 = direct single process).
+	Backends int `json:"backends,omitempty"`
 	// AutoRate echoes the configured auto mix; AutoRequests counts the
 	// hot-phase requests actually sent with "auto": true.
 	AutoRate     float64 `json:"auto_rate"`
@@ -163,7 +172,7 @@ func RunLoad(ctx context.Context, cfg LoadConfig) (*LoadResult, error) {
 		cfg.AutoPEs = 2
 	}
 	res := &LoadResult{Concurrency: cfg.Concurrency, ColdRatio: cfg.ColdRatio,
-		AutoRate: cfg.AutoRate, BytecodeRate: cfg.BytecodeRate}
+		AutoRate: cfg.AutoRate, BytecodeRate: cfg.BytecodeRate, Backends: cfg.FleetBackends}
 
 	// Cold phase: first touch of every corpus program — and, when the
 	// hot phase will send auto requests, of every program's planned
@@ -184,7 +193,7 @@ func RunLoad(ctx context.Context, cfg LoadConfig) (*LoadResult, error) {
 	var coldSum int64
 	for _, c := range coldReqs {
 		start := time.Now()
-		resp, status, err := postRun(ctx, client, cfg.URL, c.req)
+		resp, status, _, err := postRun(ctx, client, cfg.URL, c.req)
 		if err != nil {
 			return nil, fmt.Errorf("cold %s: %w", c.name, err)
 		}
@@ -227,14 +236,16 @@ func RunLoad(ctx context.Context, cfg LoadConfig) (*LoadResult, error) {
 					req.Engine = "bytecode"
 				}
 				t0 := time.Now()
-				resp, status, err := postRun(hctx, client, cfg.URL, req)
+				resp, status, hdr, err := postRun(hctx, client, cfg.URL, req)
 				if hctx.Err() != nil && err != nil {
 					break // the phase deadline cut this request off mid-flight
 				}
-				if status == http.StatusServiceUnavailable {
+				if status == http.StatusServiceUnavailable || status == http.StatusTooManyRequests {
+					// Back-pressure: honor the server's Retry-After instead
+					// of hammering a service that just said it is full.
 					rejected.Add(1)
 					select {
-					case <-time.After(2 * time.Millisecond):
+					case <-time.After(retryAfterDelay(hdr, 2*time.Millisecond)):
 					case <-hctx.Done():
 					}
 					continue
@@ -295,27 +306,43 @@ func percentile(sorted []int64, p float64) int64 {
 	return sorted[i]
 }
 
-func postRun(ctx context.Context, client *http.Client, base string, req Request) (Response, int, error) {
+// retryAfterDelay converts a rejection's Retry-After header (integer
+// seconds, per the servers in this repository) into a backoff,
+// capped at 5s so a buggy header cannot park a worker; fallback covers
+// absent or malformed values.
+func retryAfterDelay(h http.Header, fallback time.Duration) time.Duration {
+	secs, err := strconv.Atoi(strings.TrimSpace(h.Get("Retry-After")))
+	if err != nil || secs < 0 {
+		return fallback
+	}
+	d := time.Duration(secs) * time.Second
+	if d > 5*time.Second {
+		d = 5 * time.Second
+	}
+	return d
+}
+
+func postRun(ctx context.Context, client *http.Client, base string, req Request) (Response, int, http.Header, error) {
 	body, err := json.Marshal(req)
 	if err != nil {
-		return Response{}, 0, err
+		return Response{}, 0, nil, err
 	}
 	hreq, err := http.NewRequestWithContext(ctx, http.MethodPost,
 		strings.TrimRight(base, "/")+"/run", bytes.NewReader(body))
 	if err != nil {
-		return Response{}, 0, err
+		return Response{}, 0, nil, err
 	}
 	hreq.Header.Set("Content-Type", "application/json")
 	hresp, err := client.Do(hreq)
 	if err != nil {
-		return Response{}, 0, err
+		return Response{}, 0, nil, err
 	}
 	defer hresp.Body.Close()
 	var resp Response
 	if err := json.NewDecoder(hresp.Body).Decode(&resp); err != nil {
-		return Response{}, hresp.StatusCode, err
+		return Response{}, hresp.StatusCode, hresp.Header, err
 	}
-	return resp, hresp.StatusCode, nil
+	return resp, hresp.StatusCode, hresp.Header, nil
 }
 
 // WaitReady polls /healthz until the service answers 200 or ctx dies —

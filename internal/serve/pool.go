@@ -1,9 +1,16 @@
 // The admission-controlled worker pool: a fixed set of worker
-// goroutines behind a bounded queue. Admission is non-blocking — a
-// request that finds the queue full is rejected immediately (ErrBusy)
-// rather than buffered, which keeps latency bounded under overload
-// and makes the rejection rate a first-class stat. close() drains:
-// everything admitted runs to completion, then the workers exit.
+// goroutines behind bounded per-tenant queues. Admission is
+// non-blocking — a request that finds the global queue full is
+// rejected immediately (ErrBusy) rather than buffered, and a tenant
+// that has already filled its own quota is rejected (ErrTenantBusy)
+// even when the global queue has room — so one tenant cannot starve
+// the fleet. Dispatch is fair-queued: workers take the head of each
+// queued tenant's FIFO in round-robin order, so a tenant with one
+// queued request waits behind at most one request per other active
+// tenant, not behind a flood. Requests without a tenant share the ""
+// tenant, which keeps the single-tenant behavior identical to the old
+// single-FIFO pool. close() drains: everything admitted runs to
+// completion, then the workers exit.
 package serve
 
 import (
@@ -20,19 +27,49 @@ type job struct {
 	fn      func()
 	done    chan struct{}
 	skipped bool
+	tenant  string
+}
+
+// tenantQ is one tenant's FIFO of queued jobs. It exists only while
+// the tenant has jobs queued: created on first enqueue, deleted (and
+// unseated from the round-robin order) when its last job is taken, so
+// the pool's memory is bounded by queued work, not by tenant history.
+type tenantQ struct {
+	name string
+	jobs []*job
 }
 
 type pool struct {
-	mu      sync.Mutex // guards closed + the jobs send in submit
-	closed  bool
-	jobs    chan *job
+	mu     sync.Mutex
+	cond   *sync.Cond // signals workers that queued > 0 or closed
+	closed bool
+
+	queues map[string]*tenantQ
+	order  []*tenantQ // tenants with queued jobs, in round-robin order
+	next   int        // round-robin cursor into order
+	queued int        // total queued jobs across tenants
+
+	depth     int // global queue capacity
+	perTenant int // per-tenant queue capacity (the admission quota)
+
+	tenantRejected int64 // quota rejections (guarded by mu)
+
 	wg      sync.WaitGroup
 	workers int
 	running atomic.Int64
 }
 
-func newPool(workers, depth int) *pool {
-	p := &pool{jobs: make(chan *job, depth), workers: workers}
+func newPool(workers, depth, perTenant int) *pool {
+	if perTenant <= 0 || perTenant > depth {
+		perTenant = depth
+	}
+	p := &pool{
+		queues:    make(map[string]*tenantQ),
+		depth:     depth,
+		perTenant: perTenant,
+		workers:   workers,
+	}
+	p.cond = sync.NewCond(&p.mu)
 	p.wg.Add(workers)
 	for i := 0; i < workers; i++ {
 		go p.worker()
@@ -40,9 +77,70 @@ func newPool(workers, depth int) *pool {
 	return p
 }
 
+// submit admits j or rejects it without blocking.
+func (p *pool) submit(j *job) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		return ErrDraining
+	}
+	if p.queued >= p.depth {
+		return ErrBusy
+	}
+	q := p.queues[j.tenant]
+	if q != nil && len(q.jobs) >= p.perTenant {
+		p.tenantRejected++
+		return ErrTenantBusy
+	}
+	if q == nil {
+		q = &tenantQ{name: j.tenant}
+		p.queues[j.tenant] = q
+		// Seat the tenant at the back of the rotation: it is served
+		// after each already-active tenant gets one turn.
+		p.order = append(p.order, q)
+	}
+	q.jobs = append(q.jobs, j)
+	p.queued++
+	p.cond.Signal()
+	return nil
+}
+
+// take blocks until a job is available and returns the next one in
+// round-robin tenant order; ok is false once the pool is closed and
+// fully drained.
+func (p *pool) take() (j *job, ok bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for p.queued == 0 && !p.closed {
+		p.cond.Wait()
+	}
+	if p.queued == 0 {
+		return nil, false
+	}
+	if p.next >= len(p.order) {
+		p.next = 0
+	}
+	q := p.order[p.next]
+	j = q.jobs[0]
+	q.jobs = q.jobs[1:]
+	p.queued--
+	if len(q.jobs) == 0 {
+		p.order = append(p.order[:p.next], p.order[p.next+1:]...)
+		delete(p.queues, q.name)
+		// next now indexes the following tenant already.
+	} else {
+		p.next++
+	}
+	return j, true
+}
+
 func (p *pool) worker() {
 	defer p.wg.Done()
-	for j := range p.jobs {
+	for {
+		j, ok := p.take()
+		if !ok {
+			return
+		}
 		if j.ctx != nil && j.ctx.Err() != nil {
 			j.skipped = true
 		} else {
@@ -54,28 +152,13 @@ func (p *pool) worker() {
 	}
 }
 
-// submit admits j or rejects it without blocking.
-func (p *pool) submit(j *job) error {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	if p.closed {
-		return ErrDraining
-	}
-	select {
-	case p.jobs <- j:
-		return nil
-	default:
-		return ErrBusy
-	}
-}
-
 // close stops admission, lets queued and running jobs finish, and
 // waits for the workers to exit.
 func (p *pool) close() {
 	p.mu.Lock()
 	if !p.closed {
 		p.closed = true
-		close(p.jobs)
+		p.cond.Broadcast()
 	}
 	p.mu.Unlock()
 	p.wg.Wait()
@@ -87,13 +170,24 @@ type QueueStats struct {
 	Capacity int `json:"capacity"`
 	Running  int `json:"running"` // jobs executing (snapshot)
 	Workers  int `json:"workers"`
+	// Tenants is the number of tenants with queued jobs (snapshot);
+	// TenantQuota the per-tenant queue capacity; TenantRejected the
+	// admissions refused because the tenant's own queue was full.
+	Tenants        int   `json:"tenants"`
+	TenantQuota    int   `json:"tenant_quota"`
+	TenantRejected int64 `json:"tenant_rejected"`
 }
 
 func (p *pool) stats() QueueStats {
+	p.mu.Lock()
+	defer p.mu.Unlock()
 	return QueueStats{
-		Depth:    len(p.jobs),
-		Capacity: cap(p.jobs),
-		Running:  int(p.running.Load()),
-		Workers:  p.workers,
+		Depth:          p.queued,
+		Capacity:       p.depth,
+		Running:        int(p.running.Load()),
+		Workers:        p.workers,
+		Tenants:        len(p.queues),
+		TenantQuota:    p.perTenant,
+		TenantRejected: p.tenantRejected,
 	}
 }

@@ -1,0 +1,159 @@
+package serve
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// poolJob builds a job that appends label to order when it runs; when
+// gate is non-nil the job first blocks on it, pinning the worker so
+// the test can stage the queues deterministically.
+func poolJob(order *[]string, mu *sync.Mutex, label string, gate chan struct{}) *job {
+	return &job{
+		done:   make(chan struct{}),
+		tenant: strings.SplitN(label, ":", 2)[0],
+		fn: func() {
+			if gate != nil {
+				<-gate
+			}
+			mu.Lock()
+			*order = append(*order, label)
+			mu.Unlock()
+		},
+	}
+}
+
+func waitPool(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timeout waiting for %s", what)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestTenantFairQueuing: with one worker pinned, tenant A floods the
+// queue and tenants B and C each queue one request; dispatch is
+// round-robin across tenants, so B and C run after A's *first* queued
+// request, not after A's whole backlog.
+func TestTenantFairQueuing(t *testing.T) {
+	p := newPool(1, 16, 16)
+	defer p.close()
+	var mu sync.Mutex
+	var order []string
+	gate := make(chan struct{})
+
+	blocker := poolJob(&order, &mu, "A:blocker", gate)
+	if err := p.submit(blocker); err != nil {
+		t.Fatal(err)
+	}
+	waitPool(t, "worker pinned", func() bool { return p.running.Load() == 1 })
+
+	jobs := []*job{blocker}
+	for _, label := range []string{"A:1", "A:2", "A:3", "B:1", "C:1"} {
+		j := poolJob(&order, &mu, label, nil)
+		if err := p.submit(j); err != nil {
+			t.Fatalf("submit %s: %v", label, err)
+		}
+		jobs = append(jobs, j)
+	}
+	close(gate)
+	for _, j := range jobs {
+		<-j.done
+	}
+
+	want := []string{"A:blocker", "A:1", "B:1", "C:1", "A:2", "A:3"}
+	if got := strings.Join(order, " "); got != strings.Join(want, " ") {
+		t.Errorf("dispatch order %q, want %q", got, strings.Join(want, " "))
+	}
+}
+
+// TestTenantQuota: a tenant at its per-tenant queue cap is rejected
+// with ErrTenantBusy while other tenants (and the global queue) still
+// have room.
+func TestTenantQuota(t *testing.T) {
+	p := newPool(1, 8, 2)
+	defer p.close()
+	var mu sync.Mutex
+	var order []string
+	gate := make(chan struct{})
+
+	blocker := poolJob(&order, &mu, "X:blocker", gate)
+	if err := p.submit(blocker); err != nil {
+		t.Fatal(err)
+	}
+	waitPool(t, "worker pinned", func() bool { return p.running.Load() == 1 })
+
+	jobs := []*job{blocker}
+	for _, label := range []string{"A:1", "A:2"} {
+		j := poolJob(&order, &mu, label, nil)
+		if err := p.submit(j); err != nil {
+			t.Fatalf("submit %s: %v", label, err)
+		}
+		jobs = append(jobs, j)
+	}
+	if err := p.submit(poolJob(&order, &mu, "A:3", nil)); err != ErrTenantBusy {
+		t.Errorf("over-quota submit err = %v, want ErrTenantBusy", err)
+	}
+	b := poolJob(&order, &mu, "B:1", nil)
+	if err := p.submit(b); err != nil {
+		t.Errorf("tenant B rejected while under its quota: %v", err)
+	}
+	jobs = append(jobs, b)
+
+	st := p.stats()
+	if st.TenantRejected != 1 || st.Tenants != 2 || st.TenantQuota != 2 {
+		t.Errorf("stats %+v, want 1 quota rejection across 2 queued tenants", st)
+	}
+	close(gate)
+	for _, j := range jobs {
+		<-j.done
+	}
+}
+
+// TestTenantQuotaHTTP stages a full tenant queue through the real
+// server and asserts the wire contract: 429 with Retry-After for the
+// over-quota tenant, while another tenant's request is still admitted.
+func TestTenantQuotaHTTP(t *testing.T) {
+	s := newTestServer(t, Config{Workers: 1, QueueDepth: 8, TenantQueueDepth: 1, MaxSteps: 1 << 40})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	var wg sync.WaitGroup
+	wg.Add(2)
+	slow := slowRequest(400)
+	slow.Tenant = "a"
+	go func() { defer wg.Done(); s.Run(context.Background(), slow) }()
+	waitFor(t, "worker busy", func() bool { return s.Stats().Queue.Running == 1 })
+	go func() { defer wg.Done(); s.Run(context.Background(), slow) }()
+	waitFor(t, "tenant a queued", func() bool { return s.Stats().Queue.Depth == 1 })
+
+	resp, status, hdr, err := postRun(context.Background(), ts.Client(), ts.URL,
+		Request{Source: addSrc, Tenant: "a"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if status != http.StatusTooManyRequests {
+		t.Errorf("over-quota status = %d, want 429 (%+v)", status, resp)
+	}
+	if hdr.Get("Retry-After") == "" {
+		t.Errorf("429 without Retry-After")
+	}
+	if st := s.Stats().Queue; st.TenantRejected != 1 {
+		t.Errorf("TenantRejected = %d, want 1", st.TenantRejected)
+	}
+
+	okResp, status, _, err := postRun(context.Background(), ts.Client(), ts.URL,
+		Request{Source: addSrc, Tenant: "b"})
+	if err != nil || status != http.StatusOK || !okResp.OK {
+		t.Errorf("tenant b request: %v %d %+v — should be admitted past tenant a's backlog", err, status, okResp)
+	}
+	wg.Wait()
+}

@@ -1,0 +1,111 @@
+package serve
+
+import (
+	"fmt"
+	"testing"
+)
+
+func ringBackends(n int) []string {
+	out := make([]string, n)
+	for i := range out {
+		out[i] = fmt.Sprintf("http://backend-%d:8080", i)
+	}
+	return out
+}
+
+// ringKeys is the deterministic key population the ring properties are
+// measured over — stand-ins for program content hashes.
+func ringKeys(n int) []uint64 {
+	out := make([]uint64, n)
+	for i := range out {
+		out[i] = ringHash(fmt.Sprintf("program-key-%d", i))
+	}
+	return out
+}
+
+// TestRingBalance: across fleets of 3–16 backends, every backend's key
+// share stays within 15% of uniform — the property that makes
+// cache-affinity sharding also a load-spreading strategy.
+func TestRingBalance(t *testing.T) {
+	keys := ringKeys(100_000)
+	for n := 3; n <= 16; n++ {
+		backends := ringBackends(n)
+		ring := newHashRing(backends, 0)
+		counts := map[string]int{}
+		for _, k := range keys {
+			counts[ring.owner(k, nil)]++
+		}
+		mean := float64(len(keys)) / float64(n)
+		for _, b := range backends {
+			dev := (float64(counts[b]) - mean) / mean
+			if dev < -0.15 || dev > 0.15 {
+				t.Errorf("%d backends: %s owns %d keys, %.1f%% off uniform (%.0f)",
+					n, b, counts[b], 100*dev, mean)
+			}
+		}
+	}
+}
+
+// TestRingMinimalDisruption: adding one backend to an N-fleet moves
+// only keys that the new backend now owns — nothing shuffles between
+// surviving backends — and the moved count is close to the ideal
+// keys/(N+1). Removing it restores the exact prior assignment.
+func TestRingMinimalDisruption(t *testing.T) {
+	keys := ringKeys(100_000)
+	for _, n := range []int{3, 8, 15} {
+		small := ringBackends(n)
+		grown := ringBackends(n + 1)
+		newcomer := grown[n]
+		before := newHashRing(small, 0)
+		after := newHashRing(grown, 0)
+
+		moved := 0
+		for _, k := range keys {
+			was, is := before.owner(k, nil), after.owner(k, nil)
+			if was == is {
+				continue
+			}
+			moved++
+			if is != newcomer {
+				t.Fatalf("%d backends: key %x moved %s -> %s, not to the newcomer", n, k, was, is)
+			}
+		}
+		// Ideal is keys/(N+1); allow vnode-placement variance plus slack,
+		// which still stays far under the keys/N rehash-everything bound.
+		ideal := float64(len(keys)) / float64(n+1)
+		if float64(moved) > 1.35*ideal {
+			t.Errorf("%d backends: grow moved %d keys, want ≈%.0f (≤%.0f)", n, moved, ideal, 1.35*ideal)
+		}
+		if moved == 0 {
+			t.Errorf("%d backends: grow moved no keys — the newcomer owns nothing", n)
+		}
+
+		// Shrink (the newcomer leaves): assignments return exactly to the
+		// N-backend ring — only the departed backend's keys move, and a
+		// recovered replica gets its old keys (and cache entries) back.
+		for _, k := range keys {
+			alive := func(b string) bool { return b != newcomer }
+			if got, want := after.owner(k, alive), before.owner(k, nil); got != want {
+				t.Fatalf("%d backends: shrink reassigned key %x to %s, want %s", n, k, got, want)
+			}
+		}
+	}
+}
+
+// TestRingOwnerEdgeCases: empty rings own nothing, predicates that
+// reject everyone own nothing, and a single backend owns everything.
+func TestRingOwnerEdgeCases(t *testing.T) {
+	if got := (&hashRing{}).owner(42, nil); got != "" {
+		t.Errorf("empty ring owner = %q", got)
+	}
+	ring := newHashRing(ringBackends(3), 8)
+	if got := ring.owner(42, func(string) bool { return false }); got != "" {
+		t.Errorf("all-rejected owner = %q", got)
+	}
+	solo := newHashRing(ringBackends(1), 8)
+	for _, k := range ringKeys(100) {
+		if got := solo.owner(k, nil); got != "http://backend-0:8080" {
+			t.Fatalf("single-backend ring owner = %q", got)
+		}
+	}
+}

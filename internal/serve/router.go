@@ -1,0 +1,644 @@
+// The fleet router: the horizontal scale-out front of the execution
+// service, served by cmd/pslrouter. One process was the throughput
+// ceiling (BENCH_serve.json records rps *falling* as concurrency
+// rises); the router turns N pslserved processes into one service:
+//
+//   - cache-affinity sharding: requests are routed by the content hash
+//     of their program source over a consistent-hash ring (ring.go),
+//     so every variant of one program — serial, auto-planned at any
+//     width, any engine — lives on exactly one replica's LRU and is
+//     compiled exactly once fleet-wide (TestRouterNoDuplicateCompiles
+//     pins it).
+//   - health-checked failover: a background probe marks backends up or
+//     down, a transport failure marks them down immediately, and a
+//     routed request retries on the next ring owner — so killing a
+//     replica mid-load costs a bounded rehash (only its keys move),
+//     not an outage. When the replica returns, exactly those keys move
+//     back to its still-warm cache.
+//   - an async job API for runs that exceed the synchronous request
+//     deadline: POST /submit returns a job id immediately, workers
+//     drain a durable in-process queue with retry-on-backend-failure,
+//     GET /result/{id} reports state and, once done, the full backend
+//     response (jobs.go). Drain never loses a job: in-flight attempts
+//     complete or requeue, queued jobs stay queued in the ledger.
+//
+// The router holds no program state itself — backends own their caches
+// — so its per-request work is one JSON field decode, one ring lookup,
+// and one proxied hop.
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// RouterConfig sizes a Router. Zero values select the documented
+// defaults.
+type RouterConfig struct {
+	// Backends are the pslserved base URLs the router shards across.
+	Backends []string
+	// Replicas is the virtual-node count per backend on the hash ring
+	// (0 = 512).
+	Replicas int
+	// HealthInterval is the /healthz probe period (0 = 250ms); a probe
+	// also times out after one interval.
+	HealthInterval time.Duration
+	// Retries is how many *additional* backends a request tries after a
+	// transport failure before giving up (0 = 2, -1 = no in-request
+	// failover, which leaves retrying to the async requeue path). Only
+	// transport failures re-route: an executed-but-failed program or a
+	// 503 from a live backend is relayed as-is, preserving cache
+	// affinity.
+	Retries int
+	// MaxBodyBytes bounds the request body (0 = 6 MiB + 64 KiB, the
+	// same envelope pslserved itself admits).
+	MaxBodyBytes int64
+	// AsyncWorkers is the number of queue drainers (0 = 4);
+	// AsyncQueueDepth bounds the queued-job backlog (0 = 256);
+	// AsyncAttempts caps how often one job is tried before it is marked
+	// failed (0 = 3); AsyncTimeout is the per-attempt wall clock
+	// (0 = 60s) — deliberately longer than the synchronous default,
+	// that's what /submit is for.
+	AsyncWorkers    int
+	AsyncQueueDepth int
+	AsyncAttempts   int
+	AsyncTimeout    time.Duration
+	// Client overrides the backend HTTP client (nil = a pooled
+	// default).
+	Client *http.Client
+	// Embedded runs the fleet in-process instead of over the network:
+	// Embedded[i] becomes backend i ("embedded-i" on the ring), and a
+	// routed request is handed to its owner's handler directly — same
+	// sharding, no second HTTP hop. This is the single-machine
+	// deployment of the fleet (and how BENCH_serve.json's fleet row is
+	// measured on one box): pools, caches, and latency histograms are
+	// split N ways while the request path stays one network hop, like
+	// the single-process server it is compared against. The servers
+	// remain owned by the caller — Close them after the router.
+	// Mutually exclusive with Backends.
+	Embedded []*Server
+}
+
+func (c RouterConfig) withDefaults() RouterConfig {
+	if c.Replicas <= 0 {
+		c.Replicas = defaultRingReplicas
+	}
+	if c.HealthInterval <= 0 {
+		c.HealthInterval = 250 * time.Millisecond
+	}
+	if c.Retries == 0 {
+		c.Retries = 2
+	}
+	if c.Retries < 0 {
+		c.Retries = 0
+	}
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = 6*(1<<20) + 64*1024
+	}
+	if c.AsyncWorkers <= 0 {
+		c.AsyncWorkers = 4
+	}
+	if c.AsyncQueueDepth <= 0 {
+		c.AsyncQueueDepth = 256
+	}
+	if c.AsyncAttempts <= 0 {
+		c.AsyncAttempts = 3
+	}
+	if c.AsyncTimeout <= 0 {
+		c.AsyncTimeout = 60 * time.Second
+	}
+	return c
+}
+
+// routerBackend is one replica's live state. healthy flips down on a
+// probe failure or a transport error, up on the next successful probe;
+// the ring itself never changes, so health transitions move exactly
+// the affected keys (ring.go's minimal-disruption property).
+type routerBackend struct {
+	url      string
+	healthy  atomic.Bool
+	routed   atomic.Int64 // requests this backend answered (any status)
+	failures atomic.Int64 // transport failures observed against it
+
+	// Embedded-fleet fields: the in-process server and its handler.
+	// nil for network backends.
+	local        *Server
+	localHandler http.Handler
+}
+
+var errNoBackend = errors.New("serve: no healthy backend")
+
+// Router fronts a fleet of pslserved backends. Create with NewRouter,
+// expose over HTTP with Handler, retire with Close.
+type Router struct {
+	cfg      RouterConfig
+	ring     *hashRing
+	backends map[string]*routerBackend
+	order    []string // config order, the ring-building and Stats order
+	client   *http.Client
+	jobs     *jobLedger
+
+	draining atomic.Bool
+	stop     chan struct{}      // ends the health loop
+	drainCtx context.Context    // parent of async attempts; cancelled on Close
+	drainEnd context.CancelFunc //
+	wg       sync.WaitGroup     // health loop + async workers
+
+	requests   atomic.Int64 // /run proxies attempted
+	submitted  atomic.Int64 // /submit admissions
+	retries    atomic.Int64 // re-routes after a transport failure
+	unroutable atomic.Int64 // requests that found no healthy backend
+}
+
+// NewRouter builds and starts a Router: the ring is built over the
+// configured backends (all optimistically healthy until the first
+// probe says otherwise), the health loop and async workers start
+// immediately.
+func NewRouter(cfg RouterConfig) (*Router, error) {
+	cfg = cfg.withDefaults()
+	if len(cfg.Embedded) > 0 && len(cfg.Backends) > 0 {
+		return nil, fmt.Errorf("serve: Embedded and Backends are mutually exclusive")
+	}
+	if len(cfg.Backends) == 0 && len(cfg.Embedded) == 0 {
+		return nil, fmt.Errorf("serve: router needs at least one backend")
+	}
+	urls := make([]string, 0, len(cfg.Backends)+len(cfg.Embedded))
+	backends := make(map[string]*routerBackend, len(cfg.Backends)+len(cfg.Embedded))
+	for _, u := range cfg.Backends {
+		u = strings.TrimRight(strings.TrimSpace(u), "/")
+		if u == "" {
+			return nil, fmt.Errorf("serve: empty backend URL")
+		}
+		if backends[u] != nil {
+			return nil, fmt.Errorf("serve: duplicate backend %s", u)
+		}
+		b := &routerBackend{url: u}
+		b.healthy.Store(true)
+		backends[u] = b
+		urls = append(urls, u)
+	}
+	for i, s := range cfg.Embedded {
+		u := fmt.Sprintf("http://embedded-%d", i)
+		b := &routerBackend{url: u, local: s, localHandler: s.Handler()}
+		b.healthy.Store(true)
+		backends[u] = b
+		urls = append(urls, u)
+	}
+	client := cfg.Client
+	if client == nil {
+		client = &http.Client{Transport: &http.Transport{
+			MaxIdleConns:        64,
+			MaxIdleConnsPerHost: 64,
+		}}
+	}
+	r := &Router{
+		cfg:      cfg,
+		ring:     newHashRing(urls, cfg.Replicas),
+		backends: backends,
+		order:    urls,
+		client:   client,
+		jobs:     newJobLedger(cfg.AsyncQueueDepth),
+		stop:     make(chan struct{}),
+	}
+	r.drainCtx, r.drainEnd = context.WithCancel(context.Background())
+	r.wg.Add(1)
+	go r.healthLoop()
+	for i := 0; i < cfg.AsyncWorkers; i++ {
+		r.wg.Add(1)
+		go r.asyncWorker()
+	}
+	return r, nil
+}
+
+// Close drains the router: admission (sync and async) stops, the
+// health loop exits, and every async worker finishes — its in-flight
+// attempt is cancelled, which requeues rather than fails the job, so
+// the ledger ends with every job either done or still queued, never
+// lost (TestRouterDrainLedger pins it).
+func (r *Router) Close() {
+	if r.draining.Swap(true) {
+		return
+	}
+	close(r.stop)
+	r.jobs.close()
+	r.drainEnd()
+	r.wg.Wait()
+}
+
+func (r *Router) healthLoop() {
+	defer r.wg.Done()
+	tick := time.NewTicker(r.cfg.HealthInterval)
+	defer tick.Stop()
+	for {
+		select {
+		case <-r.stop:
+			return
+		case <-tick.C:
+		}
+		for _, b := range r.backends {
+			if b.local != nil {
+				continue // in-process backends cannot vanish
+			}
+			ctx, cancel := context.WithTimeout(r.drainCtx, r.cfg.HealthInterval)
+			req, err := http.NewRequestWithContext(ctx, http.MethodGet, b.url+"/healthz", nil)
+			if err != nil {
+				cancel()
+				continue
+			}
+			resp, err := r.client.Do(req)
+			up := false
+			if err == nil {
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				up = resp.StatusCode == http.StatusOK
+			}
+			cancel()
+			b.healthy.Store(up)
+		}
+	}
+}
+
+// pick resolves the ring owner of key among healthy, non-excluded
+// backends.
+func (r *Router) pick(key uint64, exclude map[string]bool) *routerBackend {
+	name := r.ring.owner(key, func(u string) bool {
+		return !exclude[u] && r.backends[u].healthy.Load()
+	})
+	if name == "" {
+		return nil
+	}
+	return r.backends[name]
+}
+
+// post sends body to url and returns the response whole; a non-nil
+// error is a transport failure (the backend never answered).
+func (r *Router) post(ctx context.Context, url string, body []byte) (int, []byte, http.Header, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, url, strings.NewReader(string(body)))
+	if err != nil {
+		return 0, nil, nil, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := r.client.Do(req)
+	if err != nil {
+		return 0, nil, nil, err
+	}
+	defer resp.Body.Close()
+	respBody, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return 0, nil, nil, err
+	}
+	return resp.StatusCode, respBody, resp.Header, nil
+}
+
+// proxyRun routes one /run body to the ring owner of its source key,
+// failing over to the next owner on transport failure (marking the
+// dead backend down as it goes). Responses from a live backend —
+// including program errors and 503 back-pressure — are relayed, not
+// retried: re-running them elsewhere would shatter cache affinity.
+func (r *Router) proxyRun(ctx context.Context, source string, body []byte) (int, []byte, http.Header, error) {
+	key := sourceKey(source)
+	exclude := map[string]bool{}
+	var lastErr error
+	for attempt := 0; attempt <= r.cfg.Retries; attempt++ {
+		b := r.pick(key, exclude)
+		if b == nil {
+			r.unroutable.Add(1)
+			if lastErr != nil {
+				return 0, nil, nil, fmt.Errorf("%w (last transport error: %v)", errNoBackend, lastErr)
+			}
+			return 0, nil, nil, errNoBackend
+		}
+		if b.local != nil {
+			status, respBody, hdr := r.localPost(ctx, b, body)
+			b.routed.Add(1)
+			return status, respBody, hdr, nil
+		}
+		status, respBody, hdr, err := r.post(ctx, b.url+"/run", body)
+		if err != nil {
+			if ctx.Err() != nil {
+				// The client (or drain) gave up — not the backend's fault.
+				return 0, nil, nil, err
+			}
+			b.healthy.Store(false)
+			b.failures.Add(1)
+			r.retries.Add(1)
+			exclude[b.url] = true
+			lastErr = err
+			continue
+		}
+		b.routed.Add(1)
+		return status, respBody, hdr, nil
+	}
+	r.unroutable.Add(1)
+	return 0, nil, nil, fmt.Errorf("%w after %d attempts (last transport error: %v)",
+		errNoBackend, r.cfg.Retries+1, lastErr)
+}
+
+// handleRunEmbedded is the embedded fleet's sync fast path: decode the
+// Request exactly once, pick the ring owner of its source, and let
+// that replica execute and write the response itself — a routed
+// request costs one content hash and one ring lookup over a direct
+// hit, with no second decode, hop, or response copy.
+func (r *Router) handleRunEmbedded(w http.ResponseWriter, hreq *http.Request) {
+	hreq.Body = http.MaxBytesReader(w, hreq.Body, r.cfg.MaxBodyBytes)
+	var req Request
+	if err := json.NewDecoder(hreq.Body).Decode(&req); err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			writeJSON(w, http.StatusRequestEntityTooLarge, errorBody{Error: err.Error()})
+		} else {
+			writeJSON(w, http.StatusBadRequest, errorBody{Error: "bad request body: " + err.Error()})
+		}
+		return
+	}
+	r.requests.Add(1)
+	b := r.pick(sourceKey(req.Source), nil)
+	if b == nil {
+		w.Header().Set("Retry-After", "1")
+		writeJSON(w, http.StatusServiceUnavailable, errorBody{Error: errNoBackend.Error()})
+		return
+	}
+	b.routed.Add(1)
+	b.local.finishRun(hreq.Context(), w, req)
+}
+
+// localPost runs body against an embedded backend's handler, capturing
+// the response in memory — the async workers' analogue of the sync
+// embedded fast path.
+func (r *Router) localPost(ctx context.Context, b *routerBackend, body []byte) (int, []byte, http.Header) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, b.url+"/run", bytes.NewReader(body))
+	if err != nil {
+		return http.StatusInternalServerError, nil, http.Header{}
+	}
+	req.Header.Set("Content-Type", "application/json")
+	rec := &memResponse{header: http.Header{}, status: http.StatusOK}
+	b.localHandler.ServeHTTP(rec, req)
+	return rec.status, rec.body.Bytes(), rec.header
+}
+
+// memResponse is a minimal in-memory http.ResponseWriter for embedded
+// async attempts.
+type memResponse struct {
+	header http.Header
+	status int
+	body   bytes.Buffer
+}
+
+func (m *memResponse) Header() http.Header         { return m.header }
+func (m *memResponse) WriteHeader(code int)        { m.status = code }
+func (m *memResponse) Write(p []byte) (int, error) { return m.body.Write(p) }
+
+// readRunBody bounds and reads a /run-shaped request body and extracts
+// the one field the router needs: the source, whose content hash is
+// the routing key. The body is forwarded verbatim — the backend does
+// the full decode and validation.
+func (r *Router) readRunBody(w http.ResponseWriter, req *http.Request) (source string, body []byte, ok bool) {
+	req.Body = http.MaxBytesReader(w, req.Body, r.cfg.MaxBodyBytes)
+	body, err := io.ReadAll(req.Body)
+	if err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			writeJSON(w, http.StatusRequestEntityTooLarge, errorBody{Error: err.Error()})
+		} else {
+			writeJSON(w, http.StatusBadRequest, errorBody{Error: "bad request body: " + err.Error()})
+		}
+		return "", nil, false
+	}
+	var probe struct {
+		Source string `json:"source"`
+	}
+	if err := json.Unmarshal(body, &probe); err != nil {
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: "bad request body: " + err.Error()})
+		return "", nil, false
+	}
+	if probe.Source == "" {
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: "empty source"})
+		return "", nil, false
+	}
+	return probe.Source, body, true
+}
+
+// Handler returns the router's HTTP mux:
+//
+//	POST /run          — route and proxy a synchronous Request
+//	POST /submit       — enqueue an async job, returns its id
+//	GET  /result/{id}  — job state and, once done, the full Response
+//	GET  /stats        — RouterStats (fleet-aggregated cache counters)
+//	GET  /healthz      — 200 while routable, 503 when draining or dark
+func (r *Router) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/run", r.handleRun)
+	mux.HandleFunc("/submit", r.handleSubmit)
+	mux.HandleFunc("/result/", r.handleResult)
+	mux.HandleFunc("/stats", r.handleStats)
+	mux.HandleFunc("/healthz", r.handleHealthz)
+	return mux
+}
+
+func (r *Router) handleRun(w http.ResponseWriter, req *http.Request) {
+	if req.Method != http.MethodPost {
+		writeJSON(w, http.StatusMethodNotAllowed, errorBody{Error: "POST only"})
+		return
+	}
+	if r.draining.Load() {
+		w.Header().Set("Retry-After", "1")
+		writeJSON(w, http.StatusServiceUnavailable, errorBody{Error: ErrDraining.Error()})
+		return
+	}
+	if len(r.cfg.Embedded) > 0 {
+		r.handleRunEmbedded(w, req)
+		return
+	}
+	source, body, ok := r.readRunBody(w, req)
+	if !ok {
+		return
+	}
+	r.requests.Add(1)
+	status, respBody, hdr, err := r.proxyRun(req.Context(), source, body)
+	if err != nil {
+		w.Header().Set("Retry-After", "1")
+		writeJSON(w, http.StatusServiceUnavailable, errorBody{Error: "router: " + err.Error()})
+		return
+	}
+	if ra := hdr.Get("Retry-After"); ra != "" {
+		w.Header().Set("Retry-After", ra)
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	w.Write(respBody)
+}
+
+func (r *Router) handleSubmit(w http.ResponseWriter, req *http.Request) {
+	if req.Method != http.MethodPost {
+		writeJSON(w, http.StatusMethodNotAllowed, errorBody{Error: "POST only"})
+		return
+	}
+	if r.draining.Load() {
+		w.Header().Set("Retry-After", "1")
+		writeJSON(w, http.StatusServiceUnavailable, errorBody{Error: ErrDraining.Error()})
+		return
+	}
+	source, body, ok := r.readRunBody(w, req)
+	if !ok {
+		return
+	}
+	id, err := r.jobs.submit(source, body)
+	if err != nil {
+		w.Header().Set("Retry-After", "1")
+		writeJSON(w, http.StatusServiceUnavailable, errorBody{Error: err.Error()})
+		return
+	}
+	r.submitted.Add(1)
+	view, _ := r.jobs.view(id)
+	writeJSON(w, http.StatusAccepted, view)
+}
+
+func (r *Router) handleResult(w http.ResponseWriter, req *http.Request) {
+	if req.Method != http.MethodGet {
+		writeJSON(w, http.StatusMethodNotAllowed, errorBody{Error: "GET only"})
+		return
+	}
+	id := strings.TrimPrefix(req.URL.Path, "/result/")
+	view, ok := r.jobs.view(id)
+	if !ok {
+		writeJSON(w, http.StatusNotFound, errorBody{Error: fmt.Sprintf("unknown job %q", id)})
+		return
+	}
+	writeJSON(w, http.StatusOK, view)
+}
+
+func (r *Router) handleStats(w http.ResponseWriter, req *http.Request) {
+	writeJSON(w, http.StatusOK, r.Stats(req.Context()))
+}
+
+func (r *Router) handleHealthz(w http.ResponseWriter, req *http.Request) {
+	if r.draining.Load() {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
+		return
+	}
+	for _, b := range r.backends {
+		if b.healthy.Load() {
+			writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+			return
+		}
+	}
+	writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "no healthy backend"})
+}
+
+// asyncWorker drains the job queue: one take is one attempt. A
+// transport-level failure requeues the job (up to AsyncAttempts, and
+// always during drain — shutdown must not turn retryable jobs into
+// failures); any answer from a live backend completes it.
+func (r *Router) asyncWorker() {
+	defer r.wg.Done()
+	for {
+		j := r.jobs.take()
+		if j == nil {
+			return
+		}
+		ctx, cancel := context.WithTimeout(r.drainCtx, r.cfg.AsyncTimeout)
+		status, respBody, _, err := r.proxyRun(ctx, j.source, j.body)
+		cancel()
+		if err != nil {
+			if r.jobs.isClosed() || j.attempts < r.cfg.AsyncAttempts {
+				r.jobs.requeue(j)
+			} else {
+				r.jobs.fail(j, fmt.Sprintf("after %d attempts: %v", j.attempts, err))
+			}
+			continue
+		}
+		r.jobs.complete(j, status, respBody)
+	}
+}
+
+// BackendStats is one replica's slice of RouterStats. Cache is the
+// backend's own /stats cache section, fetched live; nil when the
+// backend was unreachable at snapshot time.
+type BackendStats struct {
+	URL      string      `json:"url"`
+	Healthy  bool        `json:"healthy"`
+	Routed   int64       `json:"routed"`
+	Failures int64       `json:"failures"`
+	Cache    *CacheStats `json:"cache,omitempty"`
+}
+
+// RouterStats is the fleet-wide snapshot returned by GET /stats. The
+// top-level Cache section sums the reachable backends' counters, in
+// the same shape a single pslserved reports — so cmd/loadgen computes
+// hit rates against a router exactly as against one backend.
+type RouterStats struct {
+	Requests   int64          `json:"requests"`
+	Submitted  int64          `json:"submitted"`
+	Retries    int64          `json:"retries"`
+	Unroutable int64          `json:"unroutable"`
+	Cache      CacheStats     `json:"cache"`
+	Backends   []BackendStats `json:"backends"`
+	Jobs       JobStats       `json:"jobs"`
+}
+
+// Stats snapshots the router and polls every backend's /stats (500ms
+// cap) to aggregate the fleet-wide cache counters.
+func (r *Router) Stats(ctx context.Context) RouterStats {
+	st := RouterStats{
+		Requests:   r.requests.Load(),
+		Submitted:  r.submitted.Load(),
+		Retries:    r.retries.Load(),
+		Unroutable: r.unroutable.Load(),
+		Jobs:       r.jobs.stats(),
+	}
+	ctx, cancel := context.WithTimeout(ctx, 500*time.Millisecond)
+	defer cancel()
+	// Deterministic order: ring-building order is the config order.
+	for _, u := range r.order {
+		b := r.backends[u]
+		bs := BackendStats{
+			URL:      b.url,
+			Healthy:  b.healthy.Load(),
+			Routed:   b.routed.Load(),
+			Failures: b.failures.Load(),
+		}
+		if cs := r.fetchBackendCache(ctx, b); cs != nil {
+			bs.Cache = cs
+			st.Cache.Hits += cs.Hits
+			st.Cache.Misses += cs.Misses
+			st.Cache.Evictions += cs.Evictions
+			st.Cache.Compiles += cs.Compiles
+			st.Cache.Entries += cs.Entries
+			st.Cache.Shards += cs.Shards
+			st.Cache.Capacity += cs.Capacity
+		}
+		st.Backends = append(st.Backends, bs)
+	}
+	return st
+}
+
+func (r *Router) fetchBackendCache(ctx context.Context, b *routerBackend) *CacheStats {
+	if b.local != nil {
+		cs := b.local.Stats().Cache
+		return &cs
+	}
+	url := b.url
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url+"/stats", nil)
+	if err != nil {
+		return nil
+	}
+	resp, err := r.client.Do(req)
+	if err != nil {
+		return nil
+	}
+	defer resp.Body.Close()
+	var st Stats
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		return nil
+	}
+	return &st.Cache
+}

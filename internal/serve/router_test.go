@@ -1,0 +1,562 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// fleetBackend is one replica in a test fleet: a real Server behind a
+// real HTTP listener.
+type fleetBackend struct {
+	s  *Server
+	ts *httptest.Server
+}
+
+// kill takes the backend off the network abruptly: live connections
+// are severed (proxied requests in flight see a transport error), then
+// the process drains.
+func (b *fleetBackend) kill() {
+	b.ts.CloseClientConnections()
+	b.ts.Close()
+	b.s.Close()
+}
+
+func startFleet(t *testing.T, n int, cfg Config) ([]*fleetBackend, []string) {
+	t.Helper()
+	fleet := make([]*fleetBackend, n)
+	urls := make([]string, n)
+	for i := range fleet {
+		s := New(cfg)
+		ts := httptest.NewServer(s.Handler())
+		fleet[i] = &fleetBackend{s: s, ts: ts}
+		urls[i] = ts.URL
+		t.Cleanup(func() { ts.Close(); s.Close() })
+	}
+	return fleet, urls
+}
+
+func newTestRouter(t *testing.T, cfg RouterConfig) *Router {
+	t.Helper()
+	r, err := NewRouter(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(r.Close)
+	return r
+}
+
+func routerCorpus(t *testing.T) []Program {
+	t.Helper()
+	corpus, err := LoadCorpus(filepath.Join("..", "..", "testdata"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return corpus
+}
+
+// TestRouterNoDuplicateCompiles is the fleet's acceptance guard: with
+// every corpus program requested repeatedly through the router — as
+// serial, bytecode, and auto variants — the fleet-wide compile count
+// equals the unique-variant count. Consistent hashing on the source
+// content key means each variant lives on exactly one replica; no
+// backend ever compiles a program another backend already owns.
+func TestRouterNoDuplicateCompiles(t *testing.T) {
+	fleet, urls := startFleet(t, 3, Config{})
+	r := newTestRouter(t, RouterConfig{Backends: urls, HealthInterval: 10 * time.Second})
+	ts := httptest.NewServer(r.Handler())
+	defer ts.Close()
+
+	corpus := routerCorpus(t)
+	for round := 0; round < 3; round++ {
+		for _, p := range corpus {
+			for _, req := range []Request{
+				{Source: p.Source},
+				{Source: p.Source, Engine: "bytecode"},
+				{Source: p.Source, Auto: true, PEs: 2},
+			} {
+				resp, status, _, err := postRun(context.Background(), ts.Client(), ts.URL, req)
+				if err != nil || status != http.StatusOK || !resp.OK {
+					t.Fatalf("%s round %d: %v %d %+v", p.Name, round, err, status, resp)
+				}
+				if round > 0 && !resp.Cached {
+					t.Errorf("%s round %d: repeat request missed its replica's cache", p.Name, round)
+				}
+			}
+		}
+	}
+
+	// Serial+bytecode share one cache entry per program; auto adds one.
+	wantVariants := 2 * len(corpus)
+	var compiles, entries int64
+	var populated int
+	for i, b := range fleet {
+		cs := b.s.Stats().Cache
+		compiles += cs.Compiles
+		entries += int64(cs.Entries)
+		if cs.Entries > 0 {
+			populated++
+		}
+		t.Logf("backend %d: %d compiles, %d entries, %d hits", i, cs.Compiles, cs.Entries, cs.Hits)
+	}
+	if compiles != int64(wantVariants) {
+		t.Errorf("fleet compiled %d times for %d unique variants — duplicate compiles", compiles, wantVariants)
+	}
+	if entries != int64(wantVariants) {
+		t.Errorf("fleet holds %d cache entries for %d unique variants — a variant is resident twice", entries, wantVariants)
+	}
+	if populated < 2 {
+		t.Errorf("only %d of 3 backends hold cache entries — sharding collapsed onto one replica", populated)
+	}
+
+	// The router's aggregated /stats reports the same fleet-wide view a
+	// single backend would, so loadgen's hit-rate math works unchanged.
+	agg, err := fetchStats(context.Background(), ts.Client(), ts.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if agg.Cache.Compiles != compiles {
+		t.Errorf("router /stats aggregates %d compiles, backends report %d", agg.Cache.Compiles, compiles)
+	}
+	if agg.Cache.Hits == 0 {
+		t.Errorf("router /stats aggregated no cache hits across %d hot requests", 3*3*len(corpus))
+	}
+}
+
+// TestRouterVsDirectDifferential: for the full corpus, serial and auto
+// responses through the router are byte-identical to a single-process
+// server — the fleet changes where programs run, never what they
+// compute.
+func TestRouterVsDirectDifferential(t *testing.T) {
+	_, urls := startFleet(t, 3, Config{})
+	r := newTestRouter(t, RouterConfig{Backends: urls, HealthInterval: 10 * time.Second})
+	ts := httptest.NewServer(r.Handler())
+	defer ts.Close()
+	direct := newTestServer(t, Config{})
+
+	assertFleetMatchesDirect(t, ts, direct, routerCorpus(t))
+}
+
+func assertFleetMatchesDirect(t *testing.T, ts *httptest.Server, direct *Server, corpus []Program) {
+	t.Helper()
+	for _, p := range corpus {
+		for _, req := range []Request{
+			{Source: p.Source},
+			{Source: p.Source, Auto: true, PEs: 2, Width: 8},
+		} {
+			want := mustRun(t, direct, req)
+			got, status, _, err := postRun(context.Background(), ts.Client(), ts.URL, req)
+			if err != nil || status != http.StatusOK {
+				t.Fatalf("%s (auto=%v): %v %d", p.Name, req.Auto, err, status)
+			}
+			if got.OK != want.OK || got.Result != want.Result || got.Kind != want.Kind || got.Output != want.Output {
+				t.Errorf("%s (auto=%v): router diverged from direct:\n got %+v\nwant %+v",
+					p.Name, req.Auto, got, want)
+			}
+		}
+	}
+}
+
+// TestRouterFaultInjection kills one of three backends mid-load and
+// asserts the fleet contract: the router rehashes the dead replica's
+// keys onto survivors (bounded rehash — the ring is fixed, only its
+// arcs move), the client-visible error rate stays within budget
+// (transport failures are retried on the next owner), and after the
+// dust settles the full corpus still answers byte-identically to a
+// single-process server.
+func TestRouterFaultInjection(t *testing.T) {
+	fleet, urls := startFleet(t, 3, Config{})
+	r := newTestRouter(t, RouterConfig{Backends: urls, HealthInterval: 50 * time.Millisecond})
+	ts := httptest.NewServer(r.Handler())
+	defer ts.Close()
+	corpus := routerCorpus(t)
+
+	// Warm every replica so the kill hits a working fleet.
+	for _, p := range corpus {
+		if resp, status, _, err := postRun(context.Background(), ts.Client(), ts.URL, Request{Source: p.Source}); err != nil || status != 200 || !resp.OK {
+			t.Fatalf("warm %s: %v %d %+v", p.Name, err, status, resp)
+		}
+	}
+
+	const workers = 8
+	var requests, failures atomic.Int64
+	lctx, cancel := context.WithTimeout(context.Background(), 700*time.Millisecond)
+	defer cancel()
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; lctx.Err() == nil; i++ {
+				p := corpus[(w+i)%len(corpus)]
+				resp, status, _, err := postRun(lctx, ts.Client(), ts.URL, Request{Source: p.Source})
+				if lctx.Err() != nil && err != nil {
+					return // cut off by the phase deadline, not a service error
+				}
+				requests.Add(1)
+				if err != nil || status != http.StatusOK || !resp.OK {
+					failures.Add(1)
+				}
+			}
+		}(w)
+	}
+	time.Sleep(200 * time.Millisecond)
+	fleet[1].kill()
+	wg.Wait()
+
+	req := requests.Load()
+	fail := failures.Load()
+	if req == 0 {
+		t.Fatal("load phase made no requests")
+	}
+	if budget := req / 50; fail > budget { // 2% error budget
+		t.Errorf("%d of %d requests failed across the kill (budget %d)", fail, req, budget)
+	}
+
+	// The health loop notices the corpse, and the dead replica's keys
+	// were retried onto survivors.
+	waitFor(t, "backend 1 marked down", func() bool {
+		return !r.backends[strings.TrimRight(urls[1], "/")].healthy.Load()
+	})
+	if r.retries.Load() == 0 {
+		t.Errorf("no re-routes recorded — the kill was never observed on the request path")
+	}
+	st := r.Stats(context.Background())
+	healthy := 0
+	for _, b := range st.Backends {
+		if b.Healthy {
+			healthy++
+		}
+	}
+	if healthy != 2 {
+		t.Errorf("%d healthy backends after the kill, want 2 (%+v)", healthy, st.Backends)
+	}
+
+	// Post-recovery differential: every corpus program, serial and
+	// auto, still matches single-process serve byte for byte.
+	direct := newTestServer(t, Config{})
+	assertFleetMatchesDirect(t, ts, direct, corpus)
+	t.Logf("fault run: %d requests, %d failures, %d re-routes", req, fail, r.retries.Load())
+}
+
+// getJobView polls GET /result/{id}.
+func getJobView(t *testing.T, client *http.Client, base, id string) (JobView, int) {
+	t.Helper()
+	resp, err := client.Get(base + "/result/" + id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var v JobView
+	if resp.StatusCode == http.StatusOK {
+		if err := json.NewDecoder(resp.Body).Decode(&v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return v, resp.StatusCode
+}
+
+func submitJob(t *testing.T, client *http.Client, base string, req Request) JobView {
+	t.Helper()
+	body, err := json.Marshal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := client.Post(base+"/submit", "application/json", strings.NewReader(string(body)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("/submit status %d", resp.StatusCode)
+	}
+	var v JobView
+	if err := json.NewDecoder(resp.Body).Decode(&v); err != nil {
+		t.Fatal(err)
+	}
+	if v.ID == "" {
+		t.Fatalf("/submit returned no job id: %+v", v)
+	}
+	return v
+}
+
+// TestRouterAsyncJobs: the async API end to end — submit returns an
+// id immediately, the job executes on its ring owner, and the result
+// is the same Response a synchronous /run produces.
+func TestRouterAsyncJobs(t *testing.T) {
+	_, urls := startFleet(t, 2, Config{})
+	r := newTestRouter(t, RouterConfig{Backends: urls, HealthInterval: 10 * time.Second})
+	ts := httptest.NewServer(r.Handler())
+	defer ts.Close()
+
+	sync, status, _, err := postRun(context.Background(), ts.Client(), ts.URL, Request{Source: addSrc})
+	if err != nil || status != 200 || !sync.OK {
+		t.Fatalf("sync reference: %v %d %+v", err, status, sync)
+	}
+
+	job := submitJob(t, ts.Client(), ts.URL, Request{Source: addSrc})
+	var final JobView
+	waitFor(t, "job done", func() bool {
+		v, code := getJobView(t, ts.Client(), ts.URL, job.ID)
+		if code != http.StatusOK {
+			t.Fatalf("/result/%s status %d", job.ID, code)
+		}
+		final = v
+		return v.State == JobDone || v.State == JobFailed
+	})
+	if final.State != JobDone || final.Status != http.StatusOK || final.Attempts != 1 {
+		t.Fatalf("job ended %+v, want done in one attempt", final)
+	}
+	var resp Response
+	if err := json.Unmarshal(final.Response, &resp); err != nil {
+		t.Fatal(err)
+	}
+	if !resp.OK || resp.Result != sync.Result || resp.Output != sync.Output {
+		t.Errorf("async response %+v diverged from sync %+v", resp, sync)
+	}
+
+	if _, code := getJobView(t, ts.Client(), ts.URL, "job-999999"); code != http.StatusNotFound {
+		t.Errorf("unknown job id: status %d, want 404", code)
+	}
+	if resp, err := ts.Client().Get(ts.URL + "/submit"); err == nil {
+		if resp.StatusCode != http.StatusMethodNotAllowed {
+			t.Errorf("GET /submit: status %d, want 405", resp.StatusCode)
+		}
+		resp.Body.Close()
+	}
+}
+
+// sourceOwnedBy crafts a program whose content key the ring assigns to
+// the given backend — how tests aim requests at a specific replica.
+func sourceOwnedBy(t *testing.T, r *Router, owner string) string {
+	t.Helper()
+	owner = strings.TrimRight(owner, "/")
+	for i := 0; i < 100000; i++ {
+		src := fmt.Sprintf("function int main() { return %d; }", i)
+		if r.ring.owner(sourceKey(src), nil) == owner {
+			return src
+		}
+	}
+	t.Fatalf("no source found owned by %s", owner)
+	return ""
+}
+
+// TestRouterAsyncRetryOnBackendFailure: a job aimed at a dead replica
+// burns its first attempt on the transport failure, is requeued, and
+// completes on a survivor — retry-on-backend-failure observable in the
+// ledger. Retries: -1 disables in-request failover so the requeue path
+// itself is exercised.
+func TestRouterAsyncRetryOnBackendFailure(t *testing.T) {
+	fleet, urls := startFleet(t, 2, Config{})
+	r := newTestRouter(t, RouterConfig{
+		Backends:       urls,
+		HealthInterval: 10 * time.Second, // only the request path may mark backends down
+		Retries:        -1,
+		AsyncWorkers:   1,
+	})
+	ts := httptest.NewServer(r.Handler())
+	defer ts.Close()
+
+	src := sourceOwnedBy(t, r, urls[0])
+	fleet[0].kill()
+
+	job := submitJob(t, ts.Client(), ts.URL, Request{Source: src})
+	var final JobView
+	waitFor(t, "job done after retry", func() bool {
+		final, _ = getJobView(t, ts.Client(), ts.URL, job.ID)
+		return final.State == JobDone || final.State == JobFailed
+	})
+	if final.State != JobDone {
+		t.Fatalf("job ended %+v, want done on the surviving backend", final)
+	}
+	if final.Attempts != 2 {
+		t.Errorf("job took %d attempts, want 2 (fail on the corpse, complete on the survivor)", final.Attempts)
+	}
+	if js := r.jobs.stats(); js.Requeues != 1 || js.Done != 1 || js.Failed != 0 {
+		t.Errorf("ledger %+v, want exactly one requeue and one completion", js)
+	}
+	var resp Response
+	if err := json.Unmarshal(final.Response, &resp); err != nil {
+		t.Fatal(err)
+	}
+	if !resp.OK {
+		t.Errorf("retried job's response not ok: %+v", resp)
+	}
+}
+
+// TestRouterDrainLedger is the drain guard: Close with async jobs in
+// every phase — done, mid-attempt, still queued — loses and duplicates
+// nothing. In-flight attempts are cancelled and requeued (never
+// failed), queued jobs stay queued, completed results stay recorded
+// exactly once; the job-id ledger accounts for every submission.
+func TestRouterDrainLedger(t *testing.T) {
+	_, urls := startFleet(t, 1, Config{Workers: 2, QueueDepth: 16, MaxSteps: 1 << 40})
+	r := newTestRouter(t, RouterConfig{Backends: urls, HealthInterval: 10 * time.Second, AsyncWorkers: 2})
+	ts := httptest.NewServer(r.Handler())
+	defer ts.Close()
+
+	// Phase 1: two fast jobs complete before the drain.
+	ids := []string{}
+	for i := 0; i < 2; i++ {
+		job := submitJob(t, ts.Client(), ts.URL, Request{Source: addSrc})
+		ids = append(ids, job.ID)
+		waitFor(t, "fast job done", func() bool {
+			v, _ := getJobView(t, ts.Client(), ts.URL, job.ID)
+			return v.State == JobDone
+		})
+	}
+	// Phase 2: four slow jobs — two go in flight (one per worker), two
+	// stay queued behind them.
+	for i := 0; i < 4; i++ {
+		ids = append(ids, submitJob(t, ts.Client(), ts.URL, slowRequest(400)).ID)
+	}
+	waitFor(t, "two jobs mid-attempt", func() bool { return r.jobs.stats().Running == 2 })
+
+	r.Close()
+
+	if len(ids) != 6 {
+		t.Fatalf("submitted %d ids, want 6", len(ids))
+	}
+	seen := map[string]bool{}
+	counts := map[string]int{}
+	r.jobs.mu.Lock()
+	for _, id := range ids {
+		j, ok := r.jobs.jobs[id]
+		if !ok {
+			t.Errorf("job %s lost from the ledger", id)
+			continue
+		}
+		if seen[id] {
+			t.Errorf("job id %s recorded twice", id)
+		}
+		seen[id] = true
+		counts[j.state]++
+		if j.completions > 1 {
+			t.Errorf("job %s completed %d times", id, j.completions)
+		}
+		if j.state == JobQueued && j.completions != 0 {
+			t.Errorf("requeued job %s carries a recorded completion", id)
+		}
+	}
+	r.jobs.mu.Unlock()
+	if counts[JobDone] != 2 || counts[JobQueued] != 4 || counts[JobFailed] != 0 || counts[JobRunning] != 0 {
+		t.Errorf("post-drain states %+v, want 2 done / 4 queued / none failed or running", counts)
+	}
+	if js := r.jobs.stats(); js.Requeues != 2 {
+		t.Errorf("requeues = %d, want 2 (one per cancelled in-flight attempt)", js.Requeues)
+	}
+
+	// Drained router refuses new work with back-pressure headers.
+	body, _ := json.Marshal(Request{Source: addSrc})
+	resp, err := ts.Client().Post(ts.URL+"/submit", "application/json", strings.NewReader(string(body)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable || resp.Header.Get("Retry-After") == "" {
+		t.Errorf("post-drain /submit: status %d, Retry-After %q", resp.StatusCode, resp.Header.Get("Retry-After"))
+	}
+}
+
+// TestRouterEmbedded covers the in-process fleet: same sharding
+// guarantees as the networked topology — byte-identical responses,
+// no duplicate compiles, a working async path, aggregated stats —
+// through the decode-once fast path instead of a proxied hop.
+func TestRouterEmbedded(t *testing.T) {
+	replicas := make([]*Server, 3)
+	for i := range replicas {
+		replicas[i] = New(Config{})
+		t.Cleanup(replicas[i].Close)
+	}
+	r := newTestRouter(t, RouterConfig{Embedded: replicas, HealthInterval: 10 * time.Second})
+	ts := httptest.NewServer(r.Handler())
+	defer ts.Close()
+	corpus := routerCorpus(t)
+
+	direct := newTestServer(t, Config{})
+	assertFleetMatchesDirect(t, ts, direct, corpus)
+
+	// Two more hot rounds, then the compile audit.
+	for round := 0; round < 2; round++ {
+		for _, p := range corpus {
+			resp, status, _, err := postRun(context.Background(), ts.Client(), ts.URL, Request{Source: p.Source})
+			if err != nil || status != http.StatusOK || !resp.Cached {
+				t.Fatalf("%s: %v %d cached=%v", p.Name, err, status, resp.Cached)
+			}
+		}
+	}
+	wantVariants := 2 * len(corpus) // serial + auto entry per program (differential ran both)
+	var compiles int64
+	for _, s := range replicas {
+		compiles += s.Stats().Cache.Compiles
+	}
+	if compiles != int64(wantVariants) {
+		t.Errorf("embedded fleet compiled %d times for %d unique variants", compiles, wantVariants)
+	}
+	agg, err := fetchStats(context.Background(), ts.Client(), ts.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if agg.Cache.Compiles != compiles {
+		t.Errorf("embedded /stats aggregates %d compiles, replicas report %d", agg.Cache.Compiles, compiles)
+	}
+
+	// Async jobs run through the in-memory attempt path.
+	job := submitJob(t, ts.Client(), ts.URL, Request{Source: addSrc})
+	var final JobView
+	waitFor(t, "embedded job done", func() bool {
+		final, _ = getJobView(t, ts.Client(), ts.URL, job.ID)
+		return final.State == JobDone || final.State == JobFailed
+	})
+	if final.State != JobDone || final.Status != http.StatusOK {
+		t.Fatalf("embedded job ended %+v", final)
+	}
+	var resp Response
+	if err := json.Unmarshal(final.Response, &resp); err != nil {
+		t.Fatal(err)
+	}
+	if !resp.OK || resp.Result != "42" {
+		t.Errorf("embedded async response %+v", resp)
+	}
+
+	if _, err := NewRouter(RouterConfig{Embedded: replicas, Backends: []string{"http://x"}}); err == nil {
+		t.Errorf("router accepted Embedded and Backends together")
+	}
+}
+
+// TestRouterValidation: malformed bodies and empty sources are 400 at
+// the router — they never reach a backend.
+func TestRouterValidation(t *testing.T) {
+	fleet, urls := startFleet(t, 1, Config{})
+	r := newTestRouter(t, RouterConfig{Backends: urls, HealthInterval: 10 * time.Second})
+	ts := httptest.NewServer(r.Handler())
+	defer ts.Close()
+
+	for _, body := range []string{"{", `{"source":""}`, `{"fn":"main"}`} {
+		resp, err := ts.Client().Post(ts.URL+"/run", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("body %q: status %d, want 400", body, resp.StatusCode)
+		}
+	}
+	if st := fleet[0].s.Stats(); st.Requests != 0 {
+		t.Errorf("malformed requests reached the backend: %d", st.Requests)
+	}
+	if _, err := NewRouter(RouterConfig{}); err == nil {
+		t.Errorf("router with no backends built")
+	}
+	if _, err := NewRouter(RouterConfig{Backends: []string{"http://x", "http://x"}}); err == nil {
+		t.Errorf("router with duplicate backends built")
+	}
+}

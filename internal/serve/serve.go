@@ -62,6 +62,13 @@ type Config struct {
 	// a request arriving with the queue full is rejected with ErrBusy
 	// (0 = 4×Workers).
 	QueueDepth int
+	// TenantQueueDepth is the per-tenant admission quota: how many of a
+	// single tenant's requests may be queued at once. A tenant at its
+	// quota is rejected with ErrTenantBusy even while the global queue
+	// has room, so one tenant cannot crowd out the rest; dispatch across
+	// tenants with queued work is round-robin (fair queuing). 0 =
+	// QueueDepth, i.e. no per-tenant bound beyond the global one.
+	TenantQueueDepth int
 	// CacheEntries is the compiled-program cache capacity across all
 	// shards (0 = 128 entries). Capacity is split evenly per shard and
 	// rounded up, so the effective total is
@@ -168,6 +175,11 @@ type Request struct {
 	// Width overrides the strip width for Auto (0 = 4× the effective
 	// PE count, capped by the server's MaxStripWidth).
 	Width int `json:"width,omitempty"`
+	// Tenant attributes the request for admission: each tenant has its
+	// own quota of queue slots (Config.TenantQueueDepth) and its own
+	// fair-queuing turn. Empty is fine — anonymous requests share one
+	// tenant.
+	Tenant string `json:"tenant,omitempty"`
 	// Seed feeds the deterministic rand() builtin.
 	Seed uint64 `json:"seed,omitempty"`
 	// TimeoutMS requests a specific wall-clock budget instead of the
@@ -240,10 +252,15 @@ func planSummary(p *transform.Plan) *PlanSummary {
 	return ps
 }
 
-// Admission errors (mapped to HTTP 503 by the handler).
+// Admission errors (ErrBusy and ErrDraining map to HTTP 503,
+// ErrTenantBusy to 429 — the tenant is over quota, the service is not
+// overloaded — all with Retry-After).
 var (
 	// ErrBusy rejects a request that found the admission queue full.
 	ErrBusy = errors.New("serve: queue full")
+	// ErrTenantBusy rejects a request whose tenant has exhausted its
+	// own quota of queue slots.
+	ErrTenantBusy = errors.New("serve: tenant quota exceeded")
 	// ErrDraining rejects requests arriving after Close began.
 	ErrDraining = errors.New("serve: draining")
 )
@@ -279,7 +296,7 @@ func New(cfg Config) *Server {
 	return &Server{
 		cfg:     cfg,
 		cache:   newCache(cfg.CacheEntries, cfg.CacheShards),
-		pool:    newPool(cfg.Workers, cfg.QueueDepth),
+		pool:    newPool(cfg.Workers, cfg.QueueDepth, cfg.TenantQueueDepth),
 		latency: newHistogram(),
 	}
 }
@@ -359,9 +376,10 @@ func (s *Server) Run(ctx context.Context, req Request) (Response, error) {
 
 	var resp Response
 	j := &job{
-		ctx:  ctx,
-		done: make(chan struct{}),
-		fn:   func() { resp = s.execute(ctx, req, eng, pol, width, args) },
+		ctx:    ctx,
+		done:   make(chan struct{}),
+		tenant: req.Tenant,
+		fn:     func() { resp = s.execute(ctx, req, eng, pol, width, args) },
 	}
 	if err := s.pool.submit(j); err != nil {
 		s.rejected.Add(1)

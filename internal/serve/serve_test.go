@@ -574,7 +574,7 @@ func TestHTTP(t *testing.T) {
 	ts := httptest.NewServer(s.Handler())
 	defer ts.Close()
 
-	resp, status, err := postRun(context.Background(), ts.Client(), ts.URL, Request{Source: addSrc})
+	resp, status, _, err := postRun(context.Background(), ts.Client(), ts.URL, Request{Source: addSrc})
 	if err != nil || status != http.StatusOK || !resp.OK || resp.Result != "42" {
 		t.Fatalf("POST /run: %v %d %+v", err, status, resp)
 	}
