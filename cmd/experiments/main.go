@@ -15,6 +15,8 @@
 //	          R3 the compiled-engine vs tree-walker comparison on both
 //	          workloads, and R5 the auto-parallelization planner vs
 //	          the hand-tuned StripMine calls (with the plan report)
+//	-plancost R7: the auto-parallelization planner's cost scaling on
+//	          generated many-loop programs (the BENCH_plan.json workload)
 //	-pes, -sched, -chunk
 //	          pool sizes and R2 scheduling policy for -real
 //	-engine   interpreter engine for the R1/R2 tables (compiled or
@@ -39,17 +41,19 @@ import (
 	"repro/internal/core"
 	"repro/internal/expflags"
 	"repro/internal/interp"
+	"repro/internal/lang"
 	"repro/internal/nbody"
 	"repro/internal/parexec"
 	"repro/internal/sequent"
 	"repro/internal/tablefmt"
+	"repro/internal/transform"
 )
 
 func main() {
 	f := expflags.Register(flag.CommandLine)
 	flag.Parse()
 
-	if !f.Tables && f.Fig == 0 && f.PM == 0 && f.X == 0 && !f.Real {
+	if !f.Tables && f.Fig == 0 && f.PM == 0 && f.X == 0 && !f.Real && !f.PlanCost {
 		f.All = true
 	}
 	if f.All || f.Tables {
@@ -72,6 +76,9 @@ func main() {
 		runR2(peList, policies, eng)
 		runR3(peList)
 		runR5(peList, eng)
+	}
+	if f.All || f.PlanCost {
+		runR7()
 	}
 	for n := 1; n <= 5; n++ {
 		if f.All || f.Fig == n {
@@ -554,6 +561,51 @@ func runR5(peList []int, eng interp.Engine) {
 	}
 	fmt.Println("\nEvery hand and auto cell reproduced the serial checksum bit-for-bit;")
 	fmt.Println("TestAutoMatchesHandTuned pins the equivalence in CI.")
+}
+
+// runR7 measures the auto-parallelization planner's own cost: wall
+// time of transform.AutoParallelize on generated many-loop programs
+// (transform.ManyLoopProgramPSL — N worker procedures × M approvable
+// pointer-chasing loops, every one approved and strip-mined). The
+// planner memoizes per-function analysis summaries and re-analyzes
+// only the functions a rewrite touches, so per-approved-loop cost
+// should stay roughly flat as programs grow; the full-restart
+// reference comparison (the seed row, ~an order of magnitude slower
+// at 200 loops) lives in BENCH_plan.json, and TestPlanCostSubquadratic
+// gates both the head-to-head gap and this table's scaling in CI.
+func runR7() {
+	header("R7 — auto-parallelization planner cost (incremental analysis)")
+	fmt.Printf("host: GOMAXPROCS=%d, NumCPU=%d; best of 3 runs per cell.\n",
+		runtime.GOMAXPROCS(0), runtime.NumCPU())
+	fmt.Println("workload: ManyLoopProgramPSL(N, M) — every loop approved, so each")
+	fmt.Println("cell pays N·M strip-mine rewrites plus their re-analysis.")
+	fmt.Println()
+	fmt.Printf("%-12s %8s %12s %14s\n", "program", "loops", "plan ms", "ms per loop")
+	type size struct{ n, m int }
+	for _, s := range []size{{5, 5}, {10, 5}, {20, 5}, {20, 10}} {
+		src := transform.ManyLoopProgramPSL(s.n, s.m)
+		prog, err := lang.Parse(src)
+		if err != nil {
+			fatal(err)
+		}
+		loops := s.n * s.m
+		d, err := timeRun(func() error {
+			plan, err := transform.AutoParallelize(prog, 4)
+			if err == nil && plan.Parallelized != loops {
+				return fmt.Errorf("planned %d of %d loops", plan.Parallelized, loops)
+			}
+			return err
+		})
+		if err != nil {
+			fatal(err)
+		}
+		ms := float64(d.Microseconds()) / 1000
+		fmt.Printf("%-12s %8d %12.1f %14.3f\n",
+			fmt.Sprintf("%dx%d", s.n, s.m), loops, ms, ms/float64(loops))
+	}
+	fmt.Println("\nFlat ms-per-loop across rows is the incremental win; the quadratic")
+	fmt.Println("full-restart baseline is recorded in BENCH_plan.json (seed row) and")
+	fmt.Println("re-measured by TestPlanCostSubquadratic.")
 }
 
 // ---------------------------------------------------------------------------

@@ -391,12 +391,14 @@ type FuncResult struct {
 
 // Analyzer runs general path matrix analysis over a program.
 type Analyzer struct {
-	prog      *lang.Program
-	fields    map[string]*fieldInfo
-	effects   map[string]*callEffects
+	prog    *lang.Program
+	fields  map[string]*fieldInfo
+	effects map[string]*callEffects
+	// callees is the caller→callee graph underlying effects; Cache
+	// updates cascade along its reverse edges.
+	callees   map[string]map[string]bool
 	edgeID    int
 	results   map[string]*FuncResult
-	inFlight  map[string]bool
 	exitViols map[string]map[ViolationKey]*Violation
 	// MaxLoopIterations bounds loop fixed-point iteration as a safety
 	// net; the lattice is finite so this should never be reached.
@@ -405,12 +407,13 @@ type Analyzer struct {
 
 // New creates an analyzer for the program.
 func New(prog *lang.Program) *Analyzer {
+	effects, callees := computeCallEffects(prog)
 	return &Analyzer{
 		prog:              prog,
 		fields:            buildFieldInfo(prog.Universe),
-		effects:           computeCallEffects(prog),
+		effects:           effects,
+		callees:           callees,
 		results:           make(map[string]*FuncResult),
-		inFlight:          make(map[string]bool),
 		exitViols:         make(map[string]map[ViolationKey]*Violation),
 		MaxLoopIterations: 64,
 	}

@@ -1,0 +1,244 @@
+package analysis
+
+import (
+	"sort"
+
+	"repro/internal/lang"
+)
+
+// Cache memoizes per-function path-matrix analysis over one evolving
+// program, so a planner that rewrites one function at a time pays
+// re-analysis cost proportional to the functions it touched, not to the
+// whole program.
+//
+// # Why reusing an untouched function's result is safe
+//
+// analyzeFunc is a pure function of three inputs: the function's own
+// body, the universe-wide field table, and — for each call site — the
+// callee's closed callEffects (which pointer fields the call may store)
+// and exit-violation summary. The field table derives from the ADDS
+// universe, which no rewrite changes. So the only way a rewrite of
+// function G can change the analysis of an untouched function F is by
+// changing a summary F consumes, i.e. the closed effects or exit
+// violations of some function on a call path from F.
+//
+// Update re-derives the direct effects of every touched function, then
+// propagates along the reverse call graph exactly as far as a closed
+// summary actually changes, and re-analyzes that cascade set to a fixed
+// point — the same fixed point AnalyzeAll reaches, because analyzeFunc
+// is deterministic and both iterate until the consumed summaries
+// stabilize. A FuncResult for a function outside the cascade set is
+// therefore the result a full re-analysis would produce, including its
+// Stmt-keyed maps: untouched functions are never cloned, so their
+// statement identities persist across rewrites.
+//
+// (Edge IDs minted by the shared counter differ from a fresh run's, but
+// an ID is only ever compared for equality against IDs minted in the
+// same function analysis, where allocation order is deterministic — so
+// every join and fixed-point test sees the same answers and the
+// resulting facts are identical.)
+type Cache struct {
+	an *Analyzer
+	// direct holds each function's own (unclosed) effects, so Update can
+	// detect whether a rewrite changed them at all.
+	direct map[string]*callEffects
+}
+
+// NewCache analyzes the whole program once and returns the memoized
+// analyzer state. The program must not be mutated except through the
+// touched-function protocol of Update.
+func NewCache(prog *lang.Program) (*Cache, error) {
+	an := New(prog)
+	if _, err := an.AnalyzeAll(); err != nil {
+		return nil, err
+	}
+	c := &Cache{an: an, direct: make(map[string]*callEffects, len(prog.Funcs))}
+	for _, f := range prog.Funcs {
+		c.direct[f.Name], _ = directCallEffects(f)
+	}
+	return c, nil
+}
+
+// Program returns the program the cache analyzes.
+func (c *Cache) Program() *lang.Program { return c.an.prog }
+
+// Result returns the current combined analysis result. The maps inside
+// are live views of the cache; they are refreshed in place by Update.
+func (c *Cache) Result() *Result {
+	return &Result{Program: c.an, Funcs: c.an.results}
+}
+
+// Func returns the memoized analysis of one function, or nil.
+func (c *Cache) Func(name string) *FuncResult {
+	return c.an.results[name]
+}
+
+// Update re-analyzes after an in-place rewrite that touched exactly the
+// named functions (rewritten bodies and newly appended functions). It
+// returns the sorted names of every function actually re-analyzed — the
+// touched set plus the cascade of callers whose consumed summaries
+// changed.
+func (c *Cache) Update(touched ...string) ([]string, error) {
+	prog := c.an.prog
+
+	// 1. Refresh direct effects and the call graph for the touched
+	// functions. Callers of a function whose call-visible signature
+	// facts changed (new function, removed function, returnsPointer
+	// flip) must re-analyze even if no store set moves.
+	dirty := map[string]bool{}
+	signatureChanged := map[string]bool{}
+	for _, name := range touched {
+		f := prog.Func(name)
+		if f == nil {
+			delete(c.direct, name)
+			delete(c.an.effects, name)
+			delete(c.an.callees, name)
+			delete(c.an.results, name)
+			delete(c.an.exitViols, name)
+			signatureChanged[name] = true
+			continue
+		}
+		dirty[name] = true
+		nd, callees := directCallEffects(f)
+		old := c.direct[name]
+		c.direct[name] = nd
+		c.an.callees[name] = callees
+		if old == nil || old.returnsPointer != nd.returnsPointer {
+			signatureChanged[name] = true
+		}
+		if c.an.effects[name] == nil {
+			c.an.effects[name] = &callEffects{storesFields: map[string]bool{}}
+		}
+	}
+
+	callers := c.reverseCalls()
+
+	// 2. Re-close effect summaries along reverse call edges, only as far
+	// as a closed set actually changes. Each processed function is
+	// rebuilt from scratch (direct ∪ closed callees) because a rewrite
+	// may have shrunk its set — the accumulate-only whole-program
+	// closure cannot express that.
+	var work []string
+	inWork := map[string]bool{}
+	push := func(name string) {
+		if !inWork[name] && c.an.effects[name] != nil {
+			work = append(work, name)
+			inWork[name] = true
+		}
+	}
+	for _, name := range touched {
+		push(name)
+	}
+	for len(work) > 0 {
+		name := work[0]
+		work = work[1:]
+		inWork[name] = false
+		ce := c.an.effects[name]
+		d := c.direct[name]
+		if ce == nil || d == nil {
+			continue
+		}
+		before := ce.storesFields
+		rebuilt := copyFieldSet(d.storesFields)
+		for callee := range c.an.callees[name] {
+			if sub := c.an.effects[callee]; sub != nil {
+				for f := range sub.storesFields {
+					rebuilt[f] = true
+				}
+			}
+		}
+		ce.storesFields = rebuilt
+		ce.returnsPointer = d.returnsPointer
+		if sameFieldSet(before, rebuilt) {
+			continue
+		}
+		for _, caller := range callers[name] {
+			dirty[caller] = true
+			push(caller)
+		}
+	}
+	for name := range signatureChanged {
+		for _, caller := range callers[name] {
+			dirty[caller] = true
+		}
+	}
+
+	// 3. Re-run the dataflow analysis over the dirty set, cascading to
+	// callers whenever an exit-violation summary changes, until stable —
+	// the same fixed point AnalyzeAll iterates to, restricted to the
+	// functions whose inputs could have changed.
+	analyzed := map[string]bool{}
+	for round := 0; round < len(prog.Funcs)+2; round++ {
+		changed := false
+		for _, f := range prog.Funcs {
+			if !dirty[f.Name] {
+				continue
+			}
+			prev, had := c.an.exitViols[f.Name]
+			fr, err := c.an.analyzeFunc(f)
+			if err != nil {
+				return nil, err
+			}
+			analyzed[f.Name] = true
+			c.an.results[f.Name] = fr
+			now := fr.Exit.Violations
+			c.an.exitViols[f.Name] = now
+			if had && sameViolationKeys(prev, now) {
+				continue
+			}
+			changed = true
+			for _, caller := range callers[f.Name] {
+				if !dirty[caller] {
+					dirty[caller] = true
+				}
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+
+	out := make([]string, 0, len(analyzed))
+	for name := range analyzed {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out, nil
+}
+
+// reverseCalls inverts the caller→callee graph (callers listed in
+// sorted order for determinism).
+func (c *Cache) reverseCalls() map[string][]string {
+	rev := map[string][]string{}
+	names := make([]string, 0, len(c.an.callees))
+	for caller := range c.an.callees {
+		names = append(names, caller)
+	}
+	sort.Strings(names)
+	for _, caller := range names {
+		for callee := range c.an.callees[caller] {
+			rev[callee] = append(rev[callee], caller)
+		}
+	}
+	return rev
+}
+
+func sameFieldSet(a, b map[string]bool) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k := range a {
+		if !b[k] {
+			return false
+		}
+	}
+	return true
+}
+
+func copyFieldSet(m map[string]bool) map[string]bool {
+	out := make(map[string]bool, len(m))
+	for k := range m {
+		out[k] = true
+	}
+	return out
+}

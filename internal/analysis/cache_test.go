@@ -1,0 +1,170 @@
+package analysis
+
+import (
+	"testing"
+
+	"repro/internal/adds"
+	"repro/internal/lang"
+)
+
+const cacheTestSrc = adds.OneWayListSrc + `
+procedure leaf(OneWayList *p) {
+  p->data = 1;
+}
+procedure mid(OneWayList *p) {
+  leaf(p);
+}
+procedure top(OneWayList *p) {
+  mid(p);
+}
+procedure scale(OneWayList *head) {
+  var OneWayList *p = head;
+  while p != NULL {
+    p->data = p->data + 1;
+    p = p->next;
+  }
+}
+`
+
+// leafVariantSrc is the same program with leaf rewritten to store a
+// pointer field, which changes leaf's effect summary and so must
+// cascade up the call chain through mid and top.
+const leafVariantSrc = adds.OneWayListSrc + `
+procedure leaf(OneWayList *p) {
+  p->next = NULL;
+}
+`
+
+// TestCacheUpdateCascadesAndMemoizes: touching leaf with a rewrite that
+// changes its closed effects must re-analyze exactly the reverse-call-
+// graph cascade (leaf, mid, top) while the unrelated function keeps its
+// memoized FuncResult — pointer-identical, statement keys intact.
+func TestCacheUpdateCascadesAndMemoizes(t *testing.T) {
+	prog, err := lang.Parse(cacheTestSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := NewCache(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scaleBefore := c.Func("scale")
+	if scaleBefore == nil {
+		t.Fatal("no result for scale")
+	}
+
+	variant, err := lang.Parse(leafVariantSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog.Func("leaf").Body = variant.Func("leaf").Body
+
+	redone, err := c.Update("leaf")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := map[string]bool{}
+	for _, n := range redone {
+		got[n] = true
+	}
+	for _, want := range []string{"leaf", "mid", "top"} {
+		if !got[want] {
+			t.Errorf("Update did not re-analyze %s (got %v)", want, redone)
+		}
+	}
+	if got["scale"] {
+		t.Errorf("Update re-analyzed unrelated function scale (got %v)", redone)
+	}
+
+	if c.Func("scale") != scaleBefore {
+		t.Error("untouched function scale lost its memoized FuncResult")
+	}
+	newLeaf := c.Func("leaf")
+	if newLeaf == scaleBefore || newLeaf == nil {
+		t.Fatal("leaf result missing after Update")
+	}
+	// The fresh result must be keyed by the *new* body's statements.
+	stmt := prog.Func("leaf").Body.Stmts[0]
+	if newLeaf.After[stmt] == nil {
+		t.Error("leaf result not keyed by the rewritten body's statements")
+	}
+}
+
+// TestCacheMatchesFreshAnalysis: after an Update, every fact the cache
+// serves must match a from-scratch analysis of the same program. Edge
+// IDs may differ, so the comparison uses ID-independent observables.
+func TestCacheMatchesFreshAnalysis(t *testing.T) {
+	prog, err := lang.Parse(cacheTestSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := NewCache(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	variant, err := lang.Parse(leafVariantSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog.Func("leaf").Body = variant.Func("leaf").Body
+	if _, err := c.Update("leaf"); err != nil {
+		t.Fatal(err)
+	}
+
+	fresh, err := New(prog).AnalyzeAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	loop, err := FindLoop(prog.Func("scale"), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cFR, fFR := c.Func("scale"), fresh.Funcs["scale"]
+	if cg, fg := cFR.InductionStrictlyAdvances(loop, "p"), fFR.InductionStrictlyAdvances(loop, "p"); cg != fg {
+		t.Errorf("InductionStrictlyAdvances: cache %v, fresh %v", cg, fg)
+	}
+	for _, pair := range [][2]string{{"p", "head"}, {"p", "p" + PrimeSuffix}} {
+		stmt := prog.Func("scale").Body.Stmts[0]
+		if cg, fg := cFR.MayAliasAt(stmt, pair[0], pair[1]), fFR.MayAliasAt(stmt, pair[0], pair[1]); cg != fg {
+			t.Errorf("MayAliasAt(%s,%s): cache %v, fresh %v", pair[0], pair[1], cg, fg)
+		}
+	}
+}
+
+// TestCacheNewFunction: Update must pick up a function added after the
+// cache was built (the planner adds a helper procedure per rewrite).
+func TestCacheNewFunction(t *testing.T) {
+	prog, err := lang.Parse(cacheTestSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := NewCache(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	extra, err := lang.Parse(adds.OneWayListSrc + `
+procedure added(OneWayList *p) {
+  p->data = 7;
+}
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := prog.AddFunc(extra.Func("added")); err != nil {
+		t.Fatal(err)
+	}
+	redone, err := c.Update("added")
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, n := range redone {
+		found = found || n == "added"
+	}
+	if !found {
+		t.Fatalf("Update(%q) did not analyze the new function (got %v)", "added", redone)
+	}
+	if c.Func("added") == nil {
+		t.Error("no FuncResult for the newly added function")
+	}
+}

@@ -149,8 +149,12 @@ type AutoPlan struct {
 // transform.DefaultWidth for this host — 4 iterations per PE), and the
 // transformed program comes back as a new Compilation alongside the
 // structured plan. Planned variants are cached per resolved width on
-// this Compilation, so only the first call per width pays for planning
-// and re-analysis; the serial Compilation is untouched either way.
+// this Compilation, so only the first call per width pays for
+// planning; that first call is itself incremental — the planner
+// memoizes per-function analysis and re-analyzes only the functions
+// each rewrite touches (see internal/transform), so cold-path plan
+// cost grows with approved loops, not with program size squared. The
+// serial Compilation is untouched either way.
 func (c *Compilation) AutoParallel(widthHint int) (*AutoPlan, error) {
 	width := widthHint
 	if width <= 0 {

@@ -65,6 +65,15 @@ func loopDesc(r *Report) string {
 // function fnName, using a shared analysis result and effect analyzer
 // (construct them once per program with analysis.Analyze /
 // effects.NewAnalyzer).
+//
+// Concurrency contract: AnalyzeLoop only reads fr and eff — the
+// path-matrix queries return entries by value and BlockSummary builds
+// a fresh Summary from the memoized per-function tables — so
+// independent loops may be tested from concurrent goroutines against
+// the same fr/eff pair, PROVIDED no analysis update (analysis.Cache
+// .Update, effects.Analyzer.Update) runs concurrently. The planner
+// relies on this to batch a pass's dependence tests on the parexec
+// pool; updates happen strictly between batches.
 func AnalyzeLoop(prog *lang.Program, fr *analysis.FuncResult, eff *effects.Analyzer, fnName string, loopIndex int) (*Report, error) {
 	fn := prog.Func(fnName)
 	if fn == nil {

@@ -176,20 +176,55 @@ func (s *Summary) String() string {
 type Analyzer struct {
 	prog      *lang.Program
 	summaries map[string]*Summary
+	// callees is the caller→callee graph, kept so Update can limit
+	// recomputation to the functions a rewrite can actually affect.
+	callees map[string]map[string]bool
 }
 
 // NewAnalyzer prepares function summaries for the program, closing them
 // over the call graph.
 func NewAnalyzer(prog *lang.Program) *Analyzer {
-	a := &Analyzer{prog: prog, summaries: make(map[string]*Summary)}
+	a := &Analyzer{
+		prog:      prog,
+		summaries: make(map[string]*Summary),
+		callees:   make(map[string]map[string]bool),
+	}
 	for _, f := range prog.Funcs {
 		a.summaries[f.Name] = &Summary{}
+		a.callees[f.Name] = calleesOf(f)
 	}
+	a.solve(nil)
+	return a
+}
+
+// calleesOf collects the non-builtin functions f calls.
+func calleesOf(f *lang.FuncDecl) map[string]bool {
+	out := map[string]bool{}
+	lang.Walk(f.Body, func(s lang.Stmt) bool {
+		lang.WalkExprs(s, func(e lang.Expr) {
+			if call, ok := e.(*lang.CallExpr); ok {
+				if lang.Builtins[call.Func] == nil {
+					out[call.Func] = true
+				}
+			}
+		})
+		return true
+	})
+	return out
+}
+
+// solve runs the summary fixed point. With a nil restriction every
+// function participates; otherwise only the listed functions are
+// recomputed, reading the (stable) summaries of the rest.
+func (a *Analyzer) solve(only map[string]bool) {
 	// Fixed point: recompute each function's summary, substituting
 	// callee summaries, until nothing changes.
 	for {
 		changed := false
-		for _, f := range prog.Funcs {
+		for _, f := range a.prog.Funcs {
+			if only != nil && !only[f.Name] {
+				continue
+			}
 			anchors := make([]string, 0, len(f.Params))
 			for _, prm := range f.Params {
 				if _, ok := lang.IsPointer(prm.Type); ok {
@@ -204,9 +239,61 @@ func NewAnalyzer(prog *lang.Program) *Analyzer {
 			}
 		}
 		if !changed {
-			return a
+			return
 		}
 	}
+}
+
+// Update re-derives summaries after an in-place rewrite that touched
+// exactly the named functions, returning the sorted names of every
+// function whose summary was recomputed. A function's summary depends
+// only on its own body and its (transitive) callees' summaries, so the
+// set that can change is the touched functions plus their transitive
+// callers; those summaries are reset (the fixed point is
+// accumulate-only, so stale accesses must not survive a body that lost
+// them) and re-solved against the unchanged remainder.
+func (a *Analyzer) Update(touched ...string) []string {
+	dirty := map[string]bool{}
+	var seed []string
+	for _, name := range touched {
+		f := a.prog.Func(name)
+		if f == nil {
+			delete(a.summaries, name)
+			delete(a.callees, name)
+			seed = append(seed, name)
+			continue
+		}
+		a.callees[name] = calleesOf(f)
+		dirty[name] = true
+		seed = append(seed, name)
+	}
+	// Transitive callers over the reverse graph.
+	callers := map[string][]string{}
+	for caller, cs := range a.callees {
+		for callee := range cs {
+			callers[callee] = append(callers[callee], caller)
+		}
+	}
+	for len(seed) > 0 {
+		name := seed[0]
+		seed = seed[1:]
+		for _, caller := range callers[name] {
+			if !dirty[caller] {
+				dirty[caller] = true
+				seed = append(seed, caller)
+			}
+		}
+	}
+	for name := range dirty {
+		a.summaries[name] = &Summary{}
+	}
+	a.solve(dirty)
+	out := make([]string, 0, len(dirty))
+	for name := range dirty {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
 }
 
 // FuncSummary returns the closed summary for a function.

@@ -1,0 +1,80 @@
+package effects
+
+import (
+	"testing"
+
+	"repro/internal/adds"
+	"repro/internal/lang"
+)
+
+const updateTestSrc = adds.OneWayListSrc + `
+procedure leaf(OneWayList *p) {
+  p->data = 1;
+}
+procedure mid(OneWayList *p) {
+  leaf(p);
+}
+procedure lone(OneWayList *p) {
+  p->data = 2;
+}
+`
+
+// TestUpdateResetsAndCascades: Update must rebuild a touched function's
+// summary from its new body (no stale accesses — the fixed point only
+// accumulates, so leftovers would persist forever) and re-close every
+// transitive caller, leaving unrelated functions untouched.
+func TestUpdateResetsAndCascades(t *testing.T) {
+	prog, err := lang.Parse(updateTestSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := NewAnalyzer(prog)
+	if s := a.FuncSummary("mid").String(); !containsWrite(a.FuncSummary("mid"), "data") {
+		t.Fatalf("mid summary missing inherited data write: %s", s)
+	}
+	loneBefore := a.FuncSummary("lone")
+
+	// Rewrite leaf to write next instead of data.
+	variant, err := lang.Parse(adds.OneWayListSrc + `
+procedure leaf(OneWayList *p) {
+  p->next = NULL;
+}
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog.Func("leaf").Body = variant.Func("leaf").Body
+
+	redone := a.Update("leaf")
+	got := map[string]bool{}
+	for _, n := range redone {
+		got[n] = true
+	}
+	if !got["leaf"] || !got["mid"] {
+		t.Errorf("Update should re-summarize leaf and its caller mid, got %v", redone)
+	}
+	if got["lone"] {
+		t.Errorf("Update re-summarized unrelated function lone: %v", redone)
+	}
+	if a.FuncSummary("lone") != loneBefore {
+		t.Error("unrelated function lone lost its memoized summary")
+	}
+	for _, fn := range []string{"leaf", "mid"} {
+		s := a.FuncSummary(fn)
+		if containsWrite(s, "data") {
+			t.Errorf("%s kept a stale data write after the rewrite: %s", fn, s)
+		}
+		if !containsWrite(s, "next") {
+			t.Errorf("%s missing the new next write: %s", fn, s)
+		}
+	}
+}
+
+func containsWrite(s *Summary, field string) bool {
+	for _, w := range s.Writes() {
+		if w.Field == field {
+			return true
+		}
+	}
+	return false
+}

@@ -22,17 +22,18 @@ import (
 // Flags is the parsed flag values of cmd/experiments. See DESIGN.md's
 // experiment index for the IDs each selector regenerates.
 type Flags struct {
-	Tables  bool   // -t: T1/T2 simulated Sequent tables (§4.4)
-	Fig     int    // -fig N: figures F1..F5
-	PM      int    // -pm N: path-matrix experiments PM1..PM3
-	X       int    // -x N: supplementary experiments X1..X3
-	Real    bool   // -real: measured wall-clock R1 (poly) and R2 (Barnes-Hut)
-	All     bool   // -all: everything
-	Measure int    // -measure: simulated time steps per table cell
-	PEs     string // -pes: comma-separated pool sizes for R1/R2
-	Sched   string // -sched: R2 scheduling policy ("all" sweeps every policy)
-	Chunk   int    // -chunk: R2 dynamic self-scheduling chunk size
-	Engine  string // -engine: interpreter engine for R1/R2 ("compiled", "bytecode", or "walk")
+	Tables   bool   // -t: T1/T2 simulated Sequent tables (§4.4)
+	Fig      int    // -fig N: figures F1..F5
+	PM       int    // -pm N: path-matrix experiments PM1..PM3
+	X        int    // -x N: supplementary experiments X1..X3
+	Real     bool   // -real: measured wall-clock R1 (poly) and R2 (Barnes-Hut)
+	PlanCost bool   // -plancost: R7 planner-cost scaling on the generated many-loop program
+	All      bool   // -all: everything
+	Measure  int    // -measure: simulated time steps per table cell
+	PEs      string // -pes: comma-separated pool sizes for R1/R2
+	Sched    string // -sched: R2 scheduling policy ("all" sweeps every policy)
+	Chunk    int    // -chunk: R2 dynamic self-scheduling chunk size
+	Engine   string // -engine: interpreter engine for R1/R2 ("compiled", "bytecode", or "walk")
 }
 
 // Register installs the cmd/experiments flag set on fs and returns the
@@ -44,6 +45,8 @@ func Register(fs *flag.FlagSet) *Flags {
 	fs.IntVar(&f.PM, "pm", 0, "path-matrix experiment (1-3)")
 	fs.IntVar(&f.X, "x", 0, "supplementary experiment (1-3)")
 	fs.BoolVar(&f.Real, "real", false, "R1/R2: measured wall-clock speedups (parexec)")
+	fs.BoolVar(&f.PlanCost, "plancost", false,
+		"R7: auto-parallelization planner cost scaling on generated many-loop programs")
 	fs.BoolVar(&f.All, "all", false, "run everything")
 	fs.IntVar(&f.Measure, "measure", 1, "measured steps per table cell")
 	fs.StringVar(&f.PEs, "pes", "2,4,8", "comma-separated worker-pool sizes for -real (R1 and R2)")

@@ -31,8 +31,18 @@ var Builtins = map[string]*Builtin{
 // compatibility (with implicit int→real widening), condition types, and
 // return correctness.
 func Check(p *Program) error {
+	return CheckFuncs(p, p.Funcs...)
+}
+
+// CheckFuncs type-checks only the listed functions (in place, like
+// Check). Checking is per-function: a function's body needs only the
+// declared signatures of its callees and the program's ADDS universe,
+// never a callee's checked body — so re-checking just the functions a
+// transformation touched is sound and leaves every other function's
+// expression types (and AST identity) untouched.
+func CheckFuncs(p *Program, fns ...*FuncDecl) error {
 	c := &checker{prog: p}
-	for _, f := range p.Funcs {
+	for _, f := range fns {
 		if Builtins[f.Name] != nil {
 			return fmt.Errorf("%s: function %q shadows a builtin", f.Pos(), f.Name)
 		}

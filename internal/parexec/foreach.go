@@ -1,0 +1,46 @@
+package parexec
+
+import (
+	"runtime"
+	"sync"
+)
+
+// ForEach runs fn(0), …, fn(n-1) on a pool of pes worker goroutines,
+// self-scheduled with the package's Dynamic policy — the same machinery
+// that schedules transformed forall loops, here applied to the
+// toolchain's own work (e.g. the planner testing independent loops in
+// parallel). fn must be safe to call concurrently; ForEach returns when
+// every call has completed. pes ≤ 0 means GOMAXPROCS.
+func ForEach(pes, n int, fn func(k int)) {
+	if n <= 0 {
+		return
+	}
+	if pes <= 0 {
+		pes = runtime.GOMAXPROCS(0)
+	}
+	if pes > n {
+		pes = n
+	}
+	if pes == 1 {
+		for k := 0; k < n; k++ {
+			fn(k)
+		}
+		return
+	}
+	asn := Dynamic(1).Assign(0, int64(n-1), pes)
+	var wg sync.WaitGroup
+	for pe := 0; pe < pes; pe++ {
+		wg.Add(1)
+		go func(pe int) {
+			defer wg.Done()
+			for {
+				k, ok := asn.Next(pe)
+				if !ok {
+					return
+				}
+				fn(int(k))
+			}
+		}(pe)
+	}
+	wg.Wait()
+}

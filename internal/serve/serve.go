@@ -43,7 +43,6 @@ import (
 	"errors"
 	"fmt"
 	"runtime"
-	"strings"
 	"sync/atomic"
 	"time"
 
@@ -242,10 +241,7 @@ func planSummary(p *transform.Plan) *PlanSummary {
 			pl.Reason = "runs serially inside the parallel iterations of " + lp.AbsorbedInto
 			ps.Rejected = append(ps.Rejected, pl)
 		default:
-			pl.Reason = "loop not analyzable"
-			if lp.Report != nil && len(lp.Report.Reasons) > 0 {
-				pl.Reason = strings.Join(lp.Report.Reasons, "; ")
-			}
+			pl.Reason = lp.ReasonText()
 			ps.Rejected = append(ps.Rejected, pl)
 		}
 	}

@@ -13,14 +13,33 @@
 //     Strip-mining loop k of a function moves any while loops nested
 //     in its body into the generated helper procedure, shifting the
 //     indices of every later loop in that function; positions survive
-//     both the program clone and the move, so the planner's bookkeeping
-//     does not.
-//   - After each rewrite the whole program is re-analyzed and the scan
-//     restarts: a verdict computed against the pre-rewrite program is
-//     never trusted to license a transformation of the post-rewrite
-//     one. The scan converges because a strip-mined loop can never be
-//     approved again (its body no longer ends with the advance) and no
-//     rewrite creates new while loops.
+//     the move, so the planner's bookkeeping does not. Position keying
+//     demands distinct positions: a program whose loops conflate (a
+//     hand-built AST with all-zero positions) is rejected up front with
+//     a DuplicateLoopPosError.
+//
+//   - Planning is incremental. The input is cloned once; every rewrite
+//     then edits that working program in place, touching exactly two
+//     functions (the rewritten one and its appended helper), and the
+//     memoized analyses — analysis.Cache for path matrices,
+//     effects.Analyzer.Update for effect summaries — re-derive only the
+//     touched functions plus whatever the summary cascade reaches.
+//     Dependence verdicts are cached per loop and invalidated only for
+//     loops in re-analyzed functions, so a rewrite never re-tests the
+//     rest of the program; see analysis.Cache for the argument that a
+//     rewrite cannot change the dependence facts of an untouched
+//     function. The scan converges because a strip-mined loop can never
+//     be approved again (its body no longer ends with the advance) and
+//     no rewrite creates new while loops.
+//
+//   - Within a pass, the dependence tests of the candidate loops are
+//     independent read-only queries, so they run in parallel on
+//     parexec's own scheduling machinery (parexec.ForEach) — the tool
+//     eating its own cooking. Verdicts are consumed strictly in scan
+//     order, so the plan (and the transformed program) is deterministic
+//     and byte-identical to what the serial full-restart planner
+//     produces.
+//
 //   - Helper procedures synthesized by the rewrites are not re-planned:
 //     their loops already run inside parallel iterations, and nesting
 //     foralls would only oversubscribe the worker pool. A loop that
@@ -36,6 +55,7 @@ import (
 	"repro/internal/depend"
 	"repro/internal/effects"
 	"repro/internal/lang"
+	"repro/internal/parexec"
 )
 
 // DefaultWidth is the planner's width policy when the caller has no
@@ -48,6 +68,25 @@ func DefaultWidth(pes int) int {
 		pes = runtime.GOMAXPROCS(0)
 	}
 	return 4 * pes
+}
+
+// DuplicateLoopPosError reports that two while loops of the input
+// program share one source position, so the planner's position-keyed
+// bookkeeping cannot tell them apart. Programs built by lang.Parse give
+// every loop a distinct position; the usual way to hit this is a
+// hand-built AST whose loops all carry the zero position.
+type DuplicateLoopPosError struct {
+	// Pos is the shared position; FuncA/FuncB name the functions holding
+	// the two conflated loops (equal when both loops share a function).
+	Pos   lang.Pos
+	FuncA string
+	FuncB string
+}
+
+// Error renders the conflict.
+func (e *DuplicateLoopPosError) Error() string {
+	return fmt.Sprintf("transform: loops in %s and %s share source position %s; the planner keys loops by position — give hand-built AST loops distinct positions",
+		e.FuncA, e.FuncB, e.Pos)
 }
 
 // LoopPlan is one while loop's entry in a Plan: where the loop was
@@ -77,6 +116,17 @@ type LoopPlan struct {
 	Report *depend.Report
 }
 
+// ReasonText joins every reason of the loop's dependence report with
+// "; " — all of them, since a report may carry several facts (the
+// success case lists three) and dropping any hides the verdict's
+// grounds. Absorbed loops without a report render a fixed placeholder.
+func (lp *LoopPlan) ReasonText() string {
+	if lp.Report == nil || len(lp.Report.Reasons) == 0 {
+		return "loop not analyzable"
+	}
+	return strings.Join(lp.Report.Reasons, "; ")
+}
+
 // String renders one plan line.
 func (lp *LoopPlan) String() string {
 	at := fmt.Sprintf("%s#%d (line %d)", lp.Func, lp.Index, lp.Pos.Line)
@@ -86,11 +136,7 @@ func (lp *LoopPlan) String() string {
 	case lp.Absorbed:
 		return fmt.Sprintf("absorbed     %-28s runs serially inside %s", at, lp.AbsorbedInto)
 	default:
-		why := "loop not analyzable"
-		if lp.Report != nil && len(lp.Report.Reasons) > 0 {
-			why = lp.Report.Reasons[0]
-		}
-		return fmt.Sprintf("rejected     %-28s %s", at, why)
+		return fmt.Sprintf("rejected     %-28s %s", at, lp.ReasonText())
 	}
 }
 
@@ -139,11 +185,11 @@ func (p *Plan) String() string {
 // while loop of every function is put through the dependence test, and
 // every approved loop is strip-mined with the given width (width <= 0
 // selects DefaultWidth for this host). The input program is not
-// modified. The scan restarts after each rewrite, so multiple approved
-// loops in one function (the paper's BHL1/BHL2 pair) and approved
-// loops nested inside rejected ones are both handled; the resulting
-// program is exactly what the equivalent sequence of hand-written
-// StripMine calls would produce, in program order.
+// modified. Planning is incremental — each rewrite re-analyzes only the
+// functions it touched (see the package comment and analysis.Cache) —
+// and the per-loop dependence tests of a pass run in parallel; the
+// resulting program is exactly what the equivalent sequence of
+// hand-written StripMine calls would produce, in program order.
 func AutoParallelize(prog *lang.Program, width int) (*Plan, error) {
 	if width <= 0 {
 		width = DefaultWidth(0)
@@ -155,7 +201,9 @@ func AutoParallelize(prog *lang.Program, width int) (*Plan, error) {
 	// never revisited. origIndex remembers every loop's (function,
 	// index) in the *input* program — rewrites shift indices (nested
 	// loops move into helpers), and plan entries must report the
-	// coordinates the caller's own program uses.
+	// coordinates the caller's own program uses. Position keying is only
+	// sound when positions are distinct, so conflation is an error, not
+	// a silent mis-plan.
 	names := make([]string, 0, len(prog.Funcs))
 	type loopAt struct {
 		fn    string
@@ -165,84 +213,154 @@ func AutoParallelize(prog *lang.Program, width int) (*Plan, error) {
 	for _, f := range prog.Funcs {
 		names = append(names, f.Name)
 		for i, loop := range whileLoops(f.Body) {
+			if prev, dup := origIndex[loop.Pos()]; dup {
+				return nil, &DuplicateLoopPosError{Pos: loop.Pos(), FuncA: prev.fn, FuncB: f.Name}
+			}
 			origIndex[loop.Pos()] = loopAt{fn: f.Name, index: i}
 		}
 	}
-	newLoopPlan := func(pos lang.Pos, fn string, index int) *LoopPlan {
+	newLoopPlan := func(pos lang.Pos, fn string, index int) (*LoopPlan, error) {
 		if at, ok := origIndex[pos]; ok {
 			fn, index = at.fn, at.index
 		}
-		return &LoopPlan{Func: fn, Index: index, Pos: pos}
+		if index < 0 {
+			// Every plannable loop exists in the input program and was
+			// indexed above; reaching here means the bookkeeping lost a
+			// loop, and an entry with Index -1 would point the caller at
+			// nothing.
+			return nil, fmt.Errorf("transform: internal: loop at %s in %s has no input-program index", pos, fn)
+		}
+		return &LoopPlan{Func: fn, Index: index, Pos: pos}, nil
 	}
 
-	// seen keys loop identity by source position (stable across clones
-	// and across the move into a helper). Programs built by lang.Parse
-	// give every loop a distinct position; a hand-built AST with
-	// all-zero positions would conflate its loops here.
+	// One clone up front; every rewrite edits cur in place so that
+	// untouched functions keep their AST identity — the key the memoized
+	// analyses are filed under.
+	cur := prog.Clone()
+	cache, err := analysis.NewCache(cur)
+	if err != nil {
+		return nil, err
+	}
+	eff := effects.NewAnalyzer(cur)
+
+	// seen keys loop identity by source position (verified distinct
+	// above; positions survive the move into a helper). verdicts caches
+	// dependence reports by position until a rewrite dirties the
+	// enclosing function.
 	seen := map[lang.Pos]*LoopPlan{}
-	cur := prog
+	verdicts := map[lang.Pos]*depend.Report{}
 	for {
-		res, err := analysis.New(cur).AnalyzeAll()
-		if err != nil {
-			return nil, err
+		// Candidates, in scan order: every not-yet-settled loop of the
+		// planned functions.
+		type cand struct {
+			name  string
+			index int
+			loop  *lang.WhileStmt
 		}
-		eff := effects.NewAnalyzer(cur)
-		transformed := false
-	scan:
+		var cands []cand
 		for _, name := range names {
 			fn := cur.Func(name)
-			loops := whileLoops(fn.Body)
-			for i, loop := range loops {
-				lp := seen[loop.Pos()]
-				if lp != nil && (lp.Parallelized || lp.Absorbed) {
+			for i, loop := range whileLoops(fn.Body) {
+				if lp := seen[loop.Pos()]; lp != nil && (lp.Parallelized || lp.Absorbed) {
 					continue
 				}
-				var rep *depend.Report
-				if containsForall(loop.Body) {
-					// Never nest parallel regions: a loop whose body
-					// already holds a forall (an inner loop this planner
-					// approved on an earlier pass, or surface-syntax
-					// forall) stays serial — the pool is already busy
-					// inside it.
-					rep = &depend.Report{Func: name, Loop: loop,
-						Reasons: []string{"body already contains a parallel forall (the planner does not nest parallelism)"}}
-				} else if rep, err = depend.AnalyzeLoop(cur, res.Funcs[name], eff, name, i); err != nil {
-					return nil, err
-				}
-				if lp == nil {
-					lp = newLoopPlan(loop.Pos(), name, i)
-					seen[loop.Pos()] = lp
-					plan.Loops = append(plan.Loops, lp)
-				}
-				lp.Report = rep
-				if !rep.Parallelizable {
-					continue
-				}
-				sm, err := stripMine(cur, rep, name, i, width)
-				if err != nil {
-					return nil, err
-				}
-				lp.Parallelized = true
-				lp.Helper = sm.Helper
-				lp.Width = width
-				plan.Parallelized++
-				// Loops nested in the approved body move into the helper
-				// and run serially inside the parallel iterations; record
-				// them so the plan accounts for every loop of the input.
-				for _, inner := range whileLoops(loop.Body) {
-					ilp := seen[inner.Pos()]
-					if ilp == nil {
-						ilp = newLoopPlan(inner.Pos(), name, indexOfLoop(loops, inner))
-						seen[inner.Pos()] = ilp
-						plan.Loops = append(plan.Loops, ilp)
-					}
-					ilp.Absorbed = true
-					ilp.AbsorbedInto = sm.Helper
-				}
-				cur = sm.Program
-				transformed = true
-				break scan
+				cands = append(cands, cand{name: name, index: i, loop: loop})
 			}
+		}
+
+		// Test every candidate without a cached verdict — in parallel,
+		// on the executor's own pool: each test is a read-only query of
+		// the shared program, analysis cache, and effect summaries.
+		var need []int
+		for k, c := range cands {
+			if _, ok := verdicts[c.loop.Pos()]; !ok {
+				need = append(need, k)
+			}
+		}
+		reports := make([]*depend.Report, len(cands))
+		errs := make([]error, len(cands))
+		parexec.ForEach(0, len(need), func(j int) {
+			k := need[j]
+			c := cands[k]
+			if containsForall(c.loop.Body) {
+				// Never nest parallel regions: a loop whose body already
+				// holds a forall (an inner loop this planner approved on
+				// an earlier pass, or surface-syntax forall) stays serial
+				// — the pool is already busy inside it.
+				reports[k] = &depend.Report{Func: c.name, Loop: c.loop,
+					Reasons: []string{"body already contains a parallel forall (the planner does not nest parallelism)"}}
+				return
+			}
+			reports[k], errs[k] = depend.AnalyzeLoop(cur, cache.Func(c.name), eff, c.name, c.index)
+		})
+		for _, k := range need {
+			if errs[k] != nil {
+				return nil, errs[k]
+			}
+			verdicts[cands[k].loop.Pos()] = reports[k]
+		}
+
+		// Consume verdicts in scan order; the first approval rewrites in
+		// place and ends the pass (the rewrite dirties its function, so
+		// later siblings re-test against the post-rewrite program).
+		transformed := false
+		for _, c := range cands {
+			rep := verdicts[c.loop.Pos()]
+			lp := seen[c.loop.Pos()]
+			if lp == nil {
+				if lp, err = newLoopPlan(c.loop.Pos(), c.name, c.index); err != nil {
+					return nil, err
+				}
+				seen[c.loop.Pos()] = lp
+				plan.Loops = append(plan.Loops, lp)
+			}
+			lp.Report = rep
+			if !rep.Parallelizable {
+				continue
+			}
+			// Snapshot the function's loop list and the approved body's
+			// nested loops before the in-place rewrite replaces the body.
+			loops := whileLoops(cur.Func(c.name).Body)
+			inners := whileLoops(c.loop.Body)
+			helper, err := stripMineInPlace(cur, rep, c.name, c.index, width)
+			if err != nil {
+				return nil, err
+			}
+			lp.Parallelized = true
+			lp.Helper = helper
+			lp.Width = width
+			plan.Parallelized++
+			// Loops nested in the approved body move into the helper
+			// and run serially inside the parallel iterations; record
+			// them so the plan accounts for every loop of the input.
+			for _, inner := range inners {
+				ilp := seen[inner.Pos()]
+				if ilp == nil {
+					if ilp, err = newLoopPlan(inner.Pos(), c.name, indexOfLoop(loops, inner)); err != nil {
+						return nil, err
+					}
+					seen[inner.Pos()] = ilp
+					plan.Loops = append(plan.Loops, ilp)
+				}
+				ilp.Absorbed = true
+				ilp.AbsorbedInto = helper
+			}
+			// Re-derive the memoized analyses for the touched functions
+			// and drop the cached verdicts of every loop whose facts the
+			// rewrite could have reached.
+			reanalyzed, err := cache.Update(c.name, helper)
+			if err != nil {
+				return nil, err
+			}
+			for _, fn := range append(reanalyzed, eff.Update(c.name, helper)...) {
+				if f := cur.Func(fn); f != nil {
+					for _, loop := range whileLoops(f.Body) {
+						delete(verdicts, loop.Pos())
+					}
+				}
+			}
+			transformed = true
+			break
 		}
 		if !transformed {
 			break
@@ -265,6 +383,9 @@ func whileLoops(body *lang.Block) []*lang.WhileStmt {
 	return loops
 }
 
+// indexOfLoop locates w in loops; -1 when absent (newLoopPlan treats a
+// position missing from the input index as an internal error rather
+// than emitting an entry with a negative index).
 func indexOfLoop(loops []*lang.WhileStmt, w *lang.WhileStmt) int {
 	for i, l := range loops {
 		if l == w {

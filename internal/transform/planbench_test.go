@@ -1,0 +1,247 @@
+// Planner-cost benchmarks and the committed BENCH_plan.json
+// trajectory: wall cost of planning a generated many-loop program under
+// the incremental planner (AutoParallelize) vs the full-restart
+// reference (autoParallelizeFullRestart), plus the scaling row that
+// shows cost grows near-linearly in approved loops. Regenerate with:
+//
+//	go test ./internal/transform -run TestBenchPlanJSON -write-bench-plan
+//
+// The non-writing run only validates shape; absolute numbers are
+// machine-dependent and never asserted. TestPlanCostSubquadratic is the
+// regression gate: it re-measures both planners and fails if the
+// incremental one loses its asymptotic edge.
+package transform
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"repro/internal/lang"
+)
+
+var writeBenchPlan = flag.Bool("write-bench-plan", false, "re-measure and rewrite BENCH_plan.json")
+
+const benchPlanJSONPath = "../../BENCH_plan.json"
+
+// genManyLoopSrc is the R7 workload generator (genprog.go), aliased
+// for the test file's call sites.
+func genManyLoopSrc(n, m int) string { return ManyLoopProgramPSL(n, m) }
+
+// planProgram parses src and fails the test on error.
+func planProgram(t testing.TB, src string) *lang.Program {
+	t.Helper()
+	prog, err := lang.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return prog
+}
+
+// BenchmarkAutoParallelizePlanCost measures the incremental planner on
+// the 200-loop program (20 functions × 10 loops).
+func BenchmarkAutoParallelizePlanCost(b *testing.B) {
+	prog := planProgram(b, genManyLoopSrc(20, 10))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		plan, err := AutoParallelize(prog, 4)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if plan.Parallelized != 200 {
+			b.Fatalf("parallelized %d loops, want 200", plan.Parallelized)
+		}
+	}
+}
+
+// BenchmarkAutoParallelizePlanCostFullRestart measures the reference
+// planner on the same program — the seed row of BENCH_plan.json.
+func BenchmarkAutoParallelizePlanCostFullRestart(b *testing.B) {
+	prog := planProgram(b, genManyLoopSrc(20, 10))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		plan, err := autoParallelizeFullRestart(prog, 4)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if plan.Parallelized != 200 {
+			b.Fatalf("parallelized %d loops, want 200", plan.Parallelized)
+		}
+	}
+}
+
+// timePlan returns the best-of-k wall time of one planner run.
+func timePlan(t *testing.T, src string, k int, plan func(*lang.Program) error) time.Duration {
+	t.Helper()
+	prog := planProgram(t, src)
+	best := time.Duration(1<<62 - 1)
+	for i := 0; i < k; i++ {
+		start := time.Now()
+		if err := plan(prog); err != nil {
+			t.Fatal(err)
+		}
+		if d := time.Since(start); d < best {
+			best = d
+		}
+	}
+	return best
+}
+
+func runIncremental(p *lang.Program) error {
+	_, err := AutoParallelize(p, 4)
+	return err
+}
+
+func runFullRestart(p *lang.Program) error {
+	_, err := autoParallelizeFullRestart(p, 4)
+	return err
+}
+
+// TestPlanCostSubquadratic is the regression gate for the incremental
+// planner's asymptotics, on two axes:
+//
+//  1. Head-to-head: on the 200-loop program the incremental planner
+//     must beat the full-restart reference by a wide margin (the real
+//     gap is an order of magnitude; the gate asserts 3× so scheduler
+//     noise cannot flake it).
+//  2. Scaling: quadrupling the approved-loop count (5×5 → 20×5) must
+//     not quadruple-squared the cost. Linear scaling gives ~4×,
+//     quadratic ~16×; the gate draws the line at 10×.
+func TestPlanCostSubquadratic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing gate; skipped in -short")
+	}
+	src200 := genManyLoopSrc(20, 10)
+	inc := timePlan(t, src200, 3, runIncremental)
+	full := timePlan(t, src200, 1, runFullRestart)
+	t.Logf("200 loops: incremental %v, full-restart %v (%.1fx)", inc, full, float64(full)/float64(inc))
+	if float64(full) < 3*float64(inc) {
+		t.Errorf("incremental planner only %.2fx faster than full restart (want >= 3x): inc=%v full=%v",
+			float64(full)/float64(inc), inc, full)
+	}
+
+	small := timePlan(t, genManyLoopSrc(5, 5), 3, runIncremental)
+	large := timePlan(t, genManyLoopSrc(20, 5), 3, runIncremental)
+	ratio := float64(large) / float64(small)
+	t.Logf("scaling 25 -> 100 loops: %v -> %v (%.1fx)", small, large, ratio)
+	if ratio > 10 {
+		t.Errorf("4x the approved loops cost %.1fx the time (want near-linear, <= 10x): small=%v large=%v",
+			ratio, small, large)
+	}
+}
+
+// planBenchEntry is one measured row of BENCH_plan.json.
+type planBenchEntry struct {
+	Name    string  `json:"name"`
+	Loops   int     `json:"loops"`
+	NsPerOp float64 `json:"ns_per_op"`
+	N       int     `json:"n"`
+}
+
+// planBenchFile is the BENCH_plan.json schema.
+type planBenchFile struct {
+	GeneratedBy string           `json:"generated_by"`
+	GOOS        string           `json:"goos"`
+	GOARCH      string           `json:"goarch"`
+	CPUs        int              `json:"cpus"`
+	Entries     []planBenchEntry `json:"benchmarks"`
+	// SpeedupIncremental is full-restart/incremental ns on the 200-loop
+	// program — the gap TestPlanCostSubquadratic guards.
+	SpeedupIncremental float64 `json:"speedup_incremental"`
+	// Scaling4xLoops is incremental T(100 loops)/T(25 loops): ~4 for
+	// linear cost in approved loops, ~16 for quadratic.
+	Scaling4xLoops float64 `json:"scaling_4x_loops"`
+}
+
+// TestBenchPlanJSON validates (and with -write-bench-plan, regenerates)
+// the committed planner-cost trajectory.
+func TestBenchPlanJSON(t *testing.T) {
+	if *writeBenchPlan {
+		writePlanBenchJSON(t)
+	}
+	data, err := os.ReadFile(benchPlanJSONPath)
+	if err != nil {
+		t.Fatalf("%v (regenerate with `go test ./internal/transform -run TestBenchPlanJSON -write-bench-plan`)", err)
+	}
+	var f planBenchFile
+	if err := json.Unmarshal(data, &f); err != nil {
+		t.Fatalf("BENCH_plan.json does not parse: %v", err)
+	}
+	want := map[string]bool{
+		"plan-200-loops/full-restart": false,
+		"plan-200-loops/incremental":  false,
+		"plan-25-loops/incremental":   false,
+		"plan-100-loops/incremental":  false,
+	}
+	for _, e := range f.Entries {
+		if e.NsPerOp <= 0 {
+			t.Errorf("%s: non-positive ns/op %v", e.Name, e.NsPerOp)
+		}
+		if _, ok := want[e.Name]; ok {
+			want[e.Name] = true
+		}
+	}
+	for name, seen := range want {
+		if !seen {
+			t.Errorf("BENCH_plan.json missing row %s (regenerate with -write-bench-plan)", name)
+		}
+	}
+	if f.SpeedupIncremental < 5 {
+		t.Errorf("recorded incremental speedup %.2fx below the 5x acceptance floor", f.SpeedupIncremental)
+	}
+	if f.Scaling4xLoops <= 0 || f.Scaling4xLoops > 10 {
+		t.Errorf("recorded 4x-loops scaling %.2fx outside the near-linear band (0, 10]", f.Scaling4xLoops)
+	}
+}
+
+func writePlanBenchJSON(t *testing.T) {
+	t.Helper()
+	f := planBenchFile{
+		GeneratedBy: "go test ./internal/transform -run TestBenchPlanJSON -write-bench-plan",
+		GOOS:        runtime.GOOS,
+		GOARCH:      runtime.GOARCH,
+		CPUs:        runtime.NumCPU(),
+	}
+	configs := []struct {
+		name string
+		n, m int
+		run  func(*lang.Program) error
+	}{
+		{name: "plan-200-loops/full-restart", n: 20, m: 10, run: runFullRestart},
+		{name: "plan-200-loops/incremental", n: 20, m: 10, run: runIncremental},
+		{name: "plan-25-loops/incremental", n: 5, m: 5, run: runIncremental},
+		{name: "plan-100-loops/incremental", n: 20, m: 5, run: runIncremental},
+	}
+	ns := map[string]float64{}
+	for _, c := range configs {
+		prog := planProgram(t, genManyLoopSrc(c.n, c.m))
+		r := testing.Benchmark(func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if err := c.run(prog); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		v := float64(r.T.Nanoseconds()) / float64(r.N)
+		ns[c.name] = v
+		f.Entries = append(f.Entries, planBenchEntry{
+			Name: c.name, Loops: c.n * c.m, NsPerOp: v, N: r.N,
+		})
+		t.Logf("%s: %.0f ns/op (N=%d)", c.name, v, r.N)
+	}
+	f.SpeedupIncremental = ns["plan-200-loops/full-restart"] / ns["plan-200-loops/incremental"]
+	f.Scaling4xLoops = ns["plan-100-loops/incremental"] / ns["plan-25-loops/incremental"]
+	data, err := json.MarshalIndent(f, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(benchPlanJSONPath, append(data, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	fmt.Printf("wrote BENCH_plan.json (incremental speedup %.2fx, 4x-loops scaling %.2fx)\n",
+		f.SpeedupIncremental, f.Scaling4xLoops)
+}

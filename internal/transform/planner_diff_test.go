@@ -1,0 +1,65 @@
+package transform
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/lang"
+	"repro/internal/nbody"
+	"repro/internal/parexec"
+)
+
+// TestIncrementalMatchesFullRestart is the differential oracle for the
+// incremental planner: over the whole testdata corpus, both measured
+// workloads, and the generated many-loop program, AutoParallelize must
+// produce byte-identical plan text AND byte-identical transformed
+// programs to the full-restart reference planner. Any divergence means
+// the memoized summaries or the verdict cache returned a stale fact.
+func TestIncrementalMatchesFullRestart(t *testing.T) {
+	srcs := map[string]string{
+		"parexec.PolyNormalizePSL": parexec.PolyNormalizePSL,
+		"nbody.BarnesHutForcePSL":  nbody.BarnesHutForcePSL,
+		"gen-many-loop-6x4":        genManyLoopSrc(6, 4),
+	}
+	files, err := filepath.Glob("../../testdata/*.psl")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) == 0 {
+		t.Fatal("no testdata corpus files found")
+	}
+	for _, f := range files {
+		data, err := os.ReadFile(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		srcs["testdata/"+filepath.Base(f)] = string(data)
+	}
+
+	for _, width := range []int{2, 4} {
+		for name, src := range srcs {
+			t.Run(name, func(t *testing.T) {
+				prog, err := lang.Parse(src)
+				if err != nil {
+					t.Fatal(err)
+				}
+				got, err := AutoParallelize(prog, width)
+				if err != nil {
+					t.Fatalf("incremental planner: %v", err)
+				}
+				want, err := autoParallelizeFullRestart(prog, width)
+				if err != nil {
+					t.Fatalf("full-restart planner: %v", err)
+				}
+				if g, w := got.String(), want.String(); g != w {
+					t.Errorf("width %d: plan text diverged\nincremental:\n%s\nfull restart:\n%s", width, g, w)
+				}
+				gp, wp := lang.Format(got.Program), lang.Format(want.Program)
+				if gp != wp {
+					t.Errorf("width %d: transformed program diverged\nincremental:\n%s\nfull restart:\n%s", width, gp, wp)
+				}
+			})
+		}
+	}
+}

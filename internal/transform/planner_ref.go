@@ -1,0 +1,106 @@
+package transform
+
+import (
+	"repro/internal/analysis"
+	"repro/internal/depend"
+	"repro/internal/effects"
+	"repro/internal/lang"
+)
+
+// autoParallelizeFullRestart is the pre-incremental planner, kept as
+// the reference implementation for differential testing: after every
+// rewrite it re-analyzes the whole program from scratch and restarts
+// its scan at the first function — quadratic in approved loops, but
+// trivially correct. AutoParallelize must produce a byte-identical Plan
+// (plan text and transformed program) on every input this reference
+// accepts; TestIncrementalMatchesFullRestart enforces that over the
+// corpus.
+func autoParallelizeFullRestart(prog *lang.Program, width int) (*Plan, error) {
+	if width <= 0 {
+		width = DefaultWidth(0)
+	}
+	plan := &Plan{Width: width}
+
+	names := make([]string, 0, len(prog.Funcs))
+	type loopAt struct {
+		fn    string
+		index int
+	}
+	origIndex := map[lang.Pos]loopAt{}
+	for _, f := range prog.Funcs {
+		names = append(names, f.Name)
+		for i, loop := range whileLoops(f.Body) {
+			origIndex[loop.Pos()] = loopAt{fn: f.Name, index: i}
+		}
+	}
+	newLoopPlan := func(pos lang.Pos, fn string, index int) *LoopPlan {
+		if at, ok := origIndex[pos]; ok {
+			fn, index = at.fn, at.index
+		}
+		return &LoopPlan{Func: fn, Index: index, Pos: pos}
+	}
+
+	seen := map[lang.Pos]*LoopPlan{}
+	cur := prog
+	for {
+		res, err := analysis.New(cur).AnalyzeAll()
+		if err != nil {
+			return nil, err
+		}
+		eff := effects.NewAnalyzer(cur)
+		transformed := false
+	scan:
+		for _, name := range names {
+			fn := cur.Func(name)
+			loops := whileLoops(fn.Body)
+			for i, loop := range loops {
+				lp := seen[loop.Pos()]
+				if lp != nil && (lp.Parallelized || lp.Absorbed) {
+					continue
+				}
+				var rep *depend.Report
+				if containsForall(loop.Body) {
+					rep = &depend.Report{Func: name, Loop: loop,
+						Reasons: []string{"body already contains a parallel forall (the planner does not nest parallelism)"}}
+				} else if rep, err = depend.AnalyzeLoop(cur, res.Funcs[name], eff, name, i); err != nil {
+					return nil, err
+				}
+				if lp == nil {
+					lp = newLoopPlan(loop.Pos(), name, i)
+					seen[loop.Pos()] = lp
+					plan.Loops = append(plan.Loops, lp)
+				}
+				lp.Report = rep
+				if !rep.Parallelizable {
+					continue
+				}
+				sm, err := stripMineCloned(cur, rep, name, i, width)
+				if err != nil {
+					return nil, err
+				}
+				lp.Parallelized = true
+				lp.Helper = sm.Helper
+				lp.Width = width
+				plan.Parallelized++
+				for _, inner := range whileLoops(loop.Body) {
+					ilp := seen[inner.Pos()]
+					if ilp == nil {
+						ilp = newLoopPlan(inner.Pos(), name, indexOfLoop(loops, inner))
+						seen[inner.Pos()] = ilp
+						plan.Loops = append(plan.Loops, ilp)
+					}
+					ilp.Absorbed = true
+					ilp.AbsorbedInto = sm.Helper
+				}
+				cur = sm.Program
+				transformed = true
+				break scan
+			}
+		}
+		if !transformed {
+			break
+		}
+	}
+	plan.Program = cur
+	return plan, nil
+}

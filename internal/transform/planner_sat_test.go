@@ -1,0 +1,123 @@
+package transform
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"repro/internal/adds"
+	"repro/internal/depend"
+	"repro/internal/lang"
+)
+
+// TestAutoParallelizeDuplicateLoopPos: the planner keys loops by source
+// position, so a program whose loops share one position (the classic
+// hand-built-AST mistake: every node at the zero position) must be
+// rejected up front with the typed error — not silently misplanned.
+func TestAutoParallelizeDuplicateLoopPos(t *testing.T) {
+	prog, err := lang.Parse(adds.OneWayListSrc + `
+procedure work(OneWayList *head) {
+  var OneWayList *p = head;
+  while p != NULL {
+    p->data = p->data + 1;
+    p = p->next;
+  }
+}
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Clone a function and install it under a new name: the clone's loop
+	// keeps the original's position, exactly the duplicate the planner
+	// must refuse.
+	twin := prog.Clone().Func("work")
+	twin.Name = "work2"
+	if err := prog.AddFunc(twin); err != nil {
+		t.Fatal(err)
+	}
+
+	_, err = AutoParallelize(prog, 4)
+	if err == nil {
+		t.Fatal("AutoParallelize accepted a program with duplicate loop positions")
+	}
+	var dup *DuplicateLoopPosError
+	if !errors.As(err, &dup) {
+		t.Fatalf("got %T (%v), want *DuplicateLoopPosError", err, err)
+	}
+	if dup.FuncA == dup.FuncB {
+		t.Errorf("error names one function twice (%s); the duplicate spans work and work2", dup.FuncA)
+	}
+	for _, fn := range []string{dup.FuncA, dup.FuncB} {
+		if fn != "work" && fn != "work2" {
+			t.Errorf("error names unexpected function %q", fn)
+		}
+	}
+}
+
+// TestReasonTextJoinsAllReasons: a dependence report may carry several
+// reasons (the approval case records three facts); the plan line must
+// render every one, not just Reasons[0].
+func TestReasonTextJoinsAllReasons(t *testing.T) {
+	lp := &LoopPlan{
+		Func:  "f",
+		Index: 0,
+		Report: &depend.Report{
+			Parallelizable: false,
+			Reasons: []string{
+				"induction variable q does not strictly advance",
+				"cross-iteration write/write conflict on field data",
+			},
+		},
+	}
+	text := lp.ReasonText()
+	for _, want := range lp.Report.Reasons {
+		if !strings.Contains(text, want) {
+			t.Errorf("ReasonText dropped %q: %q", want, text)
+		}
+	}
+	if want := lp.Report.Reasons[0] + "; " + lp.Report.Reasons[1]; text != want {
+		t.Errorf("ReasonText = %q, want %q", text, want)
+	}
+	if line := lp.String(); !strings.Contains(line, lp.Report.Reasons[1]) {
+		t.Errorf("String() dropped the second reason: %q", line)
+	}
+
+	empty := &LoopPlan{Func: "f", Report: &depend.Report{}}
+	if got := empty.ReasonText(); got != "loop not analyzable" {
+		t.Errorf("empty report ReasonText = %q, want fixed placeholder", got)
+	}
+}
+
+// TestPlanIndicesNonNegative: every plan entry — including absorbed
+// inner loops, which are located in a body the rewrite is about to
+// replace — must carry a valid non-negative input-program index. The
+// old planner silently recorded Index: -1 when indexOfLoop missed.
+func TestPlanIndicesNonNegative(t *testing.T) {
+	plan := planFor(t, adds.OneWayListSrc+`
+procedure crunch(OneWayList *head) {
+  var OneWayList *p = head;
+  while p != NULL {
+    var int acc = 0;
+    var int k = 0;
+    while k < 3 {
+      acc = acc + p->data;
+      k = k + 1;
+    }
+    p->data = acc;
+    p = p->next;
+  }
+}
+`, 4)
+	absorbed := 0
+	for _, lp := range plan.Loops {
+		if lp.Index < 0 {
+			t.Errorf("%s: negative plan index %d", lp.Func, lp.Index)
+		}
+		if lp.Absorbed {
+			absorbed++
+		}
+	}
+	if absorbed == 0 {
+		t.Fatal("test program exercised no absorbed-loop path")
+	}
+}

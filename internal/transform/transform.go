@@ -61,7 +61,7 @@ func StripMine(prog *lang.Program, fnName string, loopIndex, width int) (*StripM
 	if !rep.Parallelizable {
 		return nil, fmt.Errorf("transform: loop #%d of %s is not parallelizable:\n%s", loopIndex, fnName, rep)
 	}
-	return stripMine(prog, rep, fnName, loopIndex, width)
+	return stripMineCloned(prog, rep, fnName, loopIndex, width)
 }
 
 // approveLoop runs the full front half of every transformation in this
@@ -77,26 +77,45 @@ func approveLoop(prog *lang.Program, fnName string, loopIndex int) (*depend.Repo
 	return depend.AnalyzeLoop(prog, fr, eff, fnName, loopIndex)
 }
 
-// stripMine is the rewrite half of StripMine: it trusts rep (the
+// stripMineCloned is the rewrite half of StripMine: it trusts rep (the
 // dependence report licensing loop loopIndex of fnName on this exact
 // program) and performs the §4.3.3 transformation on a clone.
-func stripMine(prog *lang.Program, rep *depend.Report, fnName string, loopIndex, width int) (*StripMineResult, error) {
-	if width < 1 {
-		return nil, fmt.Errorf("transform: strip width must be >= 1, got %d", width)
-	}
-
+func stripMineCloned(prog *lang.Program, rep *depend.Report, fnName string, loopIndex, width int) (*StripMineResult, error) {
 	clone := prog.Clone()
-	fn := clone.Func(fnName)
-	loop, err := analysis.FindLoop(fn, loopIndex)
+	helperName, err := stripMineInPlace(clone, rep, fnName, loopIndex, width)
 	if err != nil {
 		return nil, err
+	}
+	return &StripMineResult{Program: clone, Report: rep, Helper: helperName, Width: width}, nil
+}
+
+// stripMineInPlace performs the §4.3.3 rewrite directly on prog,
+// returning the generated helper's name. Exactly two functions are
+// touched: fnName (its loop body is replaced) and the appended helper;
+// only those two are re-checked, so every other function keeps its
+// statement and expression identities — the property the incremental
+// planner's memoized analysis relies on. On error the program may be
+// left partially rewritten; callers that need the input preserved clone
+// first (stripMineCloned).
+func stripMineInPlace(prog *lang.Program, rep *depend.Report, fnName string, loopIndex, width int) (string, error) {
+	if width < 1 {
+		return "", fmt.Errorf("transform: strip width must be >= 1, got %d", width)
+	}
+
+	fn := prog.Func(fnName)
+	if fn == nil {
+		return "", fmt.Errorf("transform: no function %q", fnName)
+	}
+	loop, err := analysis.FindLoop(fn, loopIndex)
+	if err != nil {
+		return "", err
 	}
 	ind := rep.Induction
 	field := rep.AdvanceField
 
 	indType := inductionType(loop, ind)
 	if indType == nil {
-		return nil, fmt.Errorf("transform: cannot determine type of induction %q", ind)
+		return "", fmt.Errorf("transform: cannot determine type of induction %q", ind)
 	}
 
 	// Free variables of the body (excluding the induction and locals):
@@ -106,10 +125,10 @@ func stripMine(prog *lang.Program, rep *depend.Report, fnName string, loopIndex,
 	helperName := fmt.Sprintf("_%s_L%d_iteration", fnName, loopIndex)
 	helper, err := buildHelper(helperName, ind, indType, field, loop, frees)
 	if err != nil {
-		return nil, err
+		return "", err
 	}
-	if err := clone.AddFunc(helper); err != nil {
-		return nil, err
+	if err := prog.AddFunc(helper); err != nil {
+		return "", err
 	}
 
 	// Replace the loop body:
@@ -141,11 +160,11 @@ func stripMine(prog *lang.Program, rep *depend.Report, fnName string, loopIndex,
 	}
 	loop.Body = &lang.Block{Stmts: []lang.Stmt{parallel, advance}}
 
-	// Re-check to type the synthesized nodes.
-	if err := lang.Check(clone); err != nil {
-		return nil, fmt.Errorf("transform: internal: generated code does not check: %w", err)
+	// Re-check only the touched functions, to type the synthesized nodes.
+	if err := lang.CheckFuncs(prog, fn, helper); err != nil {
+		return "", fmt.Errorf("transform: internal: generated code does not check: %w", err)
 	}
-	return &StripMineResult{Program: clone, Report: rep, Helper: helperName, Width: width}, nil
+	return helperName, nil
 }
 
 // buildHelper constructs:
