@@ -43,6 +43,7 @@ import (
 	"repro/internal/interp"
 	"repro/internal/lang"
 	"repro/internal/nbody"
+	"repro/internal/obs"
 	"repro/internal/parexec"
 	"repro/internal/sequent"
 	"repro/internal/tablefmt"
@@ -359,6 +360,51 @@ func runR2(peList []int, policies []parexec.Policy, eng interp.Engine) {
 	fmt.Printf("All %d parallel cells (policies: %s; PEs: %v) matched the serial\n",
 		rt.cells, strings.Join(names, ", "), peList)
 	fmt.Println("checksum bit-for-bit.")
+	runR2Efficiency(c, peList, eng)
+}
+
+// runR2Efficiency closes R2's loop from plan to silicon: the planner's
+// verdict on the force loop (approved, width 4×PEs) next to what the
+// worker pool achieved — per-PE busy/wait shares and the imbalance
+// ratio from the parexec forall profiler, joined to the plan by source
+// line. A near-100% busy share says the strip width kept every PE fed;
+// a high wait share or imbalance says the planned decomposition left
+// PEs idling at the barrier.
+func runR2Efficiency(c *core.Compilation, peList []int, eng interp.Engine) {
+	fmt.Println("\nplanned vs achieved (auto-parallelized force run, profiler attached):")
+	fmt.Printf("%-10s %-24s %8s %6s %6s %6s %9s\n",
+		"config", "planned site", "tasks", "busy%", "wait%", "imbal", "wall ms")
+	for _, pes := range peList {
+		auto, err := c.AutoParallel(4 * pes)
+		if err != nil {
+			fatal(err)
+		}
+		byLine := make(map[int]string)
+		for _, lp := range auto.Plan.Loops {
+			if lp.Parallelized {
+				byLine[lp.Pos.Line] = fmt.Sprintf("%s#%d width=%d", lp.Func, lp.Index, lp.Width)
+			}
+		}
+		prof := obs.NewForallProfiler()
+		_, _, err = auto.RunParallel(
+			core.RunConfig{Seed: 7, Sched: parexec.StaticCyclic, Engine: eng, Profiler: prof},
+			pes, nbody.ForceFunc, interp.IntVal(128), interp.RealVal(0.5))
+		if err != nil {
+			fatal(err)
+		}
+		for _, site := range prof.Report() {
+			planned, ok := byLine[site.Line]
+			if !ok {
+				planned = fmt.Sprintf("line %d (unplanned)", site.Line)
+			}
+			fmt.Printf("%-10s %-24s %8d %5.1f%% %5.1f%% %6.2f %9.2f\n",
+				fmt.Sprintf("auto(%d)", pes), planned, site.Tasks, site.BusyPct, site.WaitPct,
+				site.Imbalance, float64(site.WallUS)/1000)
+		}
+	}
+	fmt.Println("busy% = mean per-PE share of barrier wall time spent in iterations;")
+	fmt.Println("wait% = share spent idle at the barrier after draining the queue;")
+	fmt.Println("imbal = busiest PE busy time / mean PE busy time (1.00 = level).")
 }
 
 // runR3 measures the execution-engine comparison: the same programs

@@ -5,7 +5,9 @@
 // (-cold is the forced-miss fraction; -auto-rate sends that fraction
 // of requests with auto:true, exercising the planner-parallelized
 // execution path under load; -bytecode-rate sends that fraction with
-// engine:bytecode, exercising the flat VM). The JSON report on stdout
+// engine:bytecode, exercising the flat VM; -trace-rate sends that
+// fraction with profile:true and fails the request if the response
+// carries no trace). The JSON report on stdout
 // carries
 // throughput, client-side latency percentiles, and the
 // server-accounted hot-phase cache-hit rate.
@@ -56,6 +58,7 @@ func main() {
 		ColdRatio:    f.Cold,
 		AutoRate:     f.AutoRate,
 		BytecodeRate: f.BytecodeRate,
+		TraceRate:    f.TraceRate,
 		Seed:         f.Seed,
 	})
 	if err != nil {

@@ -34,6 +34,7 @@ import (
 	"repro/internal/effects"
 	"repro/internal/interp"
 	"repro/internal/lang"
+	"repro/internal/obs"
 	"repro/internal/parexec"
 	"repro/internal/transform"
 )
@@ -222,6 +223,10 @@ type RunConfig struct {
 	MaxAllocs int64
 	// MaxOutputBytes bounds total print() output (0 = unlimited).
 	MaxOutputBytes int64
+	// Profiler, if non-nil, collects per-forall-site parallel-efficiency
+	// measurements during RunParallel (ignored by the other run modes —
+	// only the parexec pool has per-PE timings to report).
+	Profiler *obs.ForallProfiler
 }
 
 // Run executes fn with the given arguments.
@@ -261,6 +266,7 @@ func (c *Compilation) RunParallel(cfg RunConfig, pes int, fn string, args ...int
 		MaxSteps:       cfg.MaxSteps,
 		MaxAllocs:      cfg.MaxAllocs,
 		MaxOutputBytes: cfg.MaxOutputBytes,
+		Profiler:       cfg.Profiler,
 	}, fn, args...)
 }
 

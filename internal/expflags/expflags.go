@@ -121,6 +121,7 @@ type ServeFlags struct {
 	MaxOutput    int64         // -max-output: per-request print() byte budget
 	MaxWidth     int           // -max-width: auto-parallelize strip-width cap
 	TenantQueue  int           // -tenant-queue: per-tenant admission quota
+	TraceRate    float64       // -trace-rate: fraction of requests traced into /debug/traces
 }
 
 // RegisterServe installs the cmd/pslserved flag set on fs.
@@ -137,6 +138,8 @@ func RegisterServe(fs *flag.FlagSet) *ServeFlags {
 	fs.Int64Var(&f.MaxOutput, "max-output", 0, "per-request print() byte budget (0 = 1MiB)")
 	fs.IntVar(&f.MaxWidth, "max-width", 0, "strip-width cap for auto-parallelized requests (0 = 256)")
 	fs.IntVar(&f.TenantQueue, "tenant-queue", 0, "per-tenant queued-request quota (0 = whole queue)")
+	fs.Float64Var(&f.TraceRate, "trace-rate", 0,
+		"fraction of requests traced into /debug/traces (0 = only profiled ones)")
 	return f
 }
 
@@ -154,6 +157,7 @@ func (f *ServeFlags) ServerConfig() serve.Config {
 		MaxOutputBytes:   f.MaxOutput,
 		MaxStripWidth:    f.MaxWidth,
 		TenantQueueDepth: f.TenantQueue,
+		TraceRate:        f.TraceRate,
 	}
 }
 
@@ -171,6 +175,7 @@ type RouterFlags struct {
 	AsyncQueue     int           // -async-queue: queued async-job backlog cap
 	AsyncAttempts  int           // -async-attempts: attempts before an async job fails
 	AsyncTimeout   time.Duration // -async-timeout: per-attempt wall clock for async jobs
+	TraceRate      float64       // -trace-rate: fraction of proxied requests traced
 }
 
 // RegisterRouter installs the cmd/pslrouter flag set on fs.
@@ -187,6 +192,8 @@ func RegisterRouter(fs *flag.FlagSet) *RouterFlags {
 	fs.IntVar(&f.AsyncQueue, "async-queue", 0, "queued async-job backlog cap (0 = 256)")
 	fs.IntVar(&f.AsyncAttempts, "async-attempts", 0, "attempts before an async job is failed (0 = 3)")
 	fs.DurationVar(&f.AsyncTimeout, "async-timeout", 0, "per-attempt wall clock for async jobs (0 = 60s)")
+	fs.Float64Var(&f.TraceRate, "trace-rate", 0,
+		"fraction of proxied requests traced into /debug/traces (0 = only profiled ones)")
 	return f
 }
 
@@ -220,6 +227,7 @@ func (f *RouterFlags) RouterConfig() (serve.RouterConfig, error) {
 		AsyncQueueDepth: f.AsyncQueue,
 		AsyncAttempts:   f.AsyncAttempts,
 		AsyncTimeout:    f.AsyncTimeout,
+		TraceRate:       f.TraceRate,
 	}, nil
 }
 
@@ -238,6 +246,7 @@ type LoadgenFlags struct {
 	Seed           int64         // -seed: corpus-draw RNG seed
 	RequireHotRate float64       // -require-hot-rate: exit nonzero below this hit rate
 	FailOnError    bool          // -fail-on-error: exit nonzero on any request error
+	TraceRate      float64       // -trace-rate: fraction of hot requests sent with profile:true
 }
 
 // RegisterLoadgen installs the cmd/loadgen flag set on fs.
@@ -256,5 +265,7 @@ func RegisterLoadgen(fs *flag.FlagSet) *LoadgenFlags {
 	fs.Float64Var(&f.RequireHotRate, "require-hot-rate", 0,
 		"fail (exit 1) if the hot-phase cache-hit rate is below this")
 	fs.BoolVar(&f.FailOnError, "fail-on-error", false, "fail (exit 1) if any request errored")
+	fs.Float64Var(&f.TraceRate, "trace-rate", 0,
+		"fraction of hot-phase requests sent with profile:true (the response must carry a trace)")
 	return f
 }

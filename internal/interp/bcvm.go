@@ -796,7 +796,7 @@ func (ip *Interp) bcForall(f *bytecode.Func, fr *bcFrame, site *bytecode.ForallS
 			}
 			return err
 		}
-		return ctrlNext, ip.cfg.Forall(lo, hi, run)
+		return ctrlNext, ip.cfg.Forall(pos, lo, hi, run)
 	}
 
 	var wg sync.WaitGroup

@@ -606,7 +606,7 @@ func (g *codegen) forStmt(s *compile.For) cStmt {
 				}
 				return err
 			}
-			return ctrlNext, Value{}, ip.cfg.Forall(lo, hi, run)
+			return ctrlNext, Value{}, ip.cfg.Forall(pos, lo, hi, run)
 		}
 
 		// Real mode default: one goroutine per iteration. Each gets a

@@ -192,8 +192,11 @@ type Config struct {
 // loop, calling run(w, k) exactly once per k on a worker interpreter w.
 // run is safe to call from multiple goroutines concurrently as long as
 // each call gets its own worker. The scheduler must not return before
-// every iteration has completed (it is the loop's barrier).
-type ForallScheduler func(from, to int64, run func(w *Interp, k int64) error) error
+// every iteration has completed (it is the loop's barrier). pos is the
+// source position of the forall — for loops generated by strip-mining
+// it is the original loop's position — so profilers can key
+// measurements to the planner's loop table.
+type ForallScheduler func(pos lang.Pos, from, to int64, run func(w *Interp, k int64) error) error
 
 // Stats reports execution counters.
 type Stats struct {
@@ -797,7 +800,7 @@ func (ip *Interp) execFor(s *lang.ForStmt, fr *frame, depth int) (ctrl, Value, e
 			}
 			return err
 		}
-		return ctrlNext, Value{}, ip.cfg.Forall(from, to, run)
+		return ctrlNext, Value{}, ip.cfg.Forall(s.Pos(), from, to, run)
 	}
 
 	// Real mode: one goroutine per iteration with a snapshot frame.

@@ -246,6 +246,12 @@ type stmtBase struct{ pos Pos }
 
 func (s *stmtBase) Pos() Pos { return s.pos }
 
+// SetPos stamps the statement's source position. Transforms use it to
+// attribute synthesized statements (e.g. the forall that strip-mining
+// generates) to the source loop they came from, so positions in error
+// messages and profiles point at code the user wrote.
+func (s *stmtBase) SetPos(p Pos) { s.pos = p }
+
 // Block is a brace-delimited statement sequence.
 type Block struct {
 	stmtBase

@@ -1,0 +1,62 @@
+package obs
+
+import "sync"
+
+// Ring is a bounded buffer of recent trace snapshots: every sampled or
+// profiled request pushes its TraceView, GET /debug/traces reads the
+// newest ones. Memory is bounded by the capacity — old traces are
+// overwritten, never accumulated — so leaving tracing on in production
+// costs a fixed buffer, not a leak.
+type Ring struct {
+	mu   sync.Mutex
+	buf  []TraceView
+	next int
+	n    int
+}
+
+// NewRing builds a ring holding up to capacity traces (min 1).
+func NewRing(capacity int) *Ring {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &Ring{buf: make([]TraceView, capacity)}
+}
+
+// Add records a trace snapshot, evicting the oldest when full.
+// Nil-safe.
+func (r *Ring) Add(v TraceView) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.buf[r.next] = v
+	r.next = (r.next + 1) % len(r.buf)
+	if r.n < len(r.buf) {
+		r.n++
+	}
+	r.mu.Unlock()
+}
+
+// Snapshot returns the buffered traces, newest first. Nil-safe.
+func (r *Ring) Snapshot() []TraceView {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]TraceView, 0, r.n)
+	for i := 1; i <= r.n; i++ {
+		out = append(out, r.buf[(r.next-i+len(r.buf))%len(r.buf)])
+	}
+	return out
+}
+
+// Len reports how many traces are buffered. Nil-safe.
+func (r *Ring) Len() int {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.n
+}

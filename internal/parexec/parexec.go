@@ -40,9 +40,11 @@ import (
 	"io"
 	"runtime"
 	"sync"
+	"time"
 
 	"repro/internal/interp"
 	"repro/internal/lang"
+	"repro/internal/obs"
 )
 
 // Options configures an Engine.
@@ -80,6 +82,12 @@ type Options struct {
 	// budget is charged when an iteration prints into its buffer, so it
 	// also caps memory held by the deterministic output merge.
 	MaxOutputBytes int64
+	// Profiler, if non-nil, receives per-barrier parallel-efficiency
+	// measurements (per-PE busy time, barrier wait, task counts) keyed
+	// by the forall's source line. Nil disables measurement entirely:
+	// the worker loop takes no clock readings and allocates nothing
+	// extra per barrier.
+	Profiler *obs.ForallProfiler
 }
 
 // Engine runs programs with a goroutine-backed worker pool. An Engine
@@ -121,7 +129,7 @@ func (e *Engine) Run(fn string, args ...interp.Value) (interp.Value, interp.Stat
 		out = io.Discard
 	}
 	pes := e.PEs()
-	rs := &runState{tasks: make([]chan task, pes), out: out, pes: pes, sched: e.Sched()}
+	rs := &runState{tasks: make([]chan task, pes), out: out, pes: pes, sched: e.Sched(), prof: e.opt.Profiler}
 	for i := range rs.tasks {
 		rs.tasks[i] = make(chan task)
 	}
@@ -161,8 +169,20 @@ func (e *Engine) Run(fn string, args ...interp.Value) (interp.Value, interp.Stat
 					}
 					i := k - t.from
 					w.SetOutput(t.bufs[i])
-					t.errs[i] = t.run(w, k)
+					if t.busy != nil {
+						t0 := time.Now()
+						t.errs[i] = t.run(w, k)
+						t.busy[t.pe] += int64(time.Since(t0))
+						t.ntasks[t.pe]++
+					} else {
+						t.errs[i] = t.run(w, k)
+					}
 					w.SetOutput(nil)
+				}
+				if t.done != nil {
+					// Offset from dispatch at which this PE's stream
+					// drained: the gap to the barrier is its wait time.
+					t.done[t.pe] = int64(time.Since(t.start))
 				}
 				t.wg.Done()
 			}
@@ -199,6 +219,15 @@ type task struct {
 	errs []error
 	run  func(w *interp.Interp, k int64) error
 	wg   *sync.WaitGroup
+
+	// Profiling slots (nil when no profiler is installed — the nil
+	// check is the only per-iteration cost of having the hooks in
+	// place). Each slice index is owned by exactly one PE, so the
+	// workers write without locks; start anchors the done offsets.
+	busy   []int64
+	done   []int64
+	ntasks []int64
+	start  time.Time
 }
 
 // runState is the per-Run scheduler the root interpreter calls for
@@ -211,6 +240,7 @@ type runState struct {
 	sched    Policy
 	barriers int64
 	bufPool  sync.Pool
+	prof     *obs.ForallProfiler
 }
 
 func (rs *runState) getBuf() *bytes.Buffer {
@@ -226,7 +256,7 @@ func (rs *runState) getBuf() *bytes.Buffer {
 // per-step barrier. Iteration output is then flushed in index order
 // and the first failing iteration (in index order, matching where a
 // serial run would have stopped) decides the error.
-func (rs *runState) forall(from, to int64, run func(w *interp.Interp, k int64) error) error {
+func (rs *runState) forall(pos lang.Pos, from, to int64, run func(w *interp.Interp, k int64) error) error {
 	n := int(to - from + 1)
 	bufs := make([]*bytes.Buffer, n)
 	for i := range bufs {
@@ -234,13 +264,25 @@ func (rs *runState) forall(from, to int64, run func(w *interp.Interp, k int64) e
 	}
 	errs := make([]error, n)
 	asn := rs.sched.Assign(from, to, rs.pes)
+	t := task{asn: asn, from: from, bufs: bufs, errs: errs, run: run}
+	if rs.prof != nil {
+		t.busy = make([]int64, rs.pes)
+		t.done = make([]int64, rs.pes)
+		t.ntasks = make([]int64, rs.pes)
+		t.start = time.Now()
+	}
 	var wg sync.WaitGroup
 	wg.Add(rs.pes)
+	t.wg = &wg
 	for pe := 0; pe < rs.pes; pe++ {
-		rs.tasks[pe] <- task{pe: pe, asn: asn, from: from, bufs: bufs, errs: errs, run: run, wg: &wg}
+		t.pe = pe
+		rs.tasks[pe] <- t
 	}
 	wg.Wait()
 	rs.barriers++
+	if rs.prof != nil {
+		rs.prof.Record(pos.Line, int64(time.Since(t.start)), t.busy, t.done, t.ntasks)
+	}
 
 	// First failing iteration, in index order: a serial run would have
 	// stopped there, so only earlier iterations' output is flushed.

@@ -12,6 +12,7 @@ import (
 	"repro/internal/interp"
 	"repro/internal/lang"
 	"repro/internal/nbody"
+	"repro/internal/obs"
 	"repro/internal/parexec"
 )
 
@@ -427,5 +428,63 @@ func TestEngineReuse(t *testing.T) {
 		} else if v.I != first {
 			t.Fatalf("run %d: %d, want %d", i, v.I, first)
 		}
+	}
+}
+
+// TestForallProfilerRecordsSite: a profiled parallel run reports one
+// site, keyed to the line of the source while loop that strip-mining
+// replaced (line 30 of polyscale.psl), with task and barrier counts
+// matching the engine's own accounting.
+func TestForallProfilerRecordsSite(t *testing.T) {
+	c := compileTestdata(t, "polyscale.psl")
+	const width = 8
+	par, err := c.StripMine("scale", 0, width)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prof := obs.NewForallProfiler()
+	want, _, err := c.Run(core.RunConfig{}, "main")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, st, err := par.RunParallel(core.RunConfig{Profiler: prof}, 2, "main")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.I != want.I {
+		t.Fatalf("profiled run changed the result: %d, want %d", got.I, want.I)
+	}
+	rep := prof.Report()
+	if len(rep) != 1 {
+		t.Fatalf("%d sites, want 1: %+v", len(rep), rep)
+	}
+	r := rep[0]
+	if r.Line != 30 {
+		t.Errorf("site line %d, want 30 (the source while loop)", r.Line)
+	}
+	if r.PEs != 2 {
+		t.Errorf("PEs %d, want 2", r.PEs)
+	}
+	if r.Barriers != st.Barriers {
+		t.Errorf("barriers %d, engine counted %d", r.Barriers, st.Barriers)
+	}
+	if r.Tasks != st.Barriers*width {
+		t.Errorf("tasks %d, want %d (barriers × strip width)", r.Tasks, st.Barriers*width)
+	}
+	if r.BusyPct <= 0 || r.BusyPct > 100 {
+		t.Errorf("busy %.2f%%, want in (0, 100]", r.BusyPct)
+	}
+	if r.Imbalance < 1 {
+		t.Errorf("imbalance %.3f, want >= 1", r.Imbalance)
+	}
+	if len(r.PerPE) != 2 {
+		t.Fatalf("per-PE rows: %+v", r.PerPE)
+	}
+	var tasks int64
+	for _, pe := range r.PerPE {
+		tasks += pe.Tasks
+	}
+	if tasks != r.Tasks {
+		t.Errorf("per-PE tasks sum %d, site total %d", tasks, r.Tasks)
 	}
 }

@@ -1,8 +1,10 @@
 // The HTTP surface of the service, served by cmd/pslserved:
 //
-//	POST /run     — execute a Request (JSON body), returns a Response
-//	GET  /stats   — the Stats snapshot
-//	GET  /healthz — 200 while serving, 503 once draining
+//	POST /run          — execute a Request (JSON body), returns a Response
+//	GET  /stats        — the Stats snapshot
+//	GET  /metrics      — the same snapshot in Prometheus text format
+//	GET  /debug/traces — recent request traces (bounded ring)
+//	GET  /healthz      — 200 while serving, 503 once draining
 //
 // Error mapping: malformed requests are 400, admission rejections 503
 // (queue full, draining) or 429 (tenant over quota) with Retry-After
@@ -17,6 +19,8 @@ import (
 	"encoding/json"
 	"errors"
 	"net/http"
+
+	"repro/internal/obs"
 )
 
 // Handler returns the service's HTTP mux.
@@ -24,6 +28,8 @@ func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/run", s.handleRun)
 	mux.HandleFunc("/stats", s.handleStats)
+	mux.HandleFunc("/metrics", s.handleMetrics)
+	mux.HandleFunc("/debug/traces", s.handleTraces)
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	return mux
 }
@@ -58,6 +64,9 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusBadRequest, errorBody{Error: "bad request body: " + err.Error()})
 		return
 	}
+	// A propagated trace ID (the router's, or any upstream's) forces
+	// tracing and stitches this backend's spans into the caller's trace.
+	req.TraceID = r.Header.Get(obs.TraceHeader)
 	s.finishRun(r.Context(), w, req)
 }
 

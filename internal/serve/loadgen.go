@@ -93,6 +93,12 @@ type LoadConfig struct {
 	// populates both backends), so bytecode requests hit the same
 	// cache entries as serial ones.
 	BytecodeRate float64
+	// TraceRate is the fraction of hot-phase requests sent with
+	// "profile": true, exercising the tracing path under load. A
+	// profiled request whose Response carries no trace counts as an
+	// error — the observability contract is part of what the load gate
+	// checks.
+	TraceRate float64
 	// Seed makes the workers' corpus draws reproducible.
 	Seed int64
 	// Client overrides the HTTP client (nil = a pooled default).
@@ -120,6 +126,11 @@ type LoadResult struct {
 	// "engine": "bytecode".
 	BytecodeRate     float64 `json:"bytecode_rate"`
 	BytecodeRequests int64   `json:"bytecode_requests"`
+	// TraceRate echoes the configured profile mix; ProfiledRequests
+	// counts the hot-phase requests actually sent with "profile": true
+	// (each verified to return a trace).
+	TraceRate        float64 `json:"trace_rate"`
+	ProfiledRequests int64   `json:"profiled_requests"`
 	// Requests/Errors cover the hot phase; an error is any non-200,
 	// non-503 status or a Response with ok=false. 503s are the pool's
 	// admission back-pressure — the worker backs off and retries, and
@@ -172,7 +183,8 @@ func RunLoad(ctx context.Context, cfg LoadConfig) (*LoadResult, error) {
 		cfg.AutoPEs = 2
 	}
 	res := &LoadResult{Concurrency: cfg.Concurrency, ColdRatio: cfg.ColdRatio,
-		AutoRate: cfg.AutoRate, BytecodeRate: cfg.BytecodeRate, Backends: cfg.FleetBackends}
+		AutoRate: cfg.AutoRate, BytecodeRate: cfg.BytecodeRate,
+		TraceRate: cfg.TraceRate, Backends: cfg.FleetBackends}
 
 	// Cold phase: first touch of every corpus program — and, when the
 	// hot phase will send auto requests, of every program's planned
@@ -215,7 +227,7 @@ func RunLoad(ctx context.Context, cfg LoadConfig) (*LoadResult, error) {
 	start := time.Now()
 	var wg sync.WaitGroup
 	latencies := make([][]int64, cfg.Concurrency)
-	var requests, errors, rejected, autoReqs, bcReqs atomic.Int64
+	var requests, errors, rejected, autoReqs, bcReqs, profiled atomic.Int64
 	for w := 0; w < cfg.Concurrency; w++ {
 		wg.Add(1)
 		go func(w int) {
@@ -234,6 +246,9 @@ func RunLoad(ctx context.Context, cfg LoadConfig) (*LoadResult, error) {
 				}
 				if cfg.BytecodeRate > 0 && rng.Float64() < cfg.BytecodeRate {
 					req.Engine = "bytecode"
+				}
+				if cfg.TraceRate > 0 && rng.Float64() < cfg.TraceRate {
+					req.Profile = true
 				}
 				t0 := time.Now()
 				resp, status, hdr, err := postRun(hctx, client, cfg.URL, req)
@@ -257,8 +272,12 @@ func RunLoad(ctx context.Context, cfg LoadConfig) (*LoadResult, error) {
 				if req.Engine == "bytecode" {
 					bcReqs.Add(1)
 				}
+				if req.Profile {
+					profiled.Add(1)
+				}
 				latencies[w] = append(latencies[w], time.Since(t0).Microseconds())
-				if err != nil || status != http.StatusOK || !resp.OK {
+				if err != nil || status != http.StatusOK || !resp.OK ||
+					(req.Profile && resp.Trace == nil) {
 					errors.Add(1)
 				}
 			}
@@ -277,6 +296,7 @@ func RunLoad(ctx context.Context, cfg LoadConfig) (*LoadResult, error) {
 	res.Rejected = rejected.Load()
 	res.AutoRequests = autoReqs.Load()
 	res.BytecodeRequests = bcReqs.Load()
+	res.ProfiledRequests = profiled.Load()
 	res.DurationMS = elapsed.Milliseconds()
 	if elapsed > 0 {
 		res.RPS = float64(res.Requests) / elapsed.Seconds()

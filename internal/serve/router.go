@@ -39,6 +39,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"repro/internal/obs"
 )
 
 // RouterConfig sizes a Router. Zero values select the documented
@@ -75,6 +77,16 @@ type RouterConfig struct {
 	// Client overrides the backend HTTP client (nil = a pooled
 	// default).
 	Client *http.Client
+	// TraceRate samples routed requests for tracing, like
+	// Config.TraceRate does on a backend: a sampled request gets a
+	// fresh trace ID that rides the X-PSL-Trace header to the backend
+	// (and, unchanged, to every failover retry), so the router's
+	// per-attempt spans and the backend's execution spans share one
+	// logical trace. 0 disables sampling; requests arriving with the
+	// header or "profile": true are always traced.
+	TraceRate float64
+	// TraceBuffer bounds the router's /debug/traces ring (0 = 64).
+	TraceBuffer int
 	// Embedded runs the fleet in-process instead of over the network:
 	// Embedded[i] becomes backend i ("embedded-i" on the ring), and a
 	// routed request is handed to its owner's handler directly — same
@@ -116,6 +128,9 @@ func (c RouterConfig) withDefaults() RouterConfig {
 	if c.AsyncTimeout <= 0 {
 		c.AsyncTimeout = 60 * time.Second
 	}
+	if c.TraceBuffer <= 0 {
+		c.TraceBuffer = 64
+	}
 	return c
 }
 
@@ -146,6 +161,9 @@ type Router struct {
 	order    []string // config order, the ring-building and Stats order
 	client   *http.Client
 	jobs     *jobLedger
+	start    time.Time
+	sampler  *obs.Sampler
+	traces   *obs.Ring
 
 	draining atomic.Bool
 	stop     chan struct{}      // ends the health loop
@@ -207,6 +225,9 @@ func NewRouter(cfg RouterConfig) (*Router, error) {
 		order:    urls,
 		client:   client,
 		jobs:     newJobLedger(cfg.AsyncQueueDepth),
+		start:    time.Now(),
+		sampler:  obs.NewSampler(cfg.TraceRate),
+		traces:   obs.NewRing(cfg.TraceBuffer),
 		stop:     make(chan struct{}),
 	}
 	r.drainCtx, r.drainEnd = context.WithCancel(context.Background())
@@ -280,13 +301,18 @@ func (r *Router) pick(key uint64, exclude map[string]bool) *routerBackend {
 }
 
 // post sends body to url and returns the response whole; a non-nil
-// error is a transport failure (the backend never answered).
-func (r *Router) post(ctx context.Context, url string, body []byte) (int, []byte, http.Header, error) {
+// error is a transport failure (the backend never answered). A
+// non-empty traceID rides the X-PSL-Trace header, telling the backend
+// to trace and under which ID.
+func (r *Router) post(ctx context.Context, url string, body []byte, traceID string) (int, []byte, http.Header, error) {
 	req, err := http.NewRequestWithContext(ctx, http.MethodPost, url, strings.NewReader(string(body)))
 	if err != nil {
 		return 0, nil, nil, err
 	}
 	req.Header.Set("Content-Type", "application/json")
+	if traceID != "" {
+		req.Header.Set(obs.TraceHeader, traceID)
+	}
 	resp, err := r.client.Do(req)
 	if err != nil {
 		return 0, nil, nil, err
@@ -304,7 +330,12 @@ func (r *Router) post(ctx context.Context, url string, body []byte) (int, []byte
 // dead backend down as it goes). Responses from a live backend —
 // including program errors and 503 back-pressure — are relayed, not
 // retried: re-running them elsewhere would shatter cache affinity.
-func (r *Router) proxyRun(ctx context.Context, source string, body []byte) (int, []byte, http.Header, error) {
+//
+// A non-nil tr records one "attempt" span per backend tried — the
+// failed ones carry the transport error — and every attempt forwards
+// the same trace ID, so the backend spans of a failed-over request
+// stitch into one trace across replicas.
+func (r *Router) proxyRun(ctx context.Context, source string, body []byte, tr *obs.Trace) (int, []byte, http.Header, error) {
 	key := sourceKey(source)
 	exclude := map[string]bool{}
 	var lastErr error
@@ -317,13 +348,18 @@ func (r *Router) proxyRun(ctx context.Context, source string, body []byte) (int,
 			}
 			return 0, nil, nil, errNoBackend
 		}
+		sp := tr.Start("attempt")
+		sp.SetAttr("backend", b.url)
 		if b.local != nil {
-			status, respBody, hdr := r.localPost(ctx, b, body)
+			status, respBody, hdr := r.localPost(ctx, b, body, tr.ID())
+			sp.End()
 			b.routed.Add(1)
 			return status, respBody, hdr, nil
 		}
-		status, respBody, hdr, err := r.post(ctx, b.url+"/run", body)
+		status, respBody, hdr, err := r.post(ctx, b.url+"/run", body, tr.ID())
 		if err != nil {
+			sp.SetAttr("error", err.Error())
+			sp.End()
 			if ctx.Err() != nil {
 				// The client (or drain) gave up — not the backend's fault.
 				return 0, nil, nil, err
@@ -335,6 +371,7 @@ func (r *Router) proxyRun(ctx context.Context, source string, body []byte) (int,
 			lastErr = err
 			continue
 		}
+		sp.End()
 		b.routed.Add(1)
 		return status, respBody, hdr, nil
 	}
@@ -361,6 +398,13 @@ func (r *Router) handleRunEmbedded(w http.ResponseWriter, hreq *http.Request) {
 		return
 	}
 	r.requests.Add(1)
+	// Trace propagation, in-process: the header (or the router's own
+	// sampler) sets the Request's TraceID directly — the owning
+	// replica traces under it, no second decode or HTTP hop.
+	req.TraceID = hreq.Header.Get(obs.TraceHeader)
+	if req.TraceID == "" && !req.Profile && r.sampler.Sample() {
+		req.TraceID = obs.NewID()
+	}
 	b := r.pick(sourceKey(req.Source), nil)
 	if b == nil {
 		w.Header().Set("Retry-After", "1")
@@ -374,12 +418,15 @@ func (r *Router) handleRunEmbedded(w http.ResponseWriter, hreq *http.Request) {
 // localPost runs body against an embedded backend's handler, capturing
 // the response in memory — the async workers' analogue of the sync
 // embedded fast path.
-func (r *Router) localPost(ctx context.Context, b *routerBackend, body []byte) (int, []byte, http.Header) {
+func (r *Router) localPost(ctx context.Context, b *routerBackend, body []byte, traceID string) (int, []byte, http.Header) {
 	req, err := http.NewRequestWithContext(ctx, http.MethodPost, b.url+"/run", bytes.NewReader(body))
 	if err != nil {
 		return http.StatusInternalServerError, nil, http.Header{}
 	}
 	req.Header.Set("Content-Type", "application/json")
+	if traceID != "" {
+		req.Header.Set(obs.TraceHeader, traceID)
+	}
 	rec := &memResponse{header: http.Header{}, status: http.StatusOK}
 	b.localHandler.ServeHTTP(rec, req)
 	return rec.status, rec.body.Bytes(), rec.header
@@ -397,11 +444,18 @@ func (m *memResponse) Header() http.Header         { return m.header }
 func (m *memResponse) WriteHeader(code int)        { m.status = code }
 func (m *memResponse) Write(p []byte) (int, error) { return m.body.Write(p) }
 
+// runProbe is the slice of a /run body the router itself reads: the
+// source (whose content hash is the routing key) and the profile flag
+// (which forces tracing). The body is forwarded verbatim — the
+// backend does the full decode and validation.
+type runProbe struct {
+	Source  string `json:"source"`
+	Profile bool   `json:"profile"`
+}
+
 // readRunBody bounds and reads a /run-shaped request body and extracts
-// the one field the router needs: the source, whose content hash is
-// the routing key. The body is forwarded verbatim — the backend does
-// the full decode and validation.
-func (r *Router) readRunBody(w http.ResponseWriter, req *http.Request) (source string, body []byte, ok bool) {
+// the probe fields.
+func (r *Router) readRunBody(w http.ResponseWriter, req *http.Request) (probe runProbe, body []byte, ok bool) {
 	req.Body = http.MaxBytesReader(w, req.Body, r.cfg.MaxBodyBytes)
 	body, err := io.ReadAll(req.Body)
 	if err != nil {
@@ -411,20 +465,17 @@ func (r *Router) readRunBody(w http.ResponseWriter, req *http.Request) (source s
 		} else {
 			writeJSON(w, http.StatusBadRequest, errorBody{Error: "bad request body: " + err.Error()})
 		}
-		return "", nil, false
-	}
-	var probe struct {
-		Source string `json:"source"`
+		return runProbe{}, nil, false
 	}
 	if err := json.Unmarshal(body, &probe); err != nil {
 		writeJSON(w, http.StatusBadRequest, errorBody{Error: "bad request body: " + err.Error()})
-		return "", nil, false
+		return runProbe{}, nil, false
 	}
 	if probe.Source == "" {
 		writeJSON(w, http.StatusBadRequest, errorBody{Error: "empty source"})
-		return "", nil, false
+		return runProbe{}, nil, false
 	}
-	return probe.Source, body, true
+	return probe, body, true
 }
 
 // Handler returns the router's HTTP mux:
@@ -433,6 +484,8 @@ func (r *Router) readRunBody(w http.ResponseWriter, req *http.Request) (source s
 //	POST /submit       — enqueue an async job, returns its id
 //	GET  /result/{id}  — job state and, once done, the full Response
 //	GET  /stats        — RouterStats (fleet-aggregated cache counters)
+//	GET  /metrics      — the same snapshot in Prometheus text format
+//	GET  /debug/traces — recent routed-request traces (bounded ring)
 //	GET  /healthz      — 200 while routable, 503 when draining or dark
 func (r *Router) Handler() http.Handler {
 	mux := http.NewServeMux()
@@ -440,8 +493,19 @@ func (r *Router) Handler() http.Handler {
 	mux.HandleFunc("/submit", r.handleSubmit)
 	mux.HandleFunc("/result/", r.handleResult)
 	mux.HandleFunc("/stats", r.handleStats)
+	mux.HandleFunc("/metrics", r.handleMetrics)
+	mux.HandleFunc("/debug/traces", r.handleTraces)
 	mux.HandleFunc("/healthz", r.handleHealthz)
 	return mux
+}
+
+func (r *Router) handleMetrics(w http.ResponseWriter, req *http.Request) {
+	w.Header().Set("Content-Type", promContentType)
+	writeRouterMetrics(obs.NewProm(w), r.Stats(req.Context()))
+}
+
+func (r *Router) handleTraces(w http.ResponseWriter, req *http.Request) {
+	writeJSON(w, http.StatusOK, r.traces.Snapshot())
 }
 
 func (r *Router) handleRun(w http.ResponseWriter, req *http.Request) {
@@ -458,12 +522,23 @@ func (r *Router) handleRun(w http.ResponseWriter, req *http.Request) {
 		r.handleRunEmbedded(w, req)
 		return
 	}
-	source, body, ok := r.readRunBody(w, req)
+	probe, body, ok := r.readRunBody(w, req)
 	if !ok {
 		return
 	}
 	r.requests.Add(1)
-	status, respBody, hdr, err := r.proxyRun(req.Context(), source, body)
+	// Trace decision, mirroring the backend's: an incoming header
+	// propagates, "profile": true and the sampler's share start fresh
+	// traces. The same ID is forwarded to every failover attempt.
+	var tr *obs.Trace
+	if id := req.Header.Get(obs.TraceHeader); id != "" || probe.Profile || r.sampler.Sample() {
+		tr = obs.NewTrace(id)
+	}
+	status, respBody, hdr, err := r.proxyRun(req.Context(), probe.Source, body, tr)
+	if tr != nil {
+		tr.Finish()
+		r.traces.Add(tr.View())
+	}
 	if err != nil {
 		w.Header().Set("Retry-After", "1")
 		writeJSON(w, http.StatusServiceUnavailable, errorBody{Error: "router: " + err.Error()})
@@ -487,11 +562,11 @@ func (r *Router) handleSubmit(w http.ResponseWriter, req *http.Request) {
 		writeJSON(w, http.StatusServiceUnavailable, errorBody{Error: ErrDraining.Error()})
 		return
 	}
-	source, body, ok := r.readRunBody(w, req)
+	probe, body, ok := r.readRunBody(w, req)
 	if !ok {
 		return
 	}
-	id, err := r.jobs.submit(source, body)
+	id, err := r.jobs.submit(probe.Source, body)
 	if err != nil {
 		w.Header().Set("Retry-After", "1")
 		writeJSON(w, http.StatusServiceUnavailable, errorBody{Error: err.Error()})
@@ -546,7 +621,7 @@ func (r *Router) asyncWorker() {
 			return
 		}
 		ctx, cancel := context.WithTimeout(r.drainCtx, r.cfg.AsyncTimeout)
-		status, respBody, _, err := r.proxyRun(ctx, j.source, j.body)
+		status, respBody, _, err := r.proxyRun(ctx, j.source, j.body, nil)
 		cancel()
 		if err != nil {
 			if r.jobs.isClosed() || j.attempts < r.cfg.AsyncAttempts {
@@ -583,6 +658,7 @@ type RouterStats struct {
 	Cache      CacheStats     `json:"cache"`
 	Backends   []BackendStats `json:"backends"`
 	Jobs       JobStats       `json:"jobs"`
+	Runtime    RuntimeStats   `json:"runtime"`
 }
 
 // Stats snapshots the router and polls every backend's /stats (500ms
@@ -594,6 +670,7 @@ func (r *Router) Stats(ctx context.Context) RouterStats {
 		Retries:    r.retries.Load(),
 		Unroutable: r.unroutable.Load(),
 		Jobs:       r.jobs.stats(),
+		Runtime:    runtimeStats(r.start, 0),
 	}
 	ctx, cancel := context.WithTimeout(ctx, 500*time.Millisecond)
 	defer cancel()

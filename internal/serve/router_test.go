@@ -113,8 +113,17 @@ func TestRouterNoDuplicateCompiles(t *testing.T) {
 	if entries != int64(wantVariants) {
 		t.Errorf("fleet holds %d cache entries for %d unique variants — a variant is resident twice", entries, wantVariants)
 	}
-	if populated < 2 {
-		t.Errorf("only %d of 3 backends hold cache entries — sharding collapsed onto one replica", populated)
+	// Each program must live exactly where the ring says it lives. (A
+	// fixed populated-backend floor is flaky: httptest ports randomize
+	// ring ownership per run, and a small corpus occasionally hashes
+	// entirely onto one replica.)
+	owners := map[string]bool{}
+	for _, p := range corpus {
+		owners[r.ring.owner(sourceKey(p.Source), nil)] = true
+	}
+	if populated != len(owners) {
+		t.Errorf("%d backends hold cache entries, ring assigns the corpus to %d — programs ran off their shard",
+			populated, len(owners))
 	}
 
 	// The router's aggregated /stats reports the same fleet-wide view a
@@ -208,8 +217,20 @@ func TestRouterFaultInjection(t *testing.T) {
 			}
 		}(w)
 	}
+	// Kill the backend that owns corpus[0]: the workers request it
+	// continuously, so the kill is guaranteed to be observed on the
+	// request path. (A fixed victim index is flaky — httptest ports
+	// randomize ring ownership per run, and a victim owning no corpus
+	// keys makes its death invisible to the load.)
+	victim := 0
+	ownerURL := r.ring.owner(sourceKey(corpus[0].Source), nil)
+	for i, u := range urls {
+		if strings.TrimRight(u, "/") == ownerURL {
+			victim = i
+		}
+	}
 	time.Sleep(200 * time.Millisecond)
-	fleet[1].kill()
+	fleet[victim].kill()
 	wg.Wait()
 
 	req := requests.Load()
@@ -223,8 +244,8 @@ func TestRouterFaultInjection(t *testing.T) {
 
 	// The health loop notices the corpse, and the dead replica's keys
 	// were retried onto survivors.
-	waitFor(t, "backend 1 marked down", func() bool {
-		return !r.backends[strings.TrimRight(urls[1], "/")].healthy.Load()
+	waitFor(t, "victim backend marked down", func() bool {
+		return !r.backends[strings.TrimRight(urls[victim], "/")].healthy.Load()
 	})
 	if r.retries.Load() == 0 {
 		t.Errorf("no re-routes recorded — the kill was never observed on the request path")

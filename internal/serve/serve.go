@@ -48,6 +48,7 @@ import (
 
 	"repro/internal/interp"
 	"repro/internal/lang"
+	"repro/internal/obs"
 	"repro/internal/parexec"
 	"repro/internal/transform"
 )
@@ -100,6 +101,15 @@ type Config struct {
 	MaxSteps       int64
 	MaxAllocs      int64
 	MaxOutputBytes int64
+	// TraceRate samples requests for tracing: a fraction in (0, 1]
+	// traces roughly that share of requests (deterministically, every
+	// Nth) into the /debug/traces ring. 0 disables sampling — the hot
+	// path then takes no clock readings and allocates nothing for
+	// tracing. Requests with "profile": true or an X-PSL-Trace header
+	// are always traced, regardless of the rate.
+	TraceRate float64
+	// TraceBuffer bounds the /debug/traces ring (0 = 64 traces).
+	TraceBuffer int
 }
 
 func (c Config) withDefaults() Config {
@@ -138,6 +148,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.MaxOutputBytes <= 0 {
 		c.MaxOutputBytes = 1 << 20
+	}
+	if c.TraceBuffer <= 0 {
+		c.TraceBuffer = 64
 	}
 	return c
 }
@@ -184,6 +197,17 @@ type Request struct {
 	// TimeoutMS requests a specific wall-clock budget instead of the
 	// server default — smaller or larger, capped at Config.MaxTimeout.
 	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+	// Profile asks for the request's span tree (and, for parallel and
+	// auto requests, the per-forall efficiency report) in the Response.
+	// A profiled request is always traced, regardless of TraceRate.
+	Profile bool `json:"profile,omitempty"`
+	// TraceID is the propagated trace identifier, carried between
+	// processes in the X-PSL-Trace header (obs.TraceHeader), not the
+	// JSON body: the router stamps one ID on a request and reuses it
+	// across failover retries, so the backend spans of every attempt
+	// stitch into one logical trace. A request with a TraceID is always
+	// traced.
+	TraceID string `json:"-"`
 }
 
 // Response reports one execution (the POST /run reply).
@@ -205,6 +229,13 @@ type Response struct {
 	// Plan reports what the auto-parallelization planner did (Auto
 	// requests only).
 	Plan *PlanSummary `json:"plan,omitempty"`
+	// Trace is the request's span tree (Profile requests only).
+	Trace *obs.TraceView `json:"trace,omitempty"`
+	// Efficiency is the per-forall-site parallel-efficiency report
+	// (Profile requests that ran parallel or auto): the measured
+	// counterpart of Plan — per-PE busy time, barrier wait, and task
+	// counts for every forall the program actually dispatched.
+	Efficiency []obs.SiteReport `json:"efficiency,omitempty"`
 }
 
 // PlanSummary is the wire form of the planner's report: which loops
@@ -276,6 +307,13 @@ type Server struct {
 	cfg   Config
 	cache *cache
 	pool  *pool
+	start time.Time
+
+	// sampler decides which untagged requests get traced (nil when
+	// TraceRate is 0 — the not-traced decision is then a nil compare);
+	// traces is the bounded ring /debug/traces reads.
+	sampler *obs.Sampler
+	traces  *obs.Ring
 
 	draining  atomic.Bool
 	requests  atomic.Int64 // every Run call
@@ -293,6 +331,9 @@ func New(cfg Config) *Server {
 		cfg:     cfg,
 		cache:   newCache(cfg.CacheEntries, cfg.CacheShards),
 		pool:    newPool(cfg.Workers, cfg.QueueDepth, cfg.TenantQueueDepth),
+		start:   time.Now(),
+		sampler: obs.NewSampler(cfg.TraceRate),
+		traces:  obs.NewRing(cfg.TraceBuffer),
 		latency: newHistogram(),
 	}
 }
@@ -370,12 +411,25 @@ func (s *Server) Run(ctx context.Context, req Request) (Response, error) {
 		return Response{}, err
 	}
 
+	// Trace decision: profiled requests, requests carrying a propagated
+	// ID, and the sampler's share. With all three off this is two
+	// compares and a nil check — no clocks, no allocations — which is
+	// the overhead contract the serve alloc test pins.
+	var tr *obs.Trace
+	if req.Profile || req.TraceID != "" || s.sampler.Sample() {
+		tr = obs.NewTrace(req.TraceID)
+	}
+
 	var resp Response
+	adm := tr.Start("admission")
 	j := &job{
 		ctx:    ctx,
 		done:   make(chan struct{}),
 		tenant: req.Tenant,
-		fn:     func() { resp = s.execute(ctx, req, eng, pol, width, args) },
+		fn: func() {
+			adm.End()
+			resp = s.execute(ctx, req, eng, pol, width, args, tr)
+		},
 	}
 	if err := s.pool.submit(j); err != nil {
 		s.rejected.Add(1)
@@ -387,9 +441,26 @@ func (s *Server) Run(ctx context.Context, req Request) (Response, error) {
 		// executed, so this is neither an execution error nor a latency
 		// sample — it gets its own counter.
 		s.abandoned.Add(1)
+		s.finishTrace(tr, &resp, req.Profile)
 		return Response{Error: fmt.Sprintf("serve: cancelled while queued: %v", ctx.Err())}, nil
 	}
+	s.finishTrace(tr, &resp, req.Profile)
 	return resp, nil
+}
+
+// finishTrace closes a request's trace, stores it in the debug ring,
+// and — for profiled requests — attaches the span tree to the
+// response. No-op when the request was not traced.
+func (s *Server) finishTrace(tr *obs.Trace, resp *Response, profile bool) {
+	if tr == nil {
+		return
+	}
+	tr.Finish()
+	v := tr.View()
+	s.traces.Add(v)
+	if profile {
+		resp.Trace = &v
+	}
 }
 
 // execute runs one admitted request on the calling worker: cache
@@ -397,7 +468,7 @@ func (s *Server) Run(ctx context.Context, req Request) (Response, error) {
 // per distinct variant), then a sandboxed run — deadline, step,
 // allocation, and output budgets all active in whichever engine and
 // mode the request selected.
-func (s *Server) execute(ctx context.Context, req Request, eng interp.Engine, pol parexec.Policy, width int, args []interp.Value) Response {
+func (s *Server) execute(ctx context.Context, req Request, eng interp.Engine, pol parexec.Policy, width int, args []interp.Value, tr *obs.Trace) Response {
 	start := time.Now()
 	done := func(resp Response) Response {
 		el := time.Since(start)
@@ -428,8 +499,15 @@ func (s *Server) execute(ctx context.Context, req Request, eng interp.Engine, po
 	if req.Auto {
 		key = autoKey(req.Source, width)
 	}
+	// The cache span covers the lookup including any singleflight wait
+	// on another request's in-flight build; the parse/plan/compile
+	// children appear only when THIS request ran the cold build (the
+	// closure runs on the winner's goroutine).
+	cacheSp := tr.Start("cache")
 	cp, plan, cached, err := s.cache.get(rctx, key, func() (*interp.CompiledProgram, *transform.Plan, error) {
+		parseSp := cacheSp.Start("parse")
 		p, err := lang.Parse(req.Source)
+		parseSp.End()
 		if err != nil {
 			return nil, nil, err
 		}
@@ -440,7 +518,10 @@ func (s *Server) execute(ctx context.Context, req Request, eng interp.Engine, po
 			// every loop, strip-mining of the approved ones. The entry
 			// pins the plan next to the code, so hot auto requests get
 			// their report for free.
-			if plan, err = transform.AutoParallelize(p, width); err != nil {
+			planSp := cacheSp.Start("plan")
+			plan, err = transform.AutoParallelize(p, width)
+			planSp.End()
+			if err != nil {
 				return nil, nil, err
 			}
 			p = plan.Program
@@ -448,12 +529,18 @@ func (s *Server) execute(ctx context.Context, req Request, eng interp.Engine, po
 		// Build and pin the closure code now, while we hold the cold
 		// path: the entry owns its code, so hits never recompile even
 		// when interp's bounded code cache churns under cold traffic.
+		compileSp := cacheSp.Start("compile")
 		pinned := interp.CompileProgram(p)
+		compileSp.End()
 		if pinned.Err() != nil {
 			return nil, nil, pinned.Err()
 		}
 		return pinned, plan, nil
 	})
+	if cacheSp != nil {
+		cacheSp.SetAttr("hit", fmt.Sprintf("%t", cached))
+		cacheSp.End()
+	}
 	if err != nil {
 		// Distinguish "this request's deadline expired while waiting on
 		// another request's in-flight build" from a genuine front-end
@@ -473,7 +560,12 @@ func (s *Server) execute(ctx context.Context, req Request, eng interp.Engine, po
 	var v interp.Value
 	var st interp.Stats
 	var rerr error
+	execSp := tr.Start("execute")
+	var prof *obs.ForallProfiler
 	if req.Parallel || req.Auto {
+		if tr != nil {
+			prof = obs.NewForallProfiler()
+		}
 		v, st, rerr = parexec.Run(cp.Program(), parexec.Options{
 			Interp:         eng,
 			Compiled:       cp,
@@ -485,6 +577,7 @@ func (s *Server) execute(ctx context.Context, req Request, eng interp.Engine, po
 			Ctx:            rctx,
 			MaxAllocs:      s.cfg.MaxAllocs,
 			MaxOutputBytes: s.cfg.MaxOutputBytes,
+			Profiler:       prof,
 		}, fn, args...)
 	} else {
 		v, st, rerr = interp.RunCompiled(cp, interp.Config{
@@ -497,7 +590,9 @@ func (s *Server) execute(ctx context.Context, req Request, eng interp.Engine, po
 			MaxOutputBytes: s.cfg.MaxOutputBytes,
 		}, fn, args...)
 	}
+	execSp.End()
 
+	mergeSp := tr.Start("merge")
 	resp := Response{
 		OK:     rerr == nil,
 		Cached: cached,
@@ -508,13 +603,37 @@ func (s *Server) execute(ctx context.Context, req Request, eng interp.Engine, po
 	if plan != nil {
 		resp.Plan = planSummary(plan)
 	}
+	if req.Profile && prof != nil {
+		resp.Efficiency = efficiencyReport(prof, resp.Plan)
+	}
 	if rerr != nil {
 		resp.Error = rerr.Error()
 	} else {
 		resp.Result = v.String()
 		resp.Kind = kindName(v)
 	}
+	mergeSp.End()
 	return done(resp)
+}
+
+// efficiencyReport joins the profiler's per-site measurements with the
+// planner's loop table: a site and a plan loop share the source line
+// (the strip-mined forall is stamped with the original loop's
+// position), so the report can name the function each forall came
+// from. Parallel (non-auto) requests have no plan; their sites report
+// the line alone.
+func efficiencyReport(prof *obs.ForallProfiler, plan *PlanSummary) []obs.SiteReport {
+	rep := prof.Report()
+	if plan != nil {
+		byLine := make(map[int]string, len(plan.Parallelized))
+		for _, lp := range plan.Parallelized {
+			byLine[lp.Line] = lp.Fn
+		}
+		for i := range rep {
+			rep[i].Fn = byLine[rep[i].Line]
+		}
+	}
+	return rep
 }
 
 // convertArgs maps JSON numbers onto PSL values: integral → int,

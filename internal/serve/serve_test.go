@@ -741,6 +741,7 @@ func BenchmarkServeHot(b *testing.B) {
 		b.Fatalf("warm: %v %+v", err, resp)
 	}
 	c0 := interp.CompileCount()
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		resp, err := s.Run(context.Background(), req)

@@ -6,6 +6,7 @@
 package serve
 
 import (
+	"runtime"
 	"sync/atomic"
 	"time"
 )
@@ -47,20 +48,38 @@ type Bucket struct {
 	Count int64 `json:"count"`
 }
 
-// LatencyStats is the latency section of Stats.
+// LatencyStats is the latency section of Stats. P50US/P95US/P99US are
+// derived from the histogram by linear interpolation within the
+// bucket holding the target rank, so they carry bucket-resolution
+// error: the true percentile lies within the same bucket's bounds.
 type LatencyStats struct {
 	Count   int64    `json:"count"`
 	MeanUS  int64    `json:"mean_us"`
+	SumUS   int64    `json:"sum_us"`
+	P50US   int64    `json:"p50_us"`
+	P95US   int64    `json:"p95_us"`
+	P99US   int64    `json:"p99_us"`
 	Buckets []Bucket `json:"buckets"`
 }
 
 func (h *histogram) snapshot() LatencyStats {
-	st := LatencyStats{Count: h.count.Load()}
+	st := LatencyStats{Count: h.count.Load(), SumUS: h.sumUS.Load()}
 	if st.Count > 0 {
-		st.MeanUS = h.sumUS.Load() / st.Count
+		st.MeanUS = st.SumUS / st.Count
 	}
+	counts := make([]int64, len(h.buckets))
+	var total int64
 	for i := range h.buckets {
-		n := h.buckets[i].Load()
+		counts[i] = h.buckets[i].Load()
+		total += counts[i]
+	}
+	// Rank against the sum of bucket counts, not h.count: under
+	// concurrent observes the two can be momentarily out of step, and
+	// percentiles must rank within the samples actually bucketed.
+	st.P50US = histPercentile(counts, total, 0.50)
+	st.P95US = histPercentile(counts, total, 0.95)
+	st.P99US = histPercentile(counts, total, 0.99)
+	for i, n := range counts {
 		if n == 0 {
 			continue
 		}
@@ -71,6 +90,42 @@ func (h *histogram) snapshot() LatencyStats {
 		st.Buckets = append(st.Buckets, b)
 	}
 	return st
+}
+
+// histPercentile locates the q-quantile in the bucketed counts: walk
+// to the bucket holding the ceil(q×total)-th sample and interpolate
+// linearly between its bounds. Samples in the overflow bucket report
+// the last finite bound — the histogram cannot see further.
+func histPercentile(counts []int64, total int64, q float64) int64 {
+	if total <= 0 {
+		return 0
+	}
+	rank := int64(q * float64(total))
+	if float64(rank) < q*float64(total) {
+		rank++ // ceil
+	}
+	if rank < 1 {
+		rank = 1
+	}
+	var cum int64
+	for i, c := range counts {
+		if c == 0 {
+			continue
+		}
+		if cum+c >= rank {
+			if i >= len(latencyBoundsUS) {
+				return latencyBoundsUS[len(latencyBoundsUS)-1]
+			}
+			var lo int64
+			if i > 0 {
+				lo = latencyBoundsUS[i-1]
+			}
+			hi := latencyBoundsUS[i]
+			return lo + int64(float64(hi-lo)*float64(rank-cum)/float64(c))
+		}
+		cum += c
+	}
+	return latencyBoundsUS[len(latencyBoundsUS)-1]
 }
 
 // Stats is the service-wide snapshot returned by Server.Stats and
@@ -90,6 +145,30 @@ type Stats struct {
 	Cache     CacheStats   `json:"cache"`
 	Queue     QueueStats   `json:"queue"`
 	Latency   LatencyStats `json:"latency"`
+	Runtime   RuntimeStats `json:"runtime"`
+}
+
+// RuntimeStats describes the serving process: how long it has been
+// up and what it is running on. The fleet aggregate view uses it to
+// spot a recently restarted or misconfigured backend at a glance.
+type RuntimeStats struct {
+	UptimeMS   int64  `json:"uptime_ms"`
+	GoMaxProcs int    `json:"gomaxprocs"`
+	NumCPU     int    `json:"num_cpu"`
+	GoVersion  string `json:"go_version"`
+	// PEs is the worker-pool size of the execution service — the
+	// parallel capacity one request can use (mirrors Config.Workers).
+	PEs int `json:"pes"`
+}
+
+func runtimeStats(start time.Time, pes int) RuntimeStats {
+	return RuntimeStats{
+		UptimeMS:   time.Since(start).Milliseconds(),
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
+		GoVersion:  runtime.Version(),
+		PEs:        pes,
+	}
 }
 
 // Stats snapshots the service counters.
@@ -103,5 +182,6 @@ func (s *Server) Stats() Stats {
 		Cache:     s.cache.stats(),
 		Queue:     s.pool.stats(),
 		Latency:   s.latency.snapshot(),
+		Runtime:   runtimeStats(s.start, s.cfg.Workers),
 	}
 }

@@ -147,6 +147,10 @@ func stripMineInPlace(prog *lang.Program, rep *depend.Report, fnName string, loo
 			&lang.CallStmt{Call: &lang.CallExpr{Func: helperName, Args: args}},
 		}},
 	}
+	// Attribute the generated forall to the loop it strip-mines, so
+	// profilers and error messages key to the source loop's line — the
+	// same line the planner's Plan reports.
+	parallel.SetPos(loop.Pos())
 	advance := &lang.ForStmt{
 		Var:  "_pe",
 		From: lang.NewIntLit(0, loop.Pos()),
