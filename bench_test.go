@@ -260,6 +260,45 @@ func BenchmarkR6BytecodeForceParallel4(b *testing.B) {
 	benchR3ForceParallel(b, interp.EngineBytecode)
 }
 
+// ---------------------------------------------------------------------------
+// R8 — the SPMD kernel path (interp.EngineKernel) on the vectorizable
+// force workload (nbody.VecForcePSL): the kernel rows in
+// BENCH_interp.json. The bytecode baseline runs the unstripped serial
+// program (the VM's honest serial form); the kernel engine runs the
+// strip-mined program, whose strips execute inline on the vector path
+// — the same pairing TestKernelSpeedupFloor gates.
+
+func benchR8VecForce(b *testing.B, c *core.Compilation, eng interp.Engine) {
+	b.ReportAllocs()
+	args := []interp.Value{interp.IntVal(256), interp.IntVal(160), interp.RealVal(0.5)}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := c.Run(core.RunConfig{Seed: 7, Engine: eng}, nbody.VecForceFunc, args...); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkR8BytecodeVecForceSerial(b *testing.B) {
+	c, err := core.Compile(nbody.VecForcePSL)
+	if err != nil {
+		b.Fatal(err)
+	}
+	benchR8VecForce(b, c, interp.EngineBytecode)
+}
+
+func BenchmarkR8KernelVecForceSerial(b *testing.B) {
+	c, err := core.Compile(nbody.VecForcePSL)
+	if err != nil {
+		b.Fatal(err)
+	}
+	par, err := c.StripMine(nbody.VecForceFunc, nbody.VecForceLoop, 64)
+	if err != nil {
+		b.Fatal(err)
+	}
+	benchR8VecForce(b, par, interp.EngineKernel)
+}
+
 // TestR6BytecodeSerialAllocs pins the VM's allocation discipline: a
 // hot serial run (arithmetic, comparisons, calls — no `new`, no
 // print) must allocate only a small constant number of objects per

@@ -1,8 +1,9 @@
 // BENCH_interp.json is the checked-in interpreter performance
 // trajectory: ns/op for the tree-walking oracle, the compiled closure
-// engine, and the flat bytecode VM on the R1 (polynomial) and R2
-// (Barnes-Hut force) workloads, regenerated via testing.Benchmark
-// from the same BenchmarkR3*/BenchmarkR6* configurations CI compiles.
+// engine, the flat bytecode VM, and the SPMD kernel path on the R1
+// (polynomial), R2 (Barnes-Hut force), and R8 (vectorizable force)
+// workloads, regenerated via testing.Benchmark from the same
+// BenchmarkR3*/BenchmarkR6*/BenchmarkR8* configurations CI compiles.
 // Future PRs that touch the execution core re-emit the file and
 // commit it, so the walk/compiled/bytecode gaps — and any regression
 // of either fast path — are visible in review diffs rather than lost
@@ -42,12 +43,16 @@ type benchEntry struct {
 	N           int     `json:"n"` // benchmark iterations behind the measurement
 }
 
-// benchFile is the BENCH_interp.json schema.
+// benchFile is the BENCH_interp.json schema. GoMaxProcs and GoVersion
+// ride along with cpus so trajectory rows measured on different boxes
+// (or GOMAXPROCS caps, or toolchains) are comparable in review diffs.
 type benchFile struct {
 	GeneratedBy string       `json:"generated_by"`
 	GOOS        string       `json:"goos"`
 	GOARCH      string       `json:"goarch"`
 	CPUs        int          `json:"cpus"`
+	GoMaxProcs  int          `json:"gomaxprocs"`
+	GoVersion   string       `json:"go_version"`
 	Entries     []benchEntry `json:"benchmarks"`
 	// SpeedupSerialForce is walk/compiled ns on the serial force
 	// workload — the ratio TestCompiledSpeedupFloor guards.
@@ -55,6 +60,11 @@ type benchFile struct {
 	// SpeedupSerialForceBytecode is compiled/bytecode ns on the same
 	// workload — the ratio TestBytecodeSpeedupFloor guards.
 	SpeedupSerialForceBytecode float64 `json:"speedup_serial_force_bytecode"`
+	// SpeedupSerialForceKernel is bytecode/kernel ns on the serial
+	// vectorizable force workload (R8: unstripped program on the plain
+	// VM vs the strip-mined program on the kernel engine) — the ratio
+	// TestKernelSpeedupFloor guards.
+	SpeedupSerialForceKernel float64 `json:"speedup_serial_force_kernel"`
 }
 
 // benchConfigs maps trajectory entries to the BenchmarkR3* bodies.
@@ -72,6 +82,8 @@ var benchConfigs = []struct {
 	{"R2-force/par4", interp.EngineWalk, BenchmarkR3WalkForceParallel4},
 	{"R2-force/par4", interp.EngineCompiled, BenchmarkR3CompiledForceParallel4},
 	{"R2-force/par4", interp.EngineBytecode, BenchmarkR6BytecodeForceParallel4},
+	{"R8-vecforce/serial", interp.EngineBytecode, BenchmarkR8BytecodeVecForceSerial},
+	{"R8-vecforce/serial", interp.EngineKernel, BenchmarkR8KernelVecForceSerial},
 }
 
 func TestBenchInterpJSON(t *testing.T) {
@@ -106,6 +118,16 @@ func TestBenchInterpJSON(t *testing.T) {
 		t.Errorf("recorded serial-force bytecode speedup %.2f should exceed 1 (bytecode faster than compiled)",
 			f.SpeedupSerialForceBytecode)
 	}
+	if f.SpeedupSerialForceKernel <= 1 {
+		t.Errorf("recorded serial-force kernel speedup %.2f should exceed 1 (kernel faster than bytecode)",
+			f.SpeedupSerialForceKernel)
+	}
+	if f.GoMaxProcs <= 0 {
+		t.Errorf("recorded gomaxprocs %d should be positive (regenerate with -write-bench)", f.GoMaxProcs)
+	}
+	if f.GoVersion == "" {
+		t.Error("recorded go_version is empty (regenerate with -write-bench)")
+	}
 }
 
 func writeBenchJSON(t *testing.T) {
@@ -115,8 +137,11 @@ func writeBenchJSON(t *testing.T) {
 		GOOS:        runtime.GOOS,
 		GOARCH:      runtime.GOARCH,
 		CPUs:        runtime.NumCPU(),
+		GoMaxProcs:  runtime.GOMAXPROCS(0),
+		GoVersion:   runtime.Version(),
 	}
 	var walkForce, compiledForce, bytecodeForce float64
+	var bytecodeVec, kernelVec float64
 	for _, c := range benchConfigs {
 		r := testing.Benchmark(c.run)
 		ns := float64(r.T.Nanoseconds()) / float64(r.N)
@@ -137,6 +162,14 @@ func writeBenchJSON(t *testing.T) {
 				bytecodeForce = ns
 			}
 		}
+		if c.name == "R8-vecforce/serial" {
+			switch c.engine {
+			case interp.EngineBytecode:
+				bytecodeVec = ns
+			case interp.EngineKernel:
+				kernelVec = ns
+			}
+		}
 		t.Logf("%s/%s: %.0f ns/op (N=%d)", c.name, c.engine, ns, r.N)
 	}
 	if compiledForce > 0 {
@@ -144,6 +177,9 @@ func writeBenchJSON(t *testing.T) {
 	}
 	if bytecodeForce > 0 {
 		f.SpeedupSerialForceBytecode = compiledForce / bytecodeForce
+	}
+	if kernelVec > 0 {
+		f.SpeedupSerialForceKernel = bytecodeVec / kernelVec
 	}
 	data, err := json.MarshalIndent(f, "", "  ")
 	if err != nil {

@@ -57,12 +57,16 @@ func benchRowKey(c int, autoRate float64, backends int) string {
 	return fmt.Sprintf("c%d/auto%.2f", c, autoRate)
 }
 
-// serveBenchFile is the BENCH_serve.json schema.
+// serveBenchFile is the BENCH_serve.json schema. GoMaxProcs and
+// GoVersion ride along with cpus so trajectory rows measured on
+// different boxes (or GOMAXPROCS caps, or toolchains) are comparable.
 type serveBenchFile struct {
 	GeneratedBy string             `json:"generated_by"`
 	GOOS        string             `json:"goos"`
 	GOARCH      string             `json:"goarch"`
 	CPUs        int                `json:"cpus"`
+	GoMaxProcs  int                `json:"gomaxprocs"`
+	GoVersion   string             `json:"go_version"`
 	Runs        []serve.LoadResult `json:"runs"`
 }
 
@@ -101,6 +105,12 @@ func TestBenchServeJSON(t *testing.T) {
 				benchServePath, row.Concurrency, row.AutoRate, row.Backends)
 		}
 	}
+	if f.GoMaxProcs <= 0 {
+		t.Errorf("recorded gomaxprocs %d should be positive (regenerate with -write-bench-serve)", f.GoMaxProcs)
+	}
+	if f.GoVersion == "" {
+		t.Error("recorded go_version is empty (regenerate with -write-bench-serve)")
+	}
 }
 
 func writeServeJSON(t *testing.T) {
@@ -114,6 +124,8 @@ func writeServeJSON(t *testing.T) {
 		GOOS:        runtime.GOOS,
 		GOARCH:      runtime.GOARCH,
 		CPUs:        runtime.NumCPU(),
+		GoMaxProcs:  runtime.GOMAXPROCS(0),
+		GoVersion:   runtime.Version(),
 	}
 	for _, row := range benchServeRows {
 		// A fresh topology per run: every row starts cold, so ColdMeanUS

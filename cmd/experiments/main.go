@@ -8,19 +8,22 @@
 //	          matrix; PM3 (= V2): octree build validation
 //	-x N      X1: analysis precision comparison; X2: scheduling/sync
 //	          ablation; X3: theta accuracy/work sweep
-//	-real     R1, R2, R3, R5: measured wall-clock speedups on real
+//	-real     R1, R2, R3, R5, R8: measured wall-clock speedups on real
 //	          goroutines (parexec) next to the simulated Sequent
 //	          prediction — R1 on the §3.3.2 polynomial, R2 on the
 //	          Barnes-Hut force loop, per scheduling policy (RX2),
 //	          R3 the compiled-engine vs tree-walker comparison on both
-//	          workloads, and R5 the auto-parallelization planner vs
-//	          the hand-tuned StripMine calls (with the plan report)
+//	          workloads, R5 the auto-parallelization planner vs
+//	          the hand-tuned StripMine calls (with the plan report),
+//	          and R8 the SPMD kernel path vs the bytecode VM on the
+//	          vectorizable force workload (with per-loop vector
+//	          verdicts)
 //	-plancost R7: the auto-parallelization planner's cost scaling on
 //	          generated many-loop programs (the BENCH_plan.json workload)
 //	-pes, -sched, -chunk
 //	          pool sizes and R2 scheduling policy for -real
-//	-engine   interpreter engine for the R1/R2 tables (compiled or
-//	          walk; R3 always measures both)
+//	-engine   interpreter engine for the R1/R2 tables (compiled,
+//	          bytecode, kernel, or walk; R3 always measures all)
 //	-all      everything (the default when no flag is given)
 //	-measure  time steps simulated per T1 cell (default 1)
 //
@@ -77,6 +80,7 @@ func main() {
 		runR2(peList, policies, eng)
 		runR3(peList)
 		runR5(peList, eng)
+		runR8(peList)
 	}
 	if f.All || f.PlanCost {
 		runR7()
@@ -372,8 +376,8 @@ func runR2(peList []int, policies []parexec.Policy, eng interp.Engine) {
 // PEs idling at the barrier.
 func runR2Efficiency(c *core.Compilation, peList []int, eng interp.Engine) {
 	fmt.Println("\nplanned vs achieved (auto-parallelized force run, profiler attached):")
-	fmt.Printf("%-10s %-24s %8s %6s %6s %6s %9s\n",
-		"config", "planned site", "tasks", "busy%", "wait%", "imbal", "wall ms")
+	fmt.Printf("%-10s %-24s %8s %6s %6s %6s %9s  %s\n",
+		"config", "planned site", "tasks", "busy%", "wait%", "imbal", "wall ms", "vector")
 	for _, pes := range peList {
 		auto, err := c.AutoParallel(4 * pes)
 		if err != nil {
@@ -397,14 +401,28 @@ func runR2Efficiency(c *core.Compilation, peList []int, eng interp.Engine) {
 			if !ok {
 				planned = fmt.Sprintf("line %d (unplanned)", site.Line)
 			}
-			fmt.Printf("%-10s %-24s %8d %5.1f%% %5.1f%% %6.2f %9.2f\n",
+			fmt.Printf("%-10s %-24s %8d %5.1f%% %5.1f%% %6.2f %9.2f  %s\n",
 				fmt.Sprintf("auto(%d)", pes), planned, site.Tasks, site.BusyPct, site.WaitPct,
-				site.Imbalance, float64(site.WallUS)/1000)
+				site.Imbalance, float64(site.WallUS)/1000, vectorCell(site))
 		}
 	}
 	fmt.Println("busy% = mean per-PE share of barrier wall time spent in iterations;")
 	fmt.Println("wait% = share spent idle at the barrier after draining the queue;")
-	fmt.Println("imbal = busiest PE busy time / mean PE busy time (1.00 = level).")
+	fmt.Println("imbal = busiest PE busy time / mean PE busy time (1.00 = level);")
+	fmt.Println("vector = strips that ran the SPMD kernel path, with the serial")
+	fmt.Println("gather/scatter slab phases' wall time (— = scalar per-task strips).")
+}
+
+// vectorCell renders a site's vector-path column: the kernel mark plus
+// the serial slab phases' time for vectorized strips, a dash for the
+// scalar per-task path — so the planned-vs-achieved table stays
+// truthful when a planned loop ran whole-slab (its per-task busy/wait
+// shares measure chunks, not queue draining).
+func vectorCell(site obs.SiteReport) string {
+	if !site.Kernel {
+		return "—"
+	}
+	return fmt.Sprintf("kernel g=%dus s=%dus", site.GatherUS, site.ScatterUS)
 }
 
 // runR3 measures the execution-engine comparison: the same programs
@@ -607,6 +625,94 @@ func runR5(peList []int, eng interp.Engine) {
 	}
 	fmt.Println("\nEvery hand and auto cell reproduced the serial checksum bit-for-bit;")
 	fmt.Println("TestAutoMatchesHandTuned pins the equivalence in CI.")
+}
+
+// runR8 measures the fourth execution path: planner-approved strips
+// whose bodies the kernel classifier proves straight-line arithmetic
+// over element fields run as batched struct-of-arrays kernels
+// (gather → whole-slab masked compute → scatter) instead of per-lane
+// scalar interpretation. The workload is nbody.VecForcePSL's pairwise
+// force driver — the force arithmetic of R2 with the pointer-walking
+// accumulation rewritten into a vectorizable shape. The serial
+// baseline is the bytecode VM on the unstripped program (its honest
+// serial form); kernel rows run the auto-parallelized program, serial
+// strips inline on the vector path and pooled runs with the slab
+// compute split across PEs. The plan print shows the per-loop vector
+// verdict — which approved loops got the kernel and the classifier's
+// concrete why-not for the rest.
+func runR8(peList []int) {
+	header("R8 — SPMD vectorized strips vs the bytecode VM")
+	fmt.Printf("host: GOMAXPROCS=%d, NumCPU=%d; workload: pairwise vector force\n",
+		runtime.GOMAXPROCS(0), runtime.NumCPU())
+	fmt.Println("(nbody.VecForcePSL, N=256, 160 steps); strip width 64; best of 3")
+	fmt.Println("runs per cell; every cell's checksum asserted against the serial")
+	fmt.Println("bytecode run. TestKernelSpeedupFloor gates the seq ratio in CI.")
+	fmt.Println()
+
+	c, err := core.Compile(nbody.VecForcePSL)
+	if err != nil {
+		fatal(err)
+	}
+	auto, err := c.AutoParallel(64)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("plan for %s — %s\n", nbody.VecForceFunc, auto.Plan.Summary())
+	for _, lp := range auto.Plan.Loops {
+		if lp.Func == nbody.VecForceFunc {
+			fmt.Printf("  %s\n", lp)
+		}
+	}
+
+	args := []interp.Value{interp.IntVal(256), interp.IntVal(160), interp.RealVal(0.5)}
+	var checksum float64
+	haveRef := false
+	serial, err := timeRun(func() error {
+		v, _, err := c.Run(core.RunConfig{Seed: 7, Engine: interp.EngineBytecode}, nbody.VecForceFunc, args...)
+		checksum, haveRef = v.F, true
+		return err
+	})
+	if err != nil {
+		fatal(err)
+	}
+	serialMs := float64(serial.Microseconds()) / 1000
+	cell := func(eng interp.Engine, pes int) float64 {
+		d, err := timeRun(func() error {
+			v, _, err := auto.RunParallel(core.RunConfig{Seed: 7, Sched: parexec.StaticCyclic, Engine: eng},
+				pes, nbody.VecForceFunc, args...)
+			if err == nil && haveRef && v.F != checksum {
+				return fmt.Errorf("%s(%d): checksum %g != serial %g", eng, pes, v.F, checksum)
+			}
+			return err
+		})
+		if err != nil {
+			fatal(err)
+		}
+		return float64(d.Microseconds()) / 1000
+	}
+	fmt.Printf("\n%-12s %12s %12s %9s %9s\n", "config", "bytecode ms", "kernel ms", "bc spd", "kern spd")
+	fmt.Printf("%-12s %12.1f %12s %9.2f %9s\n", "seq", serialMs, "—", 1.0, "—")
+	for _, pes := range peList {
+		bcMs := cell(interp.EngineBytecode, pes)
+		kernMs := cell(interp.EngineKernel, pes)
+		fmt.Printf("%-12s %12.1f %12.1f %9.2f %9.2f\n",
+			fmt.Sprintf("strips(%d)", pes), bcMs, kernMs, serialMs/bcMs, serialMs/kernMs)
+	}
+
+	fmt.Println("\nplanned vs achieved (kernel engine, profiler attached):")
+	prof := obs.NewForallProfiler()
+	if _, _, err := auto.RunParallel(
+		core.RunConfig{Seed: 7, Sched: parexec.StaticCyclic, Engine: interp.EngineKernel, Profiler: prof},
+		peList[0], nbody.VecForceFunc, args...); err != nil {
+		fatal(err)
+	}
+	for _, site := range prof.Report() {
+		fmt.Printf("  line %-5d tasks=%-6d imbal=%-5.2f wall=%.2fms  %s\n",
+			site.Line, site.Tasks, site.Imbalance, float64(site.WallUS)/1000, vectorCell(site))
+	}
+	fmt.Println("\nThe bytecode rows pay one goroutine task per lane walking Node")
+	fmt.Println("pointers; the kernel rows gather touched fields into flat slabs")
+	fmt.Println("once per strip and run the body as whole-slab masked sweeps.")
 }
 
 // runR7 measures the auto-parallelization planner's own cost: wall

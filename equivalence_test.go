@@ -32,8 +32,11 @@ import (
 )
 
 // eqEngines is the full engine matrix. The walker (first entry) is
-// the oracle every other engine is compared against.
-var eqEngines = []interp.Engine{interp.EngineWalk, interp.EngineCompiled, interp.EngineBytecode}
+// the oracle every other engine is compared against. The kernel engine
+// is the bytecode VM plus the SPMD vector path for classified strips,
+// so its cells additionally pin the slab gather/compute/scatter
+// machinery (and its fallbacks) to the scalar semantics.
+var eqEngines = []interp.Engine{interp.EngineWalk, interp.EngineCompiled, interp.EngineBytecode, interp.EngineKernel}
 
 // eqProgram is one corpus entry: a program, the driver to execute,
 // and (when a loop is provably parallel) the strip-mining target that
@@ -71,6 +74,14 @@ func equivalenceCorpus(t *testing.T) []eqProgram {
 		{name: "barnes-hut-force", src: nbody.BarnesHutForcePSL, fn: nbody.ForceFunc,
 			args: []interp.Value{interp.IntVal(48), interp.RealVal(0.5)}, seed: 7,
 			stripFn: nbody.ForceFunc, stripLoop: nbody.ForceLoop},
+		// The vector-kernel workload: its strip classifies as
+		// vectorizable, so the kernel engine's parallel cells execute
+		// the batched slab path while every other engine (and every
+		// other cell) runs scalar — the grid proves them bit-identical,
+		// Stats included.
+		{name: "vec-force", src: nbody.VecForcePSL, fn: nbody.VecForceFunc,
+			args: []interp.Value{interp.IntVal(48), interp.IntVal(3), interp.RealVal(0.5)}, seed: 7,
+			stripFn: nbody.VecForceFunc, stripLoop: nbody.VecForceLoop},
 	}
 }
 
@@ -290,4 +301,68 @@ func TestBytecodeSpeedupFloor(t *testing.T) {
 		}
 	}
 	t.Errorf("bytecode VM only %.2f× faster than the compiled engine on the force workload (floor %.1f)", ratio, floor)
+}
+
+// TestKernelSpeedupFloor pins the point of the SPMD kernel path: on
+// the vectorizable force workload, the batched struct-of-arrays strip
+// execution must beat the bytecode VM's scalar interpretation of the
+// same loop. The bytecode baseline runs the *unstripped* serial
+// program (the VM's honest serial form — a stripped program on the
+// plain VM would spawn a goroutine per lane); the kernel engine runs
+// the strip-mined program, whose strips execute inline on the vector
+// path. The honest ratio on an idle host is in BENCH_interp.json
+// (acceptance bar ≥2×); the CI floor is 1.5×, relaxed under the race
+// detector, whose per-access instrumentation falls heaviest on the
+// slab sweeps. Best of 3 runs per engine, up to 3 attempts, value
+// checked for bit-identity every run.
+func TestKernelSpeedupFloor(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing test")
+	}
+	serial := lang.MustParse(nbody.VecForcePSL)
+	c, err := core.Compile(nbody.VecForcePSL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := c.StripMine(nbody.VecForceFunc, nbody.VecForceLoop, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	args := []interp.Value{interp.IntVal(256), interp.IntVal(160), interp.RealVal(0.5)}
+	var want string
+	measure := func(prog *lang.Program, eng interp.Engine) time.Duration {
+		best := time.Duration(0)
+		for i := 0; i < 3; i++ {
+			t0 := time.Now()
+			v, _, err := interp.Run(prog, interp.Config{Engine: eng, Seed: 7}, nbody.VecForceFunc, args...)
+			if err != nil {
+				t.Fatal(err)
+			}
+			d := time.Since(t0)
+			if want == "" {
+				want = v.String()
+			} else if v.String() != want {
+				t.Fatalf("engine %s returned %s, want %s", eng, v, want)
+			}
+			if best == 0 || d < best {
+				best = d
+			}
+		}
+		return best
+	}
+	floor := 1.5
+	if raceEnabled {
+		floor = 0.7
+	}
+	var ratio float64
+	for attempt := 0; attempt < 3; attempt++ {
+		bc := measure(serial, interp.EngineBytecode)
+		kern := measure(par.Program, interp.EngineKernel)
+		ratio = float64(bc) / float64(kern)
+		t.Logf("attempt %d: bytecode %v, kernel %v, ratio %.2f (floor %.1f)", attempt+1, bc, kern, ratio, floor)
+		if ratio >= floor {
+			return
+		}
+	}
+	t.Errorf("kernel path only %.2f× faster than the bytecode VM on the vector force workload (floor %.1f)", ratio, floor)
 }

@@ -231,6 +231,15 @@ type PrintSite struct {
 type ForallSite struct {
 	From, To, Var      int32 // int-bank register indices
 	BodyStart, BodyEnd int32 // [BodyStart, BodyEnd) within Code
+	// Pos is the loop's source position — transform stamps its strips
+	// with the original while loop's position, so this is the key the
+	// planner's per-loop verdicts join on.
+	Pos lang.Pos
+	// Kernel is the strip's batched SPMD form when classifyKernel
+	// proved the body vectorizable, nil otherwise; VectorReason then
+	// says concretely why not (see kernel.go).
+	Kernel       *Kernel
+	VectorReason string
 }
 
 // NewSite is one `new T` allocation site.
@@ -708,13 +717,15 @@ func (b *builder) forStmt(s *compile.For) error {
 
 	if s.Parallel {
 		site := int32(len(b.f.Foralls))
-		b.f.Foralls = append(b.f.Foralls, ForallSite{From: k.Idx, To: hi.Idx, Var: varReg.Idx})
+		b.f.Foralls = append(b.f.Foralls, ForallSite{From: k.Idx, To: hi.Idx, Var: varReg.Idx, Pos: pos})
 		b.emit(pos, Instr{Op: OpForall, A: site})
 		b.f.Foralls[site].BodyStart = int32(len(b.f.Code))
+		nCalls := len(b.f.Calls)
 		if err := b.stmts(s.Body); err != nil {
 			return err
 		}
 		b.f.Foralls[site].BodyEnd = int32(len(b.f.Code))
+		b.f.Foralls[site].Kernel, b.f.Foralls[site].VectorReason = b.classifyKernel(s, nCalls)
 		return nil
 	}
 

@@ -25,7 +25,7 @@ import (
 
 var update = flag.Bool("update", false, "rewrite the golden files under testdata/")
 
-var goldenFiles = []string{"kernels", "links"}
+var goldenFiles = []string{"kernels", "links", "strips"}
 
 func compileFile(t *testing.T, name string) *Program {
 	t.Helper()

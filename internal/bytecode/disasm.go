@@ -132,8 +132,11 @@ func disasmFunc(sb *strings.Builder, f *Func) {
 		fmt.Fprintf(sb, "  %4d  %-44s ; %s\n", pc, instrText(f, in), f.Pos[pc])
 	}
 	for i, s := range f.Foralls {
-		fmt.Fprintf(sb, "  forall[%d]: from=i%d to=i%d var=i%d body=[%d,%d)\n",
-			i, s.From, s.To, s.Var, s.BodyStart, s.BodyEnd)
+		fmt.Fprintf(sb, "  forall[%d]: from=i%d to=i%d var=i%d body=[%d,%d)%s\n",
+			i, s.From, s.To, s.Var, s.BodyStart, s.BodyEnd, vecVerdict(s))
+		if s.Kernel != nil {
+			disasmKernel(sb, i, s.Kernel)
+		}
 	}
 	for i, c := range f.Calls {
 		fmt.Fprintf(sb, "  call[%d]: fn=%d args=%s dst=%s\n", i, c.FuncIdx, regList(c.Args), regOrNone(c.Dst))

@@ -776,6 +776,18 @@ func (ip *Interp) bcForall(f *bytecode.Func, fr *bcFrame, site *bytecode.ForallS
 		})
 	}
 
+	// The vector path: a strip the classifier proved vectorizable runs
+	// as a batched SoA kernel (kernel.go). StrictNull runs are excluded
+	// — the kernel's speculative gather walk assumes NULL propagation —
+	// and any in-flight fault or budget concern makes bcForallKernel
+	// report false having touched nothing, falling through to the
+	// scalar paths below.
+	if ip.cfg.Engine == EngineKernel && site.Kernel != nil && !ip.cfg.StrictNull {
+		if ip.bcForallKernel(f, fr, site, pos, lo, hi) {
+			return ctrlNext, nil
+		}
+	}
+
 	// Iterations must see the enclosing call's remaining recursion
 	// budget (the walker threads its depth into every iteration).
 	depth := ip.cdepth

@@ -20,6 +20,7 @@ import (
 
 	"repro/internal/interp"
 	"repro/internal/lang"
+	"repro/internal/parexec"
 )
 
 // fuzzMaxSteps bounds each engine run. Runaway programs hit the limit
@@ -215,6 +216,90 @@ func FuzzBytecodeVsCompiled(f *testing.F) {
 	seedPrograms(f)
 	f.Fuzz(func(t *testing.T, src string) {
 		fuzzDiff(t, src, interp.EngineCompiled, interp.EngineBytecode)
+	})
+}
+
+// stripPatternSeed is the exact shape transform.StripMine emits — a
+// forall whose body is one helper call, the helper doing a skip-to-lane
+// walk plus NULL guard — so the kernel classifier accepts it and the
+// fuzzer starts from a program that actually exercises the vector path
+// (gather, masked compute, scatter, and the scalar fallback).
+const stripPatternSeed = `
+type C [L] { int tag; real w; C *next is uniquely forward along L; };
+procedure _scale_it(int _pe, C *p, real k) {
+  for _k = 1 to _pe { p = p->next; }
+  if p != NULL {
+    if p->tag % 3 == 0 { p->w = p->w * k + 1.0; } else { p->tag = p->tag - 2; }
+  }
+}
+function real main() {
+  var C *head = NULL;
+  var int i = 0;
+  while i < 11 {
+    var C *t = new C;
+    t->tag = i;
+    t->w = 0.5 + i;
+    t->next = head;
+    head = t;
+    i = i + 1;
+  }
+  var C *p = head;
+  while p != NULL {
+    forall _pe = 0 to 3 { _scale_it(_pe, p, 1.25); }
+    for _pe = 0 to 3 { p = p->next; }
+  }
+  var real acc = 0.0;
+  p = head;
+  while p != NULL { acc = acc + p->w + p->tag; p = p->next; }
+  return acc;
+}`
+
+// fuzzKernelParallel is the real-mode leg of FuzzKernelVsBytecode:
+// forall programs route through parexec (2 PEs) — the deployment path
+// on which the kernel engine's vector strips actually run — instead of
+// the goroutine-per-iteration Real mode fuzzDiff skips. A simulated
+// dry run gates the leg: it executes every forall iteration serially
+// under the step budget, so a fuzzer-sized forall is rejected before
+// parexec would allocate its per-iteration output buffers.
+func fuzzKernelParallel(t *testing.T, src string) {
+	prog, err := lang.Parse(src)
+	if err != nil {
+		return
+	}
+	fn, args, ok := pickEntry(prog)
+	if !ok || !hasParallelLoop(prog) {
+		return
+	}
+	if dry := runOne(prog, interp.EngineBytecode, interp.Simulated, fn, args); dry.err != nil {
+		return
+	}
+	run := func(eng interp.Engine) engineOutcome {
+		var out bytes.Buffer
+		v, st, err := parexec.Run(prog, parexec.Options{
+			Interp:   eng,
+			PEs:      2,
+			Seed:     11,
+			Output:   &out,
+			MaxSteps: fuzzMaxSteps,
+		}, fn, args...)
+		return engineOutcome{v: v, stats: st, out: out.String(), err: err}
+	}
+	w := run(interp.EngineBytecode)
+	c := run(interp.EngineKernel)
+	compareOutcomes(t, "parexec", interp.EngineBytecode, interp.EngineKernel, w, c)
+}
+
+// FuzzKernelVsBytecode pins the SPMD kernel engine to the bytecode VM
+// it extends. The VM is the reference: a failure here alone means the
+// kernel lowering, a mask, or the slab gather/scatter is wrong; this
+// and FuzzBytecodeVsCompiled failing together means the drift is in
+// the shared scalar core.
+func FuzzKernelVsBytecode(f *testing.F) {
+	seedPrograms(f)
+	f.Add(stripPatternSeed)
+	f.Fuzz(func(t *testing.T, src string) {
+		fuzzDiff(t, src, interp.EngineBytecode, interp.EngineKernel)
+		fuzzKernelParallel(t, src)
 	})
 }
 

@@ -57,21 +57,33 @@ const (
 	// as the other two engines (the three-way equivalence grid and
 	// FuzzBytecodeVsCompiled enforce it); it is just faster still.
 	EngineBytecode
+	// EngineKernel is the bytecode VM plus the SPMD vector path: strips
+	// the classifier proved vectorizable (ForallSite.Kernel != nil)
+	// execute as batched struct-of-arrays kernels — fields gathered
+	// into flat slabs, the body run as fused whole-slab operations with
+	// execution masks, results scattered back at the barrier.
+	// Everything else (and every fallback: faults, step-budget
+	// pressure, StrictNull runs) executes on the bytecode VM, so
+	// results, output, accounting, and error text stay bit-identical to
+	// the other engines.
+	EngineKernel
 )
 
-// String names the engine ("compiled", "bytecode", "walk").
+// String names the engine ("compiled", "bytecode", "kernel", "walk").
 func (e Engine) String() string {
 	switch e {
 	case EngineWalk:
 		return "walk"
 	case EngineBytecode:
 		return "bytecode"
+	case EngineKernel:
+		return "kernel"
 	}
 	return "compiled"
 }
 
 // EngineNames lists the accepted ParseEngine names in display order.
-func EngineNames() []string { return []string{"compiled", "bytecode", "walk"} }
+func EngineNames() []string { return []string{"compiled", "bytecode", "kernel", "walk"} }
 
 // ParseEngine resolves an engine name from the command line.
 func ParseEngine(name string) (Engine, error) {
@@ -80,10 +92,12 @@ func ParseEngine(name string) (Engine, error) {
 		return EngineCompiled, nil
 	case "bytecode":
 		return EngineBytecode, nil
+	case "kernel":
+		return EngineKernel, nil
 	case "walk":
 		return EngineWalk, nil
 	}
-	return 0, fmt.Errorf("interp: unknown engine %q (want compiled, bytecode, walk)", name)
+	return 0, fmt.Errorf("interp: unknown engine %q (want compiled, bytecode, kernel, walk)", name)
 }
 
 // Mode selects how forall loops execute.
@@ -186,6 +200,12 @@ type Config struct {
 	// foralls inside a scheduled iteration fall back to the default
 	// strategy rather than re-entering the scheduler.
 	Forall ForallScheduler
+	// Strip, if non-nil and Engine == EngineKernel, schedules the
+	// gather/compute/scatter phases of each vectorized strip instead of
+	// the inline serial execution — parexec installs it to split the
+	// compute phase across PEs at slab granularity. Forks clear this
+	// hook along with Forall.
+	Strip StripScheduler
 }
 
 // ForallScheduler executes the iterations [from, to] of a parallel
@@ -197,6 +217,25 @@ type Config struct {
 // it is the original loop's position — so profilers can key
 // measurements to the planner's loop table.
 type ForallScheduler func(pos lang.Pos, from, to int64, run func(w *Interp, k int64) error) error
+
+// StripScheduler executes one vectorized strip. Gather must run first
+// (serially — it walks the pointer chain and fills the slabs), then
+// Compute over disjoint lane sub-ranges (safe to call concurrently on
+// different ranges), then Scatter (serially — it commits the strip's
+// step accounting and writes the stored fields back). lanes is the
+// strip width; pos is the forall's source position (the planner's
+// key). Any error aborts the strip: the interpreter falls back to the
+// scalar path, which re-executes the strip from unmodified heap state
+// (Scatter is the only phase that writes it).
+type StripScheduler func(pos lang.Pos, lanes int, s KernelStrip) error
+
+// KernelStrip is one vectorized strip's phase closures, handed to a
+// StripScheduler.
+type KernelStrip struct {
+	Gather  func() error
+	Compute func(lo, hi int) error // lane range [lo, hi)
+	Scatter func() error
+}
 
 // Stats reports execution counters.
 type Stats struct {
@@ -244,6 +283,9 @@ type Interp struct {
 	// bcPool recycles bytecode register files, like framePool for the
 	// closure engine's slot frames.
 	bcPool []*bcFrame
+	// kern is the kernel engine's reusable slab storage (kernel.go),
+	// lazily built on the first vectorized strip.
+	kern *kernState
 	// stepsLocal batches the compiled engine's statement count between
 	// flushes to the shared atomic (each Interp executes on one
 	// goroutine at a time, so the field needs no synchronization).
@@ -298,7 +340,7 @@ func New(prog *lang.Program, cfg Config) *Interp {
 	case EngineCompiled:
 		e := compiledFor(prog)
 		ip.code, ip.compileErr = e.code, e.err
-	case EngineBytecode:
+	case EngineBytecode, EngineKernel:
 		e := compiledFor(prog)
 		ip.bc, ip.bcErr = e.bc, e.bcErr
 	}
@@ -361,6 +403,7 @@ func (ip *Interp) Fork(out io.Writer) *Interp {
 		bcErr:      ip.bcErr,
 	}
 	nf.cfg.Forall = nil
+	nf.cfg.Strip = nil
 	if out != nil {
 		nf.out = out
 		nf.outMu = &sync.Mutex{}
@@ -416,7 +459,7 @@ func (ip *Interp) Call(fn string, args ...Value) (Value, error) {
 			err = ferr
 		}
 		return v, err
-	case EngineBytecode:
+	case EngineBytecode, EngineKernel:
 		if ip.bcErr != nil {
 			return Value{}, fmt.Errorf("interp: bytecode engine: %w", ip.bcErr)
 		}

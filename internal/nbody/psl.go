@@ -351,3 +351,78 @@ const ForceFunc = "run_forces"
 // ForceLoop is the loop index of the strip-mining target within
 // ForceFunc (the FCL loop; force_checksum's fold stays serial).
 const ForceLoop = 0
+
+// vecForceDriver appends the vector-kernel measurement driver:
+// run_pair_forces runs a force loop whose body is straight-line
+// arithmetic over the particle's own fields — forces against two fixed
+// attractors instead of a tree descent — so the kernel classifier can
+// vectorize it (no calls, no allocation, no pointer-chasing beyond the
+// element; conditionals become execution masks). run_forces above is the honest contrast:
+// its body calls the recursive compute_force, so the planner approves
+// it but the classifier must reject it with "body calls function
+// compute_force". The attractor position derives from the arguments by
+// scalar arithmetic (no reduction loop). The outer steps loop repeats
+// the sweep so the vectorizable work dominates the serial setup
+// (make_particles / force_checksum) in timing runs; its induction is an
+// integer counter, not a pointer chase, so the strip-miner never
+// targets it — the VFL is loop index 1 in walk order.
+const vecForceDriver = `
+// run_pair_forces is the vector-kernel workload driver: pairwise
+// forces against a fixed attractor, repeated steps times; the inner
+// sweep is the one vectorizable loop (VFL).
+function real run_pair_forces(int n, int steps, real theta) {
+  var Octree *particles = make_particles(n);
+  var real ax = 17.0 * theta;
+  var real ay = 0.0 - 9.0 * theta;
+  var real az = 4.5 + theta;
+  var real bx = 0.0 - 23.0 * theta;
+  var real by = 11.0 * theta;
+  var real bz = 0.0 - 6.5 - theta;
+  var real cm = 250.0 + 3.0 * theta;
+  var real cm2 = 90.0 + theta;
+  var real cut = 100.0 * theta;
+  var int s = 0;
+  while s < steps {
+    var Octree *p = particles;
+    while p != NULL {             // VFL: the vector-kernel target
+      var real dx = ax - p->posx;
+      var real dy = ay - p->posy;
+      var real dz = az - p->posz;
+      var real d2 = dx * dx + dy * dy + dz * dz + 0.0001;
+      var real d = sqrt(d2);
+      var real f = cm * p->mass / (d2 * d);
+      if d2 > cut {
+        f = f * 0.5;
+      }
+      var real ex = bx - p->posx;
+      var real ey = by - p->posy;
+      var real ez = bz - p->posz;
+      var real e2 = ex * ex + ey * ey + ez * ez + 0.0001;
+      var real e = sqrt(e2);
+      var real g = cm2 * p->mass / (e2 * e);
+      if e2 > cut {
+        g = g * 0.25;
+      }
+      p->forcex = p->forcex + f * dx + g * ex;
+      p->forcey = p->forcey + f * dy + g * ey;
+      p->forcez = p->forcez + f * dz + g * ez;
+      p = p->next;
+    }
+    s = s + 1;
+  }
+  return force_checksum(particles);
+}
+`
+
+// VecForcePSL is the Barnes-Hut force program plus the pairwise driver:
+// the vector-kernel workload (kernel-engine speedup floor and the
+// kernel equivalence grid).
+const VecForcePSL = BarnesHutForcePSL + vecForceDriver
+
+// VecForceFunc is the function containing the vectorizable force loop.
+const VecForceFunc = "run_pair_forces"
+
+// VecForceLoop is the loop index of the vectorizable loop within
+// VecForceFunc: index 0 is the outer steps counter, index 1 the VFL
+// pointer sweep (the checksum fold stays serial).
+const VecForceLoop = 1

@@ -29,6 +29,12 @@ type siteAgg struct {
 	busyNS   []int64 // per PE
 	waitNS   []int64 // per PE: barrier end − PE's last task end
 	tasks    []int64 // per PE
+	// kernel marks sites whose strips executed on the vector path
+	// (RecordKernel); gather/scatter are then the serial slab phases'
+	// accumulated wall time.
+	kernel    bool
+	gatherNS  int64
+	scatterNS int64
 }
 
 // NewForallProfiler builds an empty profiler.
@@ -73,6 +79,44 @@ func (p *ForallProfiler) Record(line int, wallNS int64, busyNS, doneNS, tasks []
 	}
 }
 
+// RecordKernel adds one vectorized strip's measurements for the forall
+// at line: wallNS is gather-to-scatter wall clock, gatherNS/scatterNS
+// the serial slab phases, busyNS[pe] the PE's compute-share time,
+// tasks[pe] its chunk count (0 or 1 per strip). There is no per-PE
+// wait measurement — the compute split is a single contiguous chunk
+// per PE, so the imbalance column already tells the story. Nil-safe;
+// slices are copied-from, not retained.
+func (p *ForallProfiler) RecordKernel(line int, wallNS, gatherNS, scatterNS int64, busyNS, tasks []int64) {
+	if p == nil {
+		return
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	agg := p.sites[line]
+	if agg == nil {
+		agg = &siteAgg{
+			line:   line,
+			pes:    len(busyNS),
+			busyNS: make([]int64, len(busyNS)),
+			waitNS: make([]int64, len(busyNS)),
+			tasks:  make([]int64, len(busyNS)),
+		}
+		p.sites[line] = agg
+	}
+	agg.kernel = true
+	agg.barriers++
+	agg.wallNS += wallNS
+	agg.gatherNS += gatherNS
+	agg.scatterNS += scatterNS
+	for pe := range busyNS {
+		if pe >= agg.pes {
+			break
+		}
+		agg.busyNS[pe] += busyNS[pe]
+		agg.tasks[pe] += tasks[pe]
+	}
+}
+
 // PEReport is one PE's share of a site report.
 type PEReport struct {
 	Tasks  int64 `json:"tasks"`
@@ -106,6 +150,13 @@ type SiteReport struct {
 	// twice the average load. 0 when nothing ran.
 	Imbalance float64    `json:"imbalance"`
 	PerPE     []PEReport `json:"per_pe,omitempty"`
+	// Kernel marks a site whose strips ran on the vector path; the
+	// serial gather/scatter slab phases are then reported so the
+	// planned-vs-achieved table can show where the barrier time went
+	// (per-task wait columns don't exist for whole-slab compute).
+	Kernel    bool  `json:"kernel,omitempty"`
+	GatherUS  int64 `json:"gather_us,omitempty"`
+	ScatterUS int64 `json:"scatter_us,omitempty"`
 }
 
 // String renders one table-ish line of the report.
@@ -114,8 +165,12 @@ func (r SiteReport) String() string {
 	if r.Fn != "" {
 		at = fmt.Sprintf("%s (line %d)", r.Fn, r.Line)
 	}
-	return fmt.Sprintf("%-24s pes=%d barriers=%d tasks=%d busy=%.1f%% wait=%.1f%% imbalance=%.2f",
+	line := fmt.Sprintf("%-24s pes=%d barriers=%d tasks=%d busy=%.1f%% wait=%.1f%% imbalance=%.2f",
 		at, r.PEs, r.Barriers, r.Tasks, r.BusyPct, r.WaitPct, r.Imbalance)
+	if r.Kernel {
+		line += fmt.Sprintf(" kernel gather=%dus scatter=%dus", r.GatherUS, r.ScatterUS)
+	}
+	return line
 }
 
 // Report derives the per-site scores, sorted by line. Nil-safe (nil →
@@ -129,10 +184,13 @@ func (p *ForallProfiler) Report() []SiteReport {
 	out := make([]SiteReport, 0, len(p.sites))
 	for _, agg := range p.sites {
 		r := SiteReport{
-			Line:     agg.line,
-			Barriers: agg.barriers,
-			PEs:      agg.pes,
-			WallUS:   agg.wallNS / 1e3,
+			Line:      agg.line,
+			Barriers:  agg.barriers,
+			PEs:       agg.pes,
+			WallUS:    agg.wallNS / 1e3,
+			Kernel:    agg.kernel,
+			GatherUS:  agg.gatherNS / 1e3,
+			ScatterUS: agg.scatterNS / 1e3,
 		}
 		var busySum, waitSum, busyMax int64
 		for pe := 0; pe < agg.pes; pe++ {

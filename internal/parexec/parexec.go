@@ -143,6 +143,7 @@ func (e *Engine) Run(fn string, args ...interp.Value) (interp.Value, interp.Stat
 		MaxAllocs:      e.opt.MaxAllocs,
 		MaxOutputBytes: e.opt.MaxOutputBytes,
 		Forall:         rs.forall,
+		Strip:          rs.strip,
 	}
 	var root *interp.Interp
 	if e.opt.Compiled != nil {
@@ -162,6 +163,13 @@ func (e *Engine) Run(fn string, args ...interp.Value) (interp.Value, interp.Stat
 		go func(ch <-chan task) {
 			defer workers.Done()
 			for t := range ch {
+				if t.strip != nil {
+					// A vectorized strip's compute share: the closure
+					// owns its lane range, error slot, and timing.
+					t.strip(t.pe)
+					t.wg.Done()
+					continue
+				}
 				for {
 					k, ok := t.asn.Next(t.pe)
 					if !ok {
@@ -220,6 +228,12 @@ type task struct {
 	run  func(w *interp.Interp, k int64) error
 	wg   *sync.WaitGroup
 
+	// strip, when non-nil, replaces the iteration stream entirely: the
+	// worker runs this one closure (a vectorized strip's compute phase
+	// over the PE's lane range) and hits the barrier. All other task
+	// fields except pe and wg are unused.
+	strip func(pe int)
+
 	// Profiling slots (nil when no profiler is installed — the nil
 	// check is the only per-iteration cost of having the hooks in
 	// place). Each slice index is owned by exactly one PE, so the
@@ -249,6 +263,83 @@ func (rs *runState) getBuf() *bytes.Buffer {
 		return b
 	}
 	return new(bytes.Buffer)
+}
+
+// strip runs one vectorized strip (interp.StripScheduler): gather
+// serially on the interpreting goroutine, compute split across the
+// pool in contiguous lane chunks (slab granularity — each PE sweeps
+// one sub-range of every slab, not one iteration at a time), scatter
+// serially after the barrier. Any phase error aborts the strip before
+// the heap is written and before the barrier or profiler see it: the
+// interpreter then falls back to the scalar path, whose barrier
+// rs.forall counts instead — so a strip never double-counts.
+func (rs *runState) strip(pos lang.Pos, lanes int, s interp.KernelStrip) error {
+	var gatherNS, scatterNS int64
+	var start time.Time
+	if rs.prof != nil {
+		start = time.Now()
+	}
+	if rs.prof != nil {
+		t0 := time.Now()
+		if err := s.Gather(); err != nil {
+			return err
+		}
+		gatherNS = int64(time.Since(t0))
+	} else if err := s.Gather(); err != nil {
+		return err
+	}
+
+	pes := rs.pes
+	if pes > lanes {
+		pes = lanes
+	}
+	chunk := (lanes + pes - 1) / pes
+	errs := make([]error, pes)
+	var busy, ntasks []int64
+	if rs.prof != nil {
+		busy = make([]int64, rs.pes)
+		ntasks = make([]int64, rs.pes)
+	}
+	var wg sync.WaitGroup
+	wg.Add(pes)
+	for pe := 0; pe < pes; pe++ {
+		lo := pe * chunk
+		hi := lo + chunk
+		if hi > lanes {
+			hi = lanes
+		}
+		slot := pe
+		rs.tasks[pe] <- task{pe: pe, wg: &wg, strip: func(p int) {
+			if busy != nil {
+				t0 := time.Now()
+				errs[slot] = s.Compute(lo, hi)
+				busy[p] += int64(time.Since(t0))
+				ntasks[p]++
+			} else {
+				errs[slot] = s.Compute(lo, hi)
+			}
+		}}
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	if rs.prof != nil {
+		t0 := time.Now()
+		if err := s.Scatter(); err != nil {
+			return err
+		}
+		scatterNS = int64(time.Since(t0))
+	} else if err := s.Scatter(); err != nil {
+		return err
+	}
+	rs.barriers++
+	if rs.prof != nil {
+		rs.prof.RecordKernel(pos.Line, int64(time.Since(start)), gatherNS, scatterNS, busy, ntasks)
+	}
+	return nil
 }
 
 // forall asks the scheduling policy for an iteration→PE assignment,

@@ -250,13 +250,18 @@ type PlanSummary struct {
 // submitted source; Helper names the generated iteration procedure
 // (parallelized loops), Reason says why the loop stays serial
 // (rejected loops — the dependence test's verdict, or absorption into
-// an enclosing parallelized loop).
+// an enclosing parallelized loop). For parallelized loops, Vectorized
+// reports whether the strip additionally lowered to a batched SPMD
+// kernel; when it did not, VectorReason carries the classifier's
+// concrete why-not.
 type PlanLoop struct {
-	Fn     string `json:"fn"`
-	Loop   int    `json:"loop"`
-	Line   int    `json:"line"`
-	Helper string `json:"helper,omitempty"`
-	Reason string `json:"reason,omitempty"`
+	Fn           string `json:"fn"`
+	Loop         int    `json:"loop"`
+	Line         int    `json:"line"`
+	Helper       string `json:"helper,omitempty"`
+	Reason       string `json:"reason,omitempty"`
+	Vectorized   bool   `json:"vectorized,omitempty"`
+	VectorReason string `json:"vector_reason,omitempty"`
 }
 
 // planSummary converts the planner's report to the wire form.
@@ -267,6 +272,10 @@ func planSummary(p *transform.Plan) *PlanSummary {
 		switch {
 		case lp.Parallelized:
 			pl.Helper = lp.Helper
+			pl.Vectorized = lp.Vectorized
+			if !lp.Vectorized {
+				pl.VectorReason = lp.VectorReason
+			}
 			ps.Parallelized = append(ps.Parallelized, pl)
 		case lp.Absorbed:
 			pl.Reason = "runs serially inside the parallel iterations of " + lp.AbsorbedInto

@@ -52,6 +52,8 @@ import (
 	"strings"
 
 	"repro/internal/analysis"
+	"repro/internal/bytecode"
+	"repro/internal/compile"
 	"repro/internal/depend"
 	"repro/internal/effects"
 	"repro/internal/lang"
@@ -111,6 +113,13 @@ type LoopPlan struct {
 	// parallel iterations — neither approved nor rejected on its own.
 	Absorbed     bool
 	AbsorbedInto string
+	// Vectorized marks an approved loop whose strip additionally lowers
+	// to a batched SPMD kernel (the `kernel` engine's vector path);
+	// VectorReason gives the classifier's concrete why-not for every
+	// approved loop that stays scalar ("body calls function f",
+	// "pointer-chasing access", "allocates", ...).
+	Vectorized   bool
+	VectorReason string
 	// Report is the dependence verdict (nil for absorbed loops that
 	// moved before the scan reached them).
 	Report *depend.Report
@@ -132,7 +141,11 @@ func (lp *LoopPlan) String() string {
 	at := fmt.Sprintf("%s#%d (line %d)", lp.Func, lp.Index, lp.Pos.Line)
 	switch {
 	case lp.Parallelized:
-		return fmt.Sprintf("PARALLELIZED %-28s -> %s, width %d", at, lp.Helper, lp.Width)
+		vec := fmt.Sprintf("vectorized: no (%s)", lp.VectorReason)
+		if lp.Vectorized {
+			vec = "vectorized: kernel"
+		}
+		return fmt.Sprintf("PARALLELIZED %-28s -> %s, width %d — %s", at, lp.Helper, lp.Width, vec)
 	case lp.Absorbed:
 		return fmt.Sprintf("absorbed     %-28s runs serially inside %s", at, lp.AbsorbedInto)
 	default:
@@ -367,7 +380,56 @@ func AutoParallelize(prog *lang.Program, width int) (*Plan, error) {
 		}
 	}
 	plan.Program = cur
+	annotateVectorVerdicts(plan)
 	return plan, nil
+}
+
+// annotateVectorVerdicts joins the kernel classifier's per-strip
+// verdicts onto the plan: lower the transformed program through the
+// bytecode pipeline (whose forall lowering runs the classifier; see
+// bytecode/kernel.go) and match strips to plan entries by source
+// position — transform stamps each generated forall with the original
+// while loop's position, the same key the profiler joins on. The
+// verdict is advisory reporting; lowering failure therefore degrades
+// to a stated reason rather than failing the plan.
+func annotateVectorVerdicts(plan *Plan) {
+	if plan.Parallelized == 0 {
+		return
+	}
+	fail := func(err error) {
+		for _, lp := range plan.Loops {
+			if lp.Parallelized {
+				lp.VectorReason = fmt.Sprintf("kernel lowering unavailable: %v", err)
+			}
+		}
+	}
+	cp, err := compile.Compile(plan.Program)
+	if err != nil {
+		fail(err)
+		return
+	}
+	bp, err := bytecode.Compile(cp)
+	if err != nil {
+		fail(err)
+		return
+	}
+	byPos := map[lang.Pos]*bytecode.ForallSite{}
+	for _, f := range bp.Funcs {
+		for i := range f.Foralls {
+			byPos[f.Foralls[i].Pos] = &f.Foralls[i]
+		}
+	}
+	for _, lp := range plan.Loops {
+		if !lp.Parallelized {
+			continue
+		}
+		if s, ok := byPos[lp.Pos]; ok {
+			lp.Vectorized = s.Kernel != nil
+			lp.VectorReason = s.VectorReason
+		} else {
+			lp.VectorReason = "kernel lowering unavailable: no forall at the loop's position"
+		}
+	}
 }
 
 // whileLoops enumerates the while loops under a block in lang.Walk

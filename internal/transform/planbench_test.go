@@ -142,12 +142,16 @@ type planBenchEntry struct {
 	N       int     `json:"n"`
 }
 
-// planBenchFile is the BENCH_plan.json schema.
+// planBenchFile is the BENCH_plan.json schema. GoMaxProcs and
+// GoVersion ride along with cpus so trajectory rows measured on
+// different boxes (or GOMAXPROCS caps, or toolchains) are comparable.
 type planBenchFile struct {
 	GeneratedBy string           `json:"generated_by"`
 	GOOS        string           `json:"goos"`
 	GOARCH      string           `json:"goarch"`
 	CPUs        int              `json:"cpus"`
+	GoMaxProcs  int              `json:"gomaxprocs"`
+	GoVersion   string           `json:"go_version"`
 	Entries     []planBenchEntry `json:"benchmarks"`
 	// SpeedupIncremental is full-restart/incremental ns on the 200-loop
 	// program — the gap TestPlanCostSubquadratic guards.
@@ -196,6 +200,12 @@ func TestBenchPlanJSON(t *testing.T) {
 	if f.Scaling4xLoops <= 0 || f.Scaling4xLoops > 10 {
 		t.Errorf("recorded 4x-loops scaling %.2fx outside the near-linear band (0, 10]", f.Scaling4xLoops)
 	}
+	if f.GoMaxProcs <= 0 {
+		t.Errorf("recorded gomaxprocs %d should be positive (regenerate with -write-bench-plan)", f.GoMaxProcs)
+	}
+	if f.GoVersion == "" {
+		t.Error("recorded go_version is empty (regenerate with -write-bench-plan)")
+	}
 }
 
 func writePlanBenchJSON(t *testing.T) {
@@ -205,6 +215,8 @@ func writePlanBenchJSON(t *testing.T) {
 		GOOS:        runtime.GOOS,
 		GOARCH:      runtime.GOARCH,
 		CPUs:        runtime.NumCPU(),
+		GoMaxProcs:  runtime.GOMAXPROCS(0),
+		GoVersion:   runtime.Version(),
 	}
 	configs := []struct {
 		name string

@@ -102,5 +102,6 @@ func autoParallelizeFullRestart(prog *lang.Program, width int) (*Plan, error) {
 		}
 	}
 	plan.Program = cur
+	annotateVectorVerdicts(plan)
 	return plan, nil
 }
